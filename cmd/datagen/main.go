@@ -1,0 +1,49 @@
+// Command datagen generates a Star Schema Benchmark dataset in the
+// repository's columnar binary format, or verifies an existing file.
+//
+//	datagen -sf 4 -o ssb_sf4.bin
+//	datagen -verify ssb_sf4.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crystal/internal/ssb"
+)
+
+func main() {
+	sf := flag.Int("sf", 1, "scale factor (6M fact rows per unit)")
+	rows := flag.Int("rows", 0, "exact fact-row count (overrides -sf, uses SF-1 dimensions)")
+	out := flag.String("o", "ssb.bin", "output path")
+	verify := flag.String("verify", "", "load the given file and print a summary instead of generating")
+	flag.Parse()
+
+	if *verify != "" {
+		ds, err := ssb.Load(*verify)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: SF %d\n", *verify, ds.SF)
+		fmt.Printf("  lineorder: %d rows\n", ds.Lineorder.Rows())
+		for _, d := range []*ssb.Dim{&ds.Date, &ds.Customer, &ds.Supplier, &ds.Part} {
+			fmt.Printf("  %-9s: %d rows, %d attribute columns\n", d.Name, d.Rows(), len(d.Attrs))
+		}
+		fmt.Printf("  total: %.2f GB\n", float64(ds.Bytes())/1e9)
+		return
+	}
+
+	var ds *ssb.Dataset
+	if *rows > 0 {
+		ds = ssb.GenerateRows(*rows)
+	} else {
+		ds = ssb.Generate(*sf)
+	}
+	if err := ds.Save(*out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d fact rows, %.2f GB\n", *out, ds.Lineorder.Rows(), float64(ds.Bytes())/1e9)
+}

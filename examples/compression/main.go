@@ -1,0 +1,54 @@
+// Compression example: the Section 5.5 extension — scan a bit-packed column
+// on both devices and watch the asymmetry: the GPU's compute-to-bandwidth
+// ratio turns the traffic saving into a speedup, while the CPU pays more in
+// unpack arithmetic than it saves in bytes.
+//
+//	go run ./examples/compression
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crystal/internal/cpu"
+	"crystal/internal/device"
+	"crystal/internal/gpu"
+	"crystal/internal/pack"
+	"crystal/internal/sim"
+)
+
+func main() {
+	const n = 1 << 22
+	vals := make([]int32, n)
+	rng := rand.New(rand.NewSource(9))
+	for i := range vals {
+		vals[i] = rng.Int31n(1 << 10) // 10-bit values: 3.2x compression
+	}
+	col := pack.New(vals)
+	fmt.Printf("column: %d values, %d-bit packed, %.1fx compression (%.1f MB -> %.1f MB)\n\n",
+		n, col.Width(), col.Ratio(), float64(col.PlainBytes())/1e6, float64(col.Bytes())/1e6)
+
+	pred := func(v int32) bool { return v < 100 }
+	cfg := sim.Config{Threads: 256, ItemsPerThread: 8}
+
+	gPlain, gPacked := device.NewClock(device.V100()), device.NewClock(device.V100())
+	a := gpu.Select(gPlain, cfg, vals, pred, gpu.SelectIf)
+	b := gpu.SelectPacked(gPacked, cfg, col, pred)
+	if len(a) != len(b) {
+		panic("packed scan changed the result")
+	}
+	fmt.Printf("GPU: plain %.3f ms, packed %.3f ms  -> %.2fx speedup\n",
+		gPlain.Milliseconds(), gPacked.Milliseconds(), gPlain.Seconds()/gPacked.Seconds())
+
+	cPlain, cPacked := device.NewClock(device.I76900()), device.NewClock(device.I76900())
+	c := cpu.Select(cPlain, vals, pred, cpu.SelectSIMDPred)
+	d := cpu.SelectPacked(cPacked, col, pred)
+	if len(c) != len(d) {
+		panic("packed scan changed the result")
+	}
+	fmt.Printf("CPU: plain %.3f ms, packed %.3f ms  -> %.2fx speedup\n",
+		cPlain.Milliseconds(), cPacked.Milliseconds(), cPlain.Seconds()/cPacked.Seconds())
+
+	fmt.Println("\nSection 5.5: \"GPUs have higher compute to bandwidth ratio than CPUs which")
+	fmt.Println("could allow use of non-byte addressable packing schemes\" — quantified.")
+}

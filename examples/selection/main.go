@@ -1,0 +1,48 @@
+// Selection example: sweep predicate selectivity over all five selection
+// variants (Figure 12 in miniature) and print when each implementation
+// matters — the CPU branching variant collapses at mid selectivity while
+// the GPU doesn't care.
+//
+//	go run ./examples/selection
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crystal/internal/cpu"
+	"crystal/internal/device"
+	"crystal/internal/gpu"
+	"crystal/internal/sim"
+)
+
+func main() {
+	const n = 1 << 22
+	in := make([]int32, n)
+	rng := rand.New(rand.NewSource(42))
+	for i := range in {
+		in[i] = rng.Int31n(1000)
+	}
+
+	fmt.Println("selection scan: time in simulated ms at 4M rows")
+	fmt.Printf("%8s %10s %10s %12s %10s\n", "sigma", "CPU If", "CPU Pred", "CPU SIMDPred", "GPU")
+	for _, sigma := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		cut := int32(sigma * 1000)
+		pred := func(v int32) bool { return v < cut }
+		times := make([]float64, 0, 4)
+		for _, variant := range []cpu.SelectVariant{cpu.SelectIf, cpu.SelectPred, cpu.SelectSIMDPred} {
+			clk := device.NewClock(device.I76900())
+			out := cpu.Select(clk, in, pred, variant)
+			if len(out) == 0 && sigma > 0 {
+				panic("selection lost rows")
+			}
+			times = append(times, clk.Milliseconds())
+		}
+		gclk := device.NewClock(device.V100())
+		gpu.Select(gclk, sim.DefaultConfig(0), in, pred, gpu.SelectIf)
+		times = append(times, gclk.Milliseconds())
+		fmt.Printf("%8.1f %10.3f %10.3f %12.3f %10.3f\n", sigma, times[0], times[1], times[2], times[3])
+	}
+	fmt.Println("\nnote the CPU If hump at sigma=0.5 (branch mispredictions) and the flat GPU")
+	fmt.Println("line: a mispredicted branch does not stall the SIMT pipeline (Section 4.2)")
+}

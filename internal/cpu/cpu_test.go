@@ -1,0 +1,387 @@
+package cpu
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"crystal/internal/device"
+)
+
+func newClock() *device.Clock { return device.NewClock(device.I76900()) }
+
+func TestSelectVariantsAgreeAndAreStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := make([]int32, 100_000)
+	for i := range in {
+		in[i] = int32(rng.Intn(1000))
+	}
+	pred := func(v int32) bool { return v < 300 }
+	var want []int32
+	for _, v := range in {
+		if pred(v) {
+			want = append(want, v)
+		}
+	}
+	for _, variant := range []SelectVariant{SelectIf, SelectPred, SelectSIMDPred} {
+		got := Select(newClock(), in, pred, variant)
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d rows, want %d", variant, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v: row %d mismatch (stability)", variant, i)
+			}
+		}
+	}
+}
+
+func TestSelectEdgeCases(t *testing.T) {
+	if got := Select(newClock(), nil, func(int32) bool { return true }, SelectIf); len(got) != 0 {
+		t.Error("empty input should give empty output")
+	}
+	in := []int32{5}
+	if got := Select(newClock(), in, func(int32) bool { return true }, SelectPred); len(got) != 1 || got[0] != 5 {
+		t.Errorf("singleton select = %v", got)
+	}
+}
+
+func TestSelectIfHumpAtMidSelectivity(t *testing.T) {
+	// Figure 12: CPU If peaks at sigma=0.5 from branch mispredictions,
+	// while CPU Pred is flat-ish and SIMDPred is fastest.
+	const n = 1 << 20
+	in := make([]int32, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range in {
+		in[i] = int32(rng.Intn(1000))
+	}
+	timeAt := func(variant SelectVariant, cut int32) float64 {
+		clk := newClock()
+		Select(clk, in, func(v int32) bool { return v < cut }, variant)
+		return clk.Seconds()
+	}
+	ifMid := timeAt(SelectIf, 500)
+	ifLow := timeAt(SelectIf, 0)
+	ifHigh := timeAt(SelectIf, 1000)
+	if !(ifMid > ifLow && ifMid > ifHigh) {
+		t.Errorf("CPU If should peak mid-selectivity: low %.5f mid %.5f high %.5f", ifLow, ifMid, ifHigh)
+	}
+	predMid := timeAt(SelectPred, 500)
+	if predMid >= ifMid {
+		t.Errorf("CPU Pred (%.5f) should beat CPU If (%.5f) at sigma=0.5", predMid, ifMid)
+	}
+	simdMid := timeAt(SelectSIMDPred, 500)
+	if simdMid >= predMid {
+		t.Errorf("SIMDPred (%.5f) should beat Pred (%.5f)", simdMid, predMid)
+	}
+	// At sigma=0 If does no writes and beats Pred (paper: "CPU Pred does
+	// better than CPU If at all selectivities except 0").
+	predLow := timeAt(SelectPred, 0)
+	if ifLow >= predLow {
+		t.Errorf("at sigma=0 CPU If (%.5f) should beat Pred (%.5f)", ifLow, predLow)
+	}
+}
+
+func TestProjectCorrectness(t *testing.T) {
+	const n = 50_000
+	x1 := make([]float32, n)
+	x2 := make([]float32, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range x1 {
+		x1[i], x2[i] = rng.Float32(), rng.Float32()
+	}
+	for _, v := range []ProjectVariant{ProjectNaive, ProjectOpt} {
+		out := Project(newClock(), x1, x2, 2, 3, v)
+		for i := range out {
+			want := 2*x1[i] + 3*x2[i]
+			if math.Abs(float64(out[i]-want)) > 1e-5 {
+				t.Fatalf("%v: out[%d] = %f, want %f", v, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestProjectOptFasterThanNaive(t *testing.T) {
+	const n = 1 << 20
+	x1 := make([]float32, n)
+	x2 := make([]float32, n)
+	naive, opt := newClock(), newClock()
+	Project(naive, x1, x2, 1, 1, ProjectNaive)
+	Project(opt, x1, x2, 1, 1, ProjectOpt)
+	if opt.Seconds() >= naive.Seconds() {
+		t.Errorf("CPU-Opt (%.5f) should beat CPU (%.5f) on Q1", opt.Seconds(), naive.Seconds())
+	}
+}
+
+func TestSigmoidComputeBoundOnlyWhenScalar(t *testing.T) {
+	// Figure 10 Q2: naive is compute bound (~4x over the bandwidth model),
+	// CPU-Opt is bandwidth bound.
+	const n = 1 << 20
+	x1 := make([]float32, n)
+	x2 := make([]float32, n)
+	naive, opt := newClock(), newClock()
+	ProjectSigmoid(naive, x1, x2, 1, 1, ProjectNaive)
+	ProjectSigmoid(opt, x1, x2, 1, 1, ProjectOpt)
+	ratio := naive.Seconds() / opt.Seconds()
+	if ratio < 3 || ratio > 6 {
+		t.Errorf("Q2 naive/opt ratio = %.2f, paper gives 282/69.6 ~ 4.1", ratio)
+	}
+	out := ProjectSigmoid(newClock(), []float32{0}, []float32{0}, 1, 1, ProjectOpt)
+	if out[0] != 0.5 {
+		t.Errorf("sigmoid(0) = %f", out[0])
+	}
+}
+
+func TestBuildAndProbeSumAllVariants(t *testing.T) {
+	const nBuild, nProbe = 4096, 1 << 16
+	bk := make([]int32, nBuild)
+	bv := make([]int32, nBuild)
+	for i := range bk {
+		bk[i], bv[i] = int32(i+1), int32(3*i)
+	}
+	pk := make([]int32, nProbe)
+	pv := make([]int32, nProbe)
+	rng := rand.New(rand.NewSource(4))
+	var want int64
+	for i := range pk {
+		pk[i] = int32(rng.Intn(2*nBuild) + 1)
+		pv[i] = int32(i % 97)
+		if pk[i] <= nBuild {
+			want += int64(pv[i]) + int64(3*(pk[i]-1))
+		}
+	}
+	ht := BuildHashTable(newClock(), bk, bv, 0.5)
+	for _, v := range []JoinVariant{JoinScalar, JoinSIMD, JoinPrefetch} {
+		if got := ProbeSum(newClock(), pk, pv, ht, v); got != want {
+			t.Errorf("%v checksum = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestJoinVariantOrdering(t *testing.T) {
+	// Figure 13, cache-resident region: SIMD and Prefetch are both slower
+	// than Scalar (gather overhead / prefetch instruction overhead).
+	const nProbe = 1 << 20
+	bk := make([]int32, 2048)
+	bv := make([]int32, 2048)
+	for i := range bk {
+		bk[i], bv[i] = int32(i+1), int32(i)
+	}
+	ht := BuildHashTable(newClock(), bk, bv, 0.5)
+	pk := make([]int32, nProbe)
+	pv := make([]int32, nProbe)
+	rng := rand.New(rand.NewSource(5))
+	for i := range pk {
+		pk[i] = int32(rng.Intn(2048) + 1)
+	}
+	times := map[JoinVariant]float64{}
+	for _, v := range []JoinVariant{JoinScalar, JoinSIMD, JoinPrefetch} {
+		clk := newClock()
+		ProbeSum(clk, pk, pv, ht, v)
+		times[v] = clk.Seconds()
+	}
+	if times[JoinSIMD] <= times[JoinScalar] {
+		t.Errorf("CPU SIMD (%.5f) should lose to Scalar (%.5f) — gather overhead", times[JoinSIMD], times[JoinScalar])
+	}
+	if times[JoinPrefetch] <= times[JoinScalar] {
+		t.Errorf("Prefetch (%.5f) should lose to Scalar (%.5f) when cache resident", times[JoinPrefetch], times[JoinScalar])
+	}
+}
+
+func TestPrefetchHelpsOutOfCache(t *testing.T) {
+	// Out of cache, prefetching reduces the stall and beats scalar.
+	pk := make([]int32, 1<<18)
+	pv := make([]int32, 1<<18)
+	const nBuild = 1 << 22 // 64 MB table > 20 MB L3
+	bk := make([]int32, nBuild)
+	for i := range bk {
+		bk[i] = int32(i + 1)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := range pk {
+		pk[i] = int32(rng.Intn(nBuild) + 1)
+	}
+	ht := BuildHashTable(newClock(), bk, nil, 0.5)
+	sc, pf := newClock(), newClock()
+	ProbeSum(sc, pk, pv, ht, JoinScalar)
+	ProbeSum(pf, pk, pv, ht, JoinPrefetch)
+	if pf.Seconds() >= sc.Seconds() {
+		t.Errorf("Prefetch (%.5f) should beat Scalar (%.5f) out of cache", pf.Seconds(), sc.Seconds())
+	}
+}
+
+func TestRadixPartitionStableAndCorrect(t *testing.T) {
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]uint32, n)
+	vals := make([]int32, n)
+	for i := range keys {
+		keys[i] = rng.Uint32()
+		vals[i] = int32(i)
+	}
+	for _, r := range []int{3, 8, 11} {
+		outK, outV, counts, err := RadixPartition(newClock(), keys, vals, r, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := uint32((1 << r) - 1)
+		var total int64
+		for _, c := range counts {
+			total += c
+		}
+		if total != n {
+			t.Fatalf("r=%d: counts sum %d", r, total)
+		}
+		seen := make([]bool, n)
+		pos := 0
+		for p := uint32(0); p < uint32(1<<r); p++ {
+			prev := int32(-1)
+			for c := int64(0); c < counts[p]; c++ {
+				idx := outV[pos]
+				if seen[idx] {
+					t.Fatalf("duplicate element %d", idx)
+				}
+				seen[idx] = true
+				if (keys[idx]>>4)&mask != p {
+					t.Fatalf("wrong partition for %d", idx)
+				}
+				if idx <= prev {
+					t.Fatalf("r=%d: stability violated in partition %d", r, p)
+				}
+				prev = idx
+				if outK[pos] != keys[idx] {
+					t.Fatalf("key/val pairing broken")
+				}
+				pos++
+			}
+		}
+	}
+}
+
+func TestRadixPartitionRejectsBadBits(t *testing.T) {
+	if _, _, _, err := RadixPartition(newClock(), []uint32{1}, nil, 0, 0); err == nil {
+		t.Error("r=0 accepted")
+	}
+	if _, _, _, err := RadixPartition(newClock(), []uint32{1}, nil, 17, 0); err == nil {
+		t.Error("r=17 accepted")
+	}
+}
+
+func TestRadixShuffleDeterioratesBeyond8Bits(t *testing.T) {
+	// Figure 14b: CPU shuffle is bandwidth bound to 8 bits, then the
+	// write-combining buffers outgrow L1.
+	const n = 1 << 20
+	keys := make([]uint32, n)
+	vals := make([]int32, n)
+	rng := rand.New(rand.NewSource(8))
+	for i := range keys {
+		keys[i] = rng.Uint32()
+	}
+	shuffleTime := func(r int) float64 {
+		clk := newClock()
+		_, _, _, err := RadixPartition(clk, keys, vals, r, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Subtract the histogram pass: passes[0] is histogram, [1] shuffle.
+		return clk.Spec().PassTime(&clk.Passes()[1])
+	}
+	t8, t10 := shuffleTime(8), shuffleTime(10)
+	if t10 <= t8*1.1 {
+		t.Errorf("shuffle at r=10 (%.5f) should clearly exceed r=8 (%.5f)", t10, t8)
+	}
+	t4 := shuffleTime(4)
+	if math.Abs(t4-t8)/t8 > 0.05 {
+		t.Errorf("shuffle should be flat up to 8 bits: r=4 %.5f vs r=8 %.5f", t4, t8)
+	}
+}
+
+func TestLSBRadixSort(t *testing.T) {
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]uint32, n)
+	vals := make([]int32, n)
+	for i := range keys {
+		keys[i] = rng.Uint32()
+		vals[i] = int32(i)
+	}
+	clk := newClock()
+	outK, outV := LSBRadixSort(clk, keys, vals)
+	for i := 1; i < n; i++ {
+		if outK[i-1] > outK[i] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+	seen := make([]bool, n)
+	for i, idx := range outV {
+		if seen[idx] {
+			t.Fatalf("duplicate payload %d", idx)
+		}
+		seen[idx] = true
+		if keys[idx] != outK[i] {
+			t.Fatal("pairing broken")
+		}
+	}
+	// 4 passes x 2 charged passes each.
+	if len(clk.Passes()) != 8 {
+		t.Errorf("LSB sort charged %d passes, want 8", len(clk.Passes()))
+	}
+}
+
+func TestLSBRadixSortProperty(t *testing.T) {
+	f := func(keys []uint32) bool {
+		outK, _ := LSBRadixSort(newClock(), keys, nil)
+		want := append([]uint32(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if outK[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMispredictsModel(t *testing.T) {
+	if mispredicts(1000, 0) != 0 || mispredicts(1000, 1) != 0 {
+		t.Error("no mispredictions at the extremes")
+	}
+	if got := mispredicts(1000, 0.5); got != 500 {
+		t.Errorf("mispredicts(1000, 0.5) = %d, want 500", got)
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	for _, s := range []string{
+		SelectIf.String(), SelectPred.String(), SelectSIMDPred.String(),
+		JoinScalar.String(), JoinSIMD.String(), JoinPrefetch.String(),
+		ProjectNaive.String(), ProjectOpt.String(),
+	} {
+		if s == "" || s == "unknown" {
+			t.Errorf("bad variant string %q", s)
+		}
+	}
+	if SelectVariant(99).String() != "unknown" || JoinVariant(99).String() != "unknown" {
+		t.Error("out-of-range variants should stringify as unknown")
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	seen := make([]int32, 10_000)
+	parallelFor(len(seen), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+	parallelFor(0, func(_, _, _ int) { t.Error("fn called for n=0") })
+}

@@ -1,0 +1,111 @@
+package cpu
+
+import (
+	"sync/atomic"
+
+	"crystal/internal/crystal"
+	"crystal/internal/device"
+)
+
+// JoinVariant selects among the paper's three CPU probe-phase
+// implementations of the no-partitioning linear-probing hash join
+// (Section 4.3, Figure 13).
+type JoinVariant int
+
+const (
+	// JoinScalar probes tuple-at-a-time.
+	JoinScalar JoinVariant = iota
+	// JoinSIMD uses vertical vectorization: one key per AVX2 lane, gathers
+	// into the hash table. The 8-byte slots mean each gather fills half a
+	// register, so every 8 keys cost two gathers plus de-interleaving —
+	// which is why it loses to scalar (Section 4.3).
+	JoinSIMD
+	// JoinPrefetch adds group software prefetching to the scalar probe,
+	// hiding most DRAM latency at the cost of extra instructions.
+	JoinPrefetch
+)
+
+func (v JoinVariant) String() string {
+	switch v {
+	case JoinScalar:
+		return "CPU Scalar"
+	case JoinSIMD:
+		return "CPU SIMD"
+	case JoinPrefetch:
+		return "CPU Prefetch"
+	}
+	return "unknown"
+}
+
+// BuildHashTable builds the shared linear-probing table from the build
+// relation's key and value columns (Section 4.3 build phase: writes stream
+// to memory and are little affected by caches).
+func BuildHashTable(clk *device.Clock, keys, vals []int32, fill float64) *crystal.HashTable {
+	ht := crystal.NewHashTable(len(keys), fill, vals != nil)
+	parallelFor(len(keys), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := int32(0)
+			if vals != nil {
+				v = vals[i]
+			}
+			ht.Insert(keys[i], v)
+		}
+	})
+	pass := &device.Pass{Label: "cpu join build", BytesRead: int64(len(keys)) * 8}
+	pass.AddProbes(device.ProbeSet{Count: int64(len(keys)), StructBytes: ht.Bytes(), Writes: true})
+	clk.Charge(pass)
+	return ht
+}
+
+// ProbeSum runs the probe phase of the Q4 microbenchmark: for every probe
+// tuple that finds a match, A.v + B.v is added to a per-thread local sum;
+// locals are combined with one atomic each at the end (Section 4.3).
+func ProbeSum(clk *device.Clock, probeKeys, probeVals []int32, ht *crystal.HashTable, variant JoinVariant) int64 {
+	var sum int64
+	n := len(probeKeys)
+	parallelFor(n, func(_, lo, hi int) {
+		var local int64
+		switch variant {
+		case JoinSIMD:
+			// Vertical vectorization: process 8 keys per "register",
+			// reloading finished lanes (functionally identical; the lane
+			// bookkeeping cost is charged in the pass below).
+			for base := lo; base < hi; base += 8 {
+				end := base + 8
+				if end > hi {
+					end = hi
+				}
+				for i := base; i < end; i++ {
+					if v, ok := ht.Get(probeKeys[i]); ok {
+						local += int64(probeVals[i]) + int64(v)
+					}
+				}
+			}
+		default:
+			for i := lo; i < hi; i++ {
+				if v, ok := ht.Get(probeKeys[i]); ok {
+					local += int64(probeVals[i]) + int64(v)
+				}
+			}
+		}
+		atomic.AddInt64(&sum, local)
+	})
+
+	pass := &device.Pass{
+		Label:     "cpu join probe " + variant.String(),
+		BytesRead: int64(n) * 8, // probe key + payload columns
+	}
+	ps := device.ProbeSet{Count: int64(n), StructBytes: ht.Bytes()}
+	switch variant {
+	case JoinScalar:
+		pass.ComputeCycles = cyclesProbeScalar * float64(n)
+	case JoinSIMD:
+		pass.ComputeCycles = cyclesProbeSIMD * float64(n)
+	case JoinPrefetch:
+		pass.ComputeCycles = cyclesProbePrefet * float64(n)
+		ps.StallOverride = prefetchStall
+	}
+	pass.AddProbes(ps)
+	clk.Charge(pass)
+	return sum
+}

@@ -1,0 +1,57 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"crystal/internal/pack"
+)
+
+func TestCPUSelectPackedMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	vals := make([]int32, 200_000)
+	for i := range vals {
+		vals[i] = rng.Int31n(1024)
+	}
+	col := pack.New(vals)
+	pred := func(v int32) bool { return v >= 700 }
+
+	plain := Select(newClock(), vals, pred, SelectSIMDPred)
+	packed := SelectPacked(newClock(), col, pred)
+	if len(plain) != len(packed) {
+		t.Fatalf("packed: %d rows, want %d", len(packed), len(plain))
+	}
+	for i := range plain {
+		if plain[i] != packed[i] {
+			t.Fatalf("row %d differs (stability)", i)
+		}
+	}
+}
+
+func TestCPUPackedScanCanLose(t *testing.T) {
+	// Section 5.5 asymmetry: with a low compute-to-bandwidth ratio, the
+	// unpack arithmetic costs the CPU more than the traffic it saves.
+	const n = 1 << 21
+	vals := make([]int32, n)
+	rng := rand.New(rand.NewSource(42))
+	for i := range vals {
+		vals[i] = rng.Int31n(1 << 20) // 20-bit width: only 1.6x compression
+	}
+	col := pack.New(vals)
+	pred := func(v int32) bool { return v < 1000 }
+
+	plainClk, packedClk := newClock(), newClock()
+	Select(plainClk, vals, pred, SelectSIMDPred)
+	SelectPacked(packedClk, col, pred)
+	if packedClk.Seconds() <= plainClk.Seconds() {
+		t.Errorf("20-bit packed scan (%.6f) should lose to plain (%.6f) on the CPU",
+			packedClk.Seconds(), plainClk.Seconds())
+	}
+}
+
+func TestCPUPackedEmptyColumn(t *testing.T) {
+	col := pack.New(nil)
+	if got := SelectPacked(newClock(), col, func(int32) bool { return true }); len(got) != 0 {
+		t.Error("empty packed select should return nothing")
+	}
+}

@@ -1,0 +1,69 @@
+package cpu
+
+import (
+	"math"
+
+	"crystal/internal/device"
+)
+
+// ProjectVariant selects between the two CPU projection implementations of
+// Section 4.1.
+type ProjectVariant int
+
+const (
+	// ProjectNaive is a plain multi-threaded loop: scalar arithmetic and
+	// regular (write-allocating) stores.
+	ProjectNaive ProjectVariant = iota
+	// ProjectOpt adds non-temporal writes and SIMD arithmetic ("CPU-Opt").
+	ProjectOpt
+)
+
+func (v ProjectVariant) String() string {
+	if v == ProjectOpt {
+		return "CPU-Opt"
+	}
+	return "CPU"
+}
+
+// Project evaluates Q1: SELECT a*x1 + b*x2 FROM R (Section 4.1).
+func Project(clk *device.Clock, x1, x2 []float32, a, b float32, variant ProjectVariant) []float32 {
+	out := make([]float32, len(x1))
+	parallelFor(len(x1), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = a*x1[i] + b*x2[i]
+		}
+	})
+	clk.Charge(projectPass("cpu project q1 "+variant.String(), len(x1), variant, cyclesProjectQ1, cyclesProjQ1SIMD))
+	return out
+}
+
+// ProjectSigmoid evaluates Q2: SELECT sigmoid(a*x1 + b*x2) FROM R — the
+// most complex projection a SQL query will realistically contain. Without
+// SIMD the scalar exp makes it compute bound (Figure 10: 282 ms vs the
+// 64 ms bandwidth model); with AVX2 it saturates bandwidth again.
+func ProjectSigmoid(clk *device.Clock, x1, x2 []float32, a, b float32, variant ProjectVariant) []float32 {
+	out := make([]float32, len(x1))
+	parallelFor(len(x1), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x := float64(a*x1[i] + b*x2[i])
+			out[i] = float32(1 / (1 + math.Exp(-x)))
+		}
+	})
+	clk.Charge(projectPass("cpu project q2 "+variant.String(), len(x1), variant, cyclesSigmoid, cyclesSigmoidSIMD))
+	return out
+}
+
+func projectPass(label string, n int, variant ProjectVariant, scalarCycles, simdCycles float64) *device.Pass {
+	pass := &device.Pass{
+		Label:        label,
+		BytesRead:    int64(n) * 8, // two input columns
+		BytesWritten: int64(n) * 4,
+	}
+	if variant == ProjectNaive {
+		pass.BytesRead += int64(n) * 4 // read-for-ownership of output lines
+		pass.ComputeCycles = scalarCycles * float64(n)
+	} else {
+		pass.ComputeCycles = simdCycles * float64(n)
+	}
+	return pass
+}

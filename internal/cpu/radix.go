@@ -1,0 +1,169 @@
+package cpu
+
+import (
+	"fmt"
+
+	"crystal/internal/device"
+)
+
+// l1Bytes is the per-core L1 budget available to the software
+// write-combining buffers of the radix shuffle (Section 4.4: beyond 8 bits
+// "the size of the partition buffers needed exceeds the size of L1 cache
+// and the performance starts to deteriorate").
+const l1Bytes = 32 << 10
+
+// bufBytesPerPartition is the write-combining buffer footprint per
+// partition: one cache line of keys plus one of payloads.
+const bufBytesPerPartition = 128
+
+// RadixHistogram runs the histogram phase of a radix-partitioning pass:
+// each thread scans its chunk once, counting entries per partition in an
+// L1-resident histogram (Section 4.4). It returns the per-thread histogram
+// matrix and the per-partition totals.
+func RadixHistogram(clk *device.Clock, keys []uint32, r, shift int, workers int) ([][]int64, []int64) {
+	numPart := 1 << r
+	mask := uint32(numPart - 1)
+	n := len(keys)
+	if workers <= 0 {
+		workers = 8
+	}
+	hists := make([][]int64, workers)
+	chunk := (n + workers - 1) / workers
+	parallelForN(workers, n, func(w, lo, hi int) {
+		h := make([]int64, numPart)
+		for i := lo; i < hi; i++ {
+			h[(keys[i]>>shift)&mask]++
+		}
+		hists[w] = h
+	}, chunk)
+	counts := make([]int64, numPart)
+	for _, h := range hists {
+		if h == nil {
+			continue
+		}
+		for p, c := range h {
+			counts[p] += c
+		}
+	}
+	clk.Charge(&device.Pass{
+		Label:         "cpu radix histogram",
+		BytesRead:     int64(n) * 4,
+		BytesWritten:  int64(workers) * int64(numPart) * 4,
+		ComputeCycles: cyclesRadixHist * float64(n),
+	})
+	return hists, counts
+}
+
+// parallelForN runs fn over exactly `workers` fixed chunks (so per-worker
+// histograms line up with per-worker scatter offsets, which is what makes
+// the partition stable).
+func parallelForN(workers, n int, fn func(w, lo, hi int), chunk int) {
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			lo = hi
+		}
+		go func(w, lo, hi int) {
+			if lo < hi {
+				fn(w, lo, hi)
+			}
+			done <- struct{}{}
+		}(w, lo, hi)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}
+
+// RadixPartition performs one stable radix-partitioning pass over
+// (keys, vals) on bits [shift, shift+r), following Polychroniou & Ross:
+// histogram phase, a 2D prefix sum over (partition, thread), then each
+// thread scatters its chunk through L1-resident write-combining buffers.
+// Output is stable. Returns the partitioned arrays and partition counts.
+func RadixPartition(clk *device.Clock, keys []uint32, vals []int32, r, shift int) ([]uint32, []int32, []int64, error) {
+	if r <= 0 || r > 16 {
+		return nil, nil, nil, fmt.Errorf("cpu: radix bits %d out of range (1..16)", r)
+	}
+	n := len(keys)
+	workers := 8
+	hists, counts := RadixHistogram(clk, keys, r, shift, workers)
+	numPart := 1 << r
+	mask := uint32(numPart - 1)
+
+	// 2D prefix sum in (partition, thread) order => stable partitioning.
+	offsets := make([][]int64, workers)
+	running := int64(0)
+	for p := 0; p < numPart; p++ {
+		for w := 0; w < workers; w++ {
+			if offsets[w] == nil {
+				offsets[w] = make([]int64, numPart)
+			}
+			offsets[w][p] = running
+			if hists[w] != nil {
+				running += hists[w][p]
+			}
+		}
+	}
+
+	outK := make([]uint32, n)
+	var outV []int32
+	if vals != nil {
+		outV = make([]int32, n)
+	}
+	chunk := (n + workers - 1) / workers
+	parallelForN(workers, n, func(w, lo, hi int) {
+		off := offsets[w]
+		for i := lo; i < hi; i++ {
+			p := (keys[i] >> shift) & mask
+			pos := off[p]
+			off[p]++
+			outK[pos] = keys[i]
+			if vals != nil {
+				outV[pos] = vals[i]
+			}
+		}
+	}, chunk)
+
+	elemBytes := int64(4)
+	if vals != nil {
+		elemBytes = 8
+	}
+	pass := &device.Pass{
+		Label:         "cpu radix shuffle",
+		BytesRead:     int64(n) * elemBytes,
+		BytesWritten:  int64(n) * elemBytes,
+		ComputeCycles: cyclesRadixShuf * float64(n),
+	}
+	// Write-combining buffer spill: with 2^r partitions the buffers exceed
+	// L1 and a growing fraction of output lines lose write combining,
+	// costing a read-for-ownership on the way out.
+	if buf := int64(numPart) * bufBytesPerPartition; buf > l1Bytes {
+		spill := 1 - float64(l1Bytes)/float64(buf)
+		pass.BytesRead += int64(spill * float64(int64(n)*elemBytes))
+	}
+	clk.Charge(pass)
+	return outK, outV, counts, nil
+}
+
+// LSBRadixSort sorts (keys, vals) by key with the least-significant-bit
+// radix sort of Polychroniou & Ross: four stable 8-bit partitioning passes
+// (Section 4.4: "On the CPU, we use stable partitioning to implement LSB
+// radix sort. It ends up running 4 radix partitioning passes each looking
+// at 8-bits at [a] time").
+func LSBRadixSort(clk *device.Clock, keys []uint32, vals []int32) ([]uint32, []int32) {
+	k := append([]uint32(nil), keys...)
+	v := append([]int32(nil), vals...)
+	for pass := 0; pass < 4; pass++ {
+		var err error
+		k, v, _, err = RadixPartition(clk, k, v, 8, 8*pass)
+		if err != nil {
+			panic(err) // unreachable: 8 bits is always valid
+		}
+	}
+	return k, v
+}

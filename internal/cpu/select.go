@@ -1,0 +1,114 @@
+package cpu
+
+import (
+	"sync/atomic"
+
+	"crystal/internal/device"
+)
+
+// SelectVariant selects among the paper's three CPU selection-scan
+// implementations (Section 4.2, Figure 12).
+type SelectVariant int
+
+const (
+	// SelectIf is the naive branching implementation (Figure 15a); it pays
+	// branch misprediction penalties at mid selectivities.
+	SelectIf SelectVariant = iota
+	// SelectPred uses branch-free predication (Figure 15b).
+	SelectPred
+	// SelectSIMDPred uses vectorized selective stores with streaming writes
+	// (Polychroniou et al.).
+	SelectSIMDPred
+)
+
+func (v SelectVariant) String() string {
+	switch v {
+	case SelectIf:
+		return "CPU If"
+	case SelectPred:
+		return "CPU Pred"
+	case SelectSIMDPred:
+		return "CPU SIMDPred"
+	}
+	return "unknown"
+}
+
+// Select runs the multi-threaded selection scan of Section 3.2 on in: the
+// input is partitioned across cores; each core processes one vector
+// (~1024 entries) at a time, counting matches in a first pass over the
+// L1-resident vector, claiming output space from a global cursor, and
+// copying matches in a second pass. Output is stable (input order).
+func Select(clk *device.Clock, in []int32, pred func(int32) bool, variant SelectVariant) []int32 {
+	n := len(in)
+	numVec := (n + VectorSize - 1) / VectorSize
+	counts := make([]int32, numVec+1)
+	var atomics int64
+
+	// Pass over vectors: count matches per vector. The second pass reads the
+	// vector from L1, so only one streaming read of the column is charged.
+	parallelFor(numVec, func(_, lo, hi int) {
+		local := int64(0)
+		for v := lo; v < hi; v++ {
+			s, e := v*VectorSize, (v+1)*VectorSize
+			if e > n {
+				e = n
+			}
+			c := int32(0)
+			for i := s; i < e; i++ {
+				if pred(in[i]) {
+					c++
+				}
+			}
+			counts[v+1] = c
+			local++ // one global-cursor update per vector
+		}
+		atomic.AddInt64(&atomics, local)
+	})
+	for v := 0; v < numVec; v++ {
+		counts[v+1] += counts[v]
+	}
+	total := counts[numVec]
+	out := make([]int32, total)
+	parallelFor(numVec, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			s, e := v*VectorSize, (v+1)*VectorSize
+			if e > n {
+				e = n
+			}
+			o := counts[v]
+			for i := s; i < e; i++ {
+				if pred(in[i]) {
+					out[o] = in[i]
+					o++
+				}
+			}
+		}
+	})
+
+	sigma := 0.0
+	if n > 0 {
+		sigma = float64(total) / float64(n)
+	}
+	pass := &device.Pass{
+		Label:        "cpu select " + variant.String(),
+		BytesRead:    int64(n) * 4,
+		BytesWritten: int64(total) * 4,
+		AtomicOps:    atomics,
+	}
+	switch variant {
+	case SelectIf:
+		pass.ComputeCycles = cyclesSelectIf * float64(n)
+		pass.Mispredicts = mispredicts(int64(n), sigma)
+	case SelectPred:
+		pass.ComputeCycles = cyclesSelectPred * float64(n)
+	case SelectSIMDPred:
+		pass.ComputeCycles = cyclesSelectSIMD * float64(n)
+	}
+	if variant != SelectSIMDPred {
+		// Scalar stores allocate the output lines in cache before writing
+		// (read-for-ownership); the SIMD variant uses streaming stores.
+		pass.BytesRead += int64(total) * 4
+	}
+	clk.Charge(pass)
+	return out
+}

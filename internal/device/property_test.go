@@ -1,0 +1,91 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests on the pricing model: for arbitrary traffic records the
+// simulated time must be finite, non-negative, and monotone in every
+// traffic dimension.
+
+func clampPass(p Pass) Pass {
+	abs := func(v int64) int64 {
+		if v < 0 {
+			v = -v
+		}
+		return v % (1 << 40)
+	}
+	p.BytesRead = abs(p.BytesRead)
+	p.BytesWritten = abs(p.BytesWritten)
+	p.RandomWrites = abs(p.RandomWrites) % (1 << 30)
+	p.AtomicOps = abs(p.AtomicOps) % (1 << 30)
+	p.Mispredicts = abs(p.Mispredicts) % (1 << 30)
+	if p.ComputeCycles < 0 || math.IsNaN(p.ComputeCycles) || math.IsInf(p.ComputeCycles, 0) {
+		p.ComputeCycles = 0
+	}
+	p.VectorEff = 0
+	p.OccupancyFactor = 0
+	p.Probes = nil
+	p.Kernels = 1
+	return p
+}
+
+func TestPassTimeFiniteNonNegativeProperty(t *testing.T) {
+	for _, spec := range []*Spec{V100(), I76900()} {
+		f := func(p Pass) bool {
+			tm := spec.PassTime(clampPassP(p))
+			return tm >= 0 && !math.IsNaN(tm) && !math.IsInf(tm, 0)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+}
+
+func clampPassP(p Pass) *Pass {
+	cp := clampPass(p)
+	return &cp
+}
+
+func TestPassTimeMonotoneInEachDimension(t *testing.T) {
+	base := Pass{BytesRead: 1 << 26, BytesWritten: 1 << 24, AtomicOps: 1 << 10,
+		Mispredicts: 1 << 12, ComputeCycles: 1e6, RandomWrites: 1 << 10, Kernels: 1}
+	for _, spec := range []*Spec{V100(), I76900()} {
+		t0 := spec.PassTime(&base)
+		bump := []func(p *Pass){
+			func(p *Pass) { p.BytesRead *= 2 },
+			func(p *Pass) { p.BytesWritten *= 2 },
+			func(p *Pass) { p.RandomWrites *= 2 },
+			func(p *Pass) { p.AtomicOps *= 2 },
+			func(p *Pass) { p.Mispredicts *= 2 },
+			func(p *Pass) { p.ComputeCycles *= 2 },
+			func(p *Pass) { p.Kernels *= 2 },
+			func(p *Pass) { p.AddProbes(ProbeSet{Count: 1 << 20, StructBytes: 1 << 28}) },
+		}
+		for i, f := range bump {
+			p := base
+			p.Probes = nil
+			f(&p)
+			if spec.PassTime(&p)+1e-15 < t0 {
+				t.Errorf("%s: dimension %d not monotone", spec.Name, i)
+			}
+		}
+	}
+}
+
+func TestProbeTimeMonotoneInCountProperty(t *testing.T) {
+	spec := I76900()
+	f := func(count uint32, structKB uint16, dep bool) bool {
+		ps1 := ProbeSet{Count: int64(count), StructBytes: int64(structKB) << 10, Dependent: dep}
+		ps2 := ps1
+		ps2.Count *= 2
+		p1 := &Pass{Probes: []ProbeSet{ps1}}
+		p2 := &Pass{Probes: []ProbeSet{ps2}}
+		return spec.PassTime(p2) >= spec.PassTime(p1)-1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

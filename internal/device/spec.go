@@ -1,0 +1,181 @@
+// Package device models the memory hierarchy and timing behaviour of the two
+// hardware platforms evaluated in the paper (Table 2): an Intel i7-6900
+// Skylake-class CPU and an Nvidia V100 GPU, plus the PCIe 3.0 x16 link that
+// connects them.
+//
+// The paper's central claim is that well-implemented analytic operators are
+// bound by the memory subsystem, and that runtime is therefore predictable
+// from the bytes moved at each level of the hierarchy. This package is the
+// pricing side of that claim: operators in internal/cpu, internal/gpu and
+// internal/queries meter their traffic into Pass records, and Spec.PassTime
+// converts a Pass into simulated time using the same formulas the paper's
+// models use (Sections 3.2, 4.1-4.4 and 5.3).
+package device
+
+import "fmt"
+
+// CacheLevel describes one level of a device cache hierarchy, sized as the
+// aggregate capacity visible to a random-access working set (e.g. per-core
+// L2 multiplied by core count).
+type CacheLevel struct {
+	Name string
+	// Size is the aggregate capacity in bytes.
+	Size int64
+	// Bandwidth is the aggregate sustainable bandwidth in bytes/second for
+	// random probes served by this level. Zero means "not the bottleneck":
+	// probes served here are charged to the streaming read term instead.
+	Bandwidth float64
+	// ProbeGranularity is the number of bytes transferred per random probe
+	// hit at this level (sector/line size).
+	ProbeGranularity int64
+}
+
+// Spec describes one execution device. All bandwidths are bytes/second.
+type Spec struct {
+	Name string
+
+	// Cores is the number of independent execution contexts used by the
+	// compute model (physical cores on CPU, SMs on GPU).
+	Cores int
+	// ClockHz is the core clock used to convert compute cycles into time.
+	ClockHz float64
+	// SIMDLanes is the number of 32-bit lanes a vectorized loop processes
+	// per core per cycle group (8 for AVX2; for the GPU the warp width is
+	// already folded into per-element cycle counts).
+	SIMDLanes int
+
+	// ReadBandwidth and WriteBandwidth are the streaming DRAM bandwidths.
+	ReadBandwidth  float64
+	WriteBandwidth float64
+
+	// LineSize is the DRAM transaction granularity for random accesses that
+	// miss every cache (64 B on the CPU, 128 B on the V100, Section 4.3).
+	LineSize int64
+
+	// Caches is ordered from smallest/fastest to largest/slowest.
+	Caches []CacheLevel
+
+	// AtomicNs is the serialized cost of one contended global atomic update
+	// (Section 3.2: the global output cursor).
+	AtomicNs float64
+
+	// KernelLaunchNs is the fixed overhead per kernel launch / parallel pass.
+	KernelLaunchNs float64
+
+	// MispredictPenaltyCycles is the pipeline-flush cost of one branch
+	// misprediction (drives the Figure 12 hump for CPU If; zero on the GPU,
+	// where a mispredicted branch does not stall the SIMT pipeline).
+	MispredictPenaltyCycles float64
+
+	// RandomStall multiplies the DRAM-miss portion of *independent* random
+	// probe time. The paper observes CPU joins running ~1.3x above the pure
+	// bandwidth model "due to memory stalls" (Section 4.3); GPUs hide this
+	// latency by warp switching, so their factor is 1.
+	RandomStall float64
+
+	// DependentStall multiplies the DRAM-miss portion of *chained* random
+	// probes (multi-join pipelines, Section 5.3: CPU measured 125 ms vs the
+	// 47 ms model because prefetchers cannot follow dependent irregular
+	// accesses, while the GPU tracked its model closely).
+	DependentStall float64
+
+	// DependentProbeNs is the effective per-probe latency of chained random
+	// accesses, which out-of-order execution cannot hide even when the
+	// probed structure is cache resident (Section 5.3: the reason measured
+	// CPU runtimes of multi-join queries exceed the bandwidth model, while
+	// the GPU's warp switching keeps it on-model). Zero disables the
+	// latency floor (GPU).
+	DependentProbeNs float64
+
+	// GPU-only occupancy parameters (Figure 9).
+	MaxThreadsPerSM int
+	SMCount         int
+}
+
+// IsGPU reports whether the spec models a GPU (has SMs).
+func (s *Spec) IsGPU() bool { return s.SMCount > 0 }
+
+// LastLevelCache returns the largest cache level.
+func (s *Spec) LastLevelCache() CacheLevel {
+	if len(s.Caches) == 0 {
+		return CacheLevel{}
+	}
+	return s.Caches[len(s.Caches)-1]
+}
+
+// BandwidthRatio returns the ratio of this device's read bandwidth to
+// other's; the paper's headline reference point is V100/i7-6900 = 16.2x.
+func (s *Spec) BandwidthRatio(other *Spec) float64 {
+	return s.ReadBandwidth / other.ReadBandwidth
+}
+
+func (s *Spec) String() string {
+	return fmt.Sprintf("%s (read %.0f GBps, write %.0f GBps, %d cores)",
+		s.Name, s.ReadBandwidth/1e9, s.WriteBandwidth/1e9, s.Cores)
+}
+
+// V100 returns the GPU specification from Table 2.
+//
+// Cache notes: the 6 MB L2 serves random probes at 64 B granularity (V100 L2
+// is sectored; a probe of an 8-byte slot touches two 32 B sectors), which is
+// what makes the 32 KB-128 KB join segment land at the ~5.5x gain the paper
+// reports. DRAM transactions are 128 B, which is why out-of-cache joins on
+// the GPU read twice the data per probe compared with the CPU (Section 4.3).
+func V100() *Spec {
+	return &Spec{
+		Name:           "Nvidia V100",
+		Cores:          80, // SMs
+		ClockHz:        1.38e9,
+		SIMDLanes:      1, // warp width folded into per-element costs
+		ReadBandwidth:  880e9,
+		WriteBandwidth: 880e9,
+		LineSize:       128,
+		// L1 is per-SM (a shared structure is re-cached by every SM that
+		// probes it, so aggregate capacity does not apply); L2 is shared.
+		Caches: []CacheLevel{
+			{Name: "L1", Size: 16 << 10, Bandwidth: 10.7e12, ProbeGranularity: 32},
+			{Name: "L2", Size: 6 << 20, Bandwidth: 2.2e12, ProbeGranularity: 64},
+		},
+		AtomicNs:        1.2,
+		KernelLaunchNs:  5e3,
+		RandomStall:     1.0,
+		DependentStall:  1.0,
+		MaxThreadsPerSM: 2048,
+		SMCount:         80,
+	}
+}
+
+// I76900 returns the CPU specification from Table 2 (single-socket Skylake
+// i7-6900, 8 cores / 16 SMT threads, AVX2).
+func I76900() *Spec {
+	return &Spec{
+		Name:           "Intel i7-6900",
+		Cores:          8,
+		ClockHz:        3.2e9,
+		SIMDLanes:      8, // AVX2: 8 x 32-bit lanes
+		ReadBandwidth:  53e9,
+		WriteBandwidth: 55e9,
+		LineSize:       64,
+		// L1/L2 are per-core (private; every core probing a shared structure
+		// keeps its own copy, so the join-performance steps in Figure 13
+		// fall at 256 KB and 20 MB); L3 is shared.
+		Caches: []CacheLevel{
+			{Name: "L1", Size: 32 << 10, Bandwidth: 0, ProbeGranularity: 64},
+			{Name: "L2", Size: 256 << 10, Bandwidth: 0, ProbeGranularity: 64},
+			{Name: "L3", Size: 20 << 20, Bandwidth: 157e9, ProbeGranularity: 64},
+		},
+		AtomicNs:                4,
+		KernelLaunchNs:          2e3,
+		MispredictPenaltyCycles: 6,
+		RandomStall:             1.3,
+		DependentStall:          2.6,
+		DependentProbeNs:        5,
+	}
+}
+
+// PCIeBandwidth is the measured bidirectional PCIe 3.0 x16 transfer
+// bandwidth between host and GPU (Section 5: 12.8 GBps).
+const PCIeBandwidth = 12.8e9
+
+// TransferTime returns the time to ship n bytes over PCIe.
+func TransferTime(n int64) float64 { return float64(n) / PCIeBandwidth }

@@ -1,0 +1,58 @@
+package gpu
+
+import (
+	"math"
+
+	"crystal/internal/crystal"
+	"crystal/internal/device"
+	"crystal/internal/sim"
+)
+
+// Project runs the Q1 projection microbenchmark kernel
+// (SELECT a*x1 + b*x2 FROM R, Section 4.1): two BlockLoads, the arithmetic
+// in registers, one BlockStore. The GPU saturates bandwidth.
+func Project(clk *device.Clock, cfg sim.Config, x1, x2 []float32, a, b float32) []float32 {
+	cfg.Elems = len(x1)
+	out := make([]float32, len(x1))
+	pass := sim.Run(clk.Spec(), cfg, func(blk *sim.Block) {
+		ts := cfg.TileSize()
+		t1 := make([]float32, ts)
+		t2 := make([]float32, ts)
+		res := make([]float32, ts)
+		n := crystal.BlockLoad(blk, x1, t1)
+		crystal.BlockLoad(blk, x2, t2)
+		for i := 0; i < n; i++ {
+			res[i] = a*t1[i] + b*t2[i]
+		}
+		crystal.BlockStore(blk, res, n, out, blk.Offset)
+	})
+	clk.Charge(pass)
+	return out
+}
+
+// ProjectSigmoid runs the Q2 projection microbenchmark
+// (SELECT sigmoid(a*x1 + b*x2) FROM R): the most complex projection a SQL
+// query will realistically contain (a logistic-regression model output).
+// The V100's 14 TFlops keep even this bandwidth bound (Figure 10).
+func ProjectSigmoid(clk *device.Clock, cfg sim.Config, x1, x2 []float32, a, b float32) []float32 {
+	cfg.Elems = len(x1)
+	out := make([]float32, len(x1))
+	pass := sim.Run(clk.Spec(), cfg, func(blk *sim.Block) {
+		ts := cfg.TileSize()
+		t1 := make([]float32, ts)
+		t2 := make([]float32, ts)
+		res := make([]float32, ts)
+		n := crystal.BlockLoad(blk, x1, t1)
+		crystal.BlockLoad(blk, x2, t2)
+		for i := 0; i < n; i++ {
+			res[i] = sigmoid(a*t1[i] + b*t2[i])
+		}
+		crystal.BlockStore(blk, res, n, out, blk.Offset)
+	})
+	clk.Charge(pass)
+	return out
+}
+
+func sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}

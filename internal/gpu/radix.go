@@ -1,0 +1,237 @@
+package gpu
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"crystal/internal/crystal"
+	"crystal/internal/device"
+	"crystal/internal/sim"
+)
+
+// Radix-partitioning limits on the GPU (Section 4.4): the stable LSB pass
+// must keep a per-thread histogram in registers and can process at most 7
+// bits per pass; the unstable MSB pass keeps one histogram per thread block
+// and can process 8.
+const (
+	MaxStableRadixBits   = 7
+	MaxUnstableRadixBits = 8
+)
+
+// RadixPartition performs one radix-partitioning pass over (keys, vals) on
+// the radix bits keys[shift : shift+r), returning the partitioned arrays
+// and the per-partition counts. stable selects the stable (LSB-compatible)
+// variant.
+//
+// Both variants run the two phases of Section 4.4: a histogram kernel (one
+// streaming read of the key column) and a shuffle kernel (read key+payload,
+// block-local reorder in shared memory, coalesced partitioned write).
+func RadixPartition(clk *device.Clock, cfg sim.Config, keys []uint32, vals []int32, r, shift int, stable bool) ([]uint32, []int32, []int64, error) {
+	if stable && r > MaxStableRadixBits {
+		return nil, nil, nil, fmt.Errorf("gpu: stable radix partition limited to %d bits, got %d", MaxStableRadixBits, r)
+	}
+	if !stable && r > MaxUnstableRadixBits {
+		return nil, nil, nil, fmt.Errorf("gpu: unstable radix partition limited to %d bits, got %d", MaxUnstableRadixBits, r)
+	}
+	if r <= 0 {
+		return nil, nil, nil, fmt.Errorf("gpu: radix bits must be positive, got %d", r)
+	}
+	n := len(keys)
+	cfg.Elems = n
+	numPart := 1 << r
+	mask := uint32(numPart - 1)
+	numBlocks := cfg.NumBlocks()
+
+	// Phase 1: histogram kernel. hist[block][part].
+	hist := make([][]int64, numBlocks)
+	hpass := sim.Run(clk.Spec(), cfg, func(b *sim.Block) {
+		ts := cfg.TileSize()
+		tile := make([]uint32, ts)
+		nn := crystal.BlockLoad(b, keys, tile)
+		h := make([]int64, numPart)
+		for i := 0; i < nn; i++ {
+			h[(tile[i]>>shift)&mask]++
+		}
+		hist[b.ID] = h
+		b.Pass().BytesWritten += int64(numPart) * 4
+	})
+	hpass.Label = "radix histogram"
+	clk.Charge(hpass)
+
+	// Phase 2: prefix sum over the (partition, block) histogram matrix to
+	// obtain each block's write offset in every partition (a tiny kernel).
+	counts := make([]int64, numPart)
+	for _, h := range hist {
+		for p, c := range h {
+			counts[p] += c
+		}
+	}
+	partStart := make([]int64, numPart+1)
+	for p := 0; p < numPart; p++ {
+		partStart[p+1] = partStart[p] + counts[p]
+	}
+	blockOff := make([][]int64, numBlocks)
+	running := make([]int64, numPart)
+	copy(running, partStart[:numPart])
+	for bID := 0; bID < numBlocks; bID++ {
+		off := make([]int64, numPart)
+		copy(off, running)
+		for p := 0; p < numPart; p++ {
+			running[p] += hist[bID][p]
+		}
+		blockOff[bID] = off
+	}
+	histBytes := int64(numBlocks) * int64(numPart) * 4
+	clk.Charge(&device.Pass{Label: "radix prefix", BytesRead: histBytes, BytesWritten: histBytes, Kernels: 1})
+
+	// Phase 3: shuffle kernel.
+	outK := make([]uint32, n)
+	outV := make([]int32, len(vals))
+	var partCursor []int64
+	if !stable {
+		partCursor = make([]int64, numPart)
+		copy(partCursor, partStart[:numPart])
+	}
+	spass := sim.Run(clk.Spec(), cfg, func(b *sim.Block) {
+		ts := cfg.TileSize()
+		tk := make([]uint32, ts)
+		tv := make([]int32, ts)
+		nn := crystal.BlockLoad(b, keys, tk)
+		if vals != nil {
+			crystal.BlockLoad(b, vals, tv)
+		}
+
+		var off []int64
+		if stable {
+			off = append([]int64(nil), blockOff[b.ID]...)
+		} else {
+			// Unstable: reserve a chunk per partition with one atomic each;
+			// block completion order decides placement. Cursors for
+			// different partitions are independent addresses, so only the
+			// per-cursor chains serialize: the critical path is one atomic
+			// per block, not one per (block, partition).
+			off = make([]int64, numPart)
+			local := make([]int64, numPart)
+			for i := 0; i < nn; i++ {
+				local[(tk[i]>>shift)&mask]++
+			}
+			for p := 0; p < numPart; p++ {
+				if local[p] > 0 {
+					off[p] = atomic.AddInt64(&partCursor[p], local[p]) - local[p]
+				}
+			}
+			b.Pass().AtomicOps++
+		}
+		// Block-local reorder happens in shared memory (free); the writes
+		// out of shared memory are coalesced runs per partition.
+		for i := 0; i < nn; i++ {
+			p := (tk[i] >> shift) & mask
+			pos := off[p]
+			off[p]++
+			outK[pos] = tk[i]
+			if vals != nil {
+				outV[pos] = tv[i]
+			}
+		}
+		elemBytes := int64(4)
+		if vals != nil {
+			elemBytes = 8
+		}
+		b.Pass().BytesWritten += int64(nn) * elemBytes
+	})
+	spass.Label = "radix shuffle"
+	clk.Charge(spass)
+	return outK, outV, counts, nil
+}
+
+// LSBRadixSort sorts (keys, vals) with the least-significant-bit radix sort
+// of Merrill & Grimshaw on the GPU. LSB requires *stable* partitioning,
+// which limits each pass to 7 bits (per-thread register histograms), so
+// 32-bit keys need five passes of 6,6,6,7,7 bits — the structural reason
+// MSB sort wins on the GPU (Section 4.4).
+func LSBRadixSort(clk *device.Clock, cfg sim.Config, keys []uint32, vals []int32) ([]uint32, []int32) {
+	k := append([]uint32(nil), keys...)
+	v := append([]int32(nil), vals...)
+	shift := 0
+	for _, r := range []int{6, 6, 6, 7, 7} {
+		var err error
+		k, v, _, err = RadixPartition(clk, cfg, k, v, r, shift, true)
+		if err != nil {
+			panic(err) // unreachable: all passes are <= 7 bits
+		}
+		shift += r
+	}
+	return k, v
+}
+
+// MSBRadixSort sorts (keys, vals) by key using the most-significant-bit
+// radix sort of Stehle & Jacobsen (Section 4.4): four unstable 8-bit
+// partitioning levels, each level partitioning every bucket produced by the
+// previous one. Unstable partitioning keeps a single block-wide offset
+// array, which is what lets the GPU process 8 bits per pass and finish
+// 32-bit keys in 4 passes.
+func MSBRadixSort(clk *device.Clock, cfg sim.Config, keys []uint32, vals []int32) ([]uint32, []int32) {
+	n := len(keys)
+	k := append([]uint32(nil), keys...)
+	v := append([]int32(nil), vals...)
+	tmpK := make([]uint32, n)
+	tmpV := make([]int32, len(vals))
+
+	type seg struct{ lo, hi int }
+	segs := []seg{{0, n}}
+	for level := 0; level < 4; level++ {
+		shift := uint(24 - 8*level)
+		// One histogram kernel + one shuffle kernel per level; the per-level
+		// traffic is the whole array regardless of how many buckets it is
+		// split into.
+		elemBytes := int64(4)
+		if vals != nil {
+			elemBytes = 8
+		}
+		clk.Charge(&device.Pass{Label: fmt.Sprintf("msb l%d histogram", level), BytesRead: int64(n) * 4, Kernels: 1})
+		var next []seg
+		for _, s := range segs {
+			if s.hi-s.lo <= 1 {
+				if s.hi > s.lo {
+					next = append(next, s)
+				}
+				continue
+			}
+			var hist [257]int
+			for i := s.lo; i < s.hi; i++ {
+				hist[((k[i]>>shift)&0xFF)+1]++
+			}
+			for b := 0; b < 256; b++ {
+				hist[b+1] += hist[b]
+			}
+			off := hist
+			for i := s.lo; i < s.hi; i++ {
+				b := (k[i] >> shift) & 0xFF
+				pos := s.lo + off[b]
+				off[b]++
+				tmpK[pos] = k[i]
+				if vals != nil {
+					tmpV[pos] = v[i]
+				}
+			}
+			copy(k[s.lo:s.hi], tmpK[s.lo:s.hi])
+			if vals != nil {
+				copy(v[s.lo:s.hi], tmpV[s.lo:s.hi])
+			}
+			for b := 0; b < 256; b++ {
+				lo, hi := s.lo+hist[b], s.lo+hist[b+1]
+				if hi > lo {
+					next = append(next, seg{lo, hi})
+				}
+			}
+		}
+		clk.Charge(&device.Pass{
+			Label:        fmt.Sprintf("msb l%d shuffle", level),
+			BytesRead:    int64(n) * elemBytes,
+			BytesWritten: int64(n) * elemBytes,
+			Kernels:      1,
+		})
+		segs = next
+	}
+	return k, v
+}

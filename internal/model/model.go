@@ -1,0 +1,155 @@
+// Package model implements the paper's closed-form cost models: the
+// bandwidth-saturation formulas of Sections 4.1-4.4 (project, select, hash
+// join, radix partition, sort), the Section 3.1 coprocessor lower bound,
+// and the Section 5.3 full-query model for q2.1. The benchmark harness
+// prints these next to the measured (simulated) times, exactly as the
+// paper's figures plot "Model" lines next to measurements.
+package model
+
+import "crystal/internal/device"
+
+// Project is the Section 4.1 model for Q1/Q2: two 4-byte input columns are
+// read and one is written; runtime = 2*4N/Br + 4N/Bw.
+func Project(dev *device.Spec, n int64) float64 {
+	return float64(2*4*n)/dev.ReadBandwidth + float64(4*n)/dev.WriteBandwidth
+}
+
+// Select is the Section 4.2 model: the whole input column is read and the
+// matching entries are written; runtime = 4N/Br + 4*sigma*N/Bw.
+func Select(dev *device.Spec, n int64, sigma float64) float64 {
+	return float64(4*n)/dev.ReadBandwidth + 4*sigma*float64(n)/dev.WriteBandwidth
+}
+
+// JoinProbe is the Section 4.3 model for the probe phase of the
+// no-partitioning hash join with |P| probe tuples (key+payload columns) and
+// a hash table of htBytes.
+//
+// If the table fits in a cache level K, runtime is the maximum of the
+// streaming term 4*2*|P|/Br and the cache-probe term (1-pi_{K-1})*|P|*C/B_K;
+// beyond the last level the DRAM-probe term (1-pi)*|P|*C/Br adds to the
+// streaming term instead.
+func JoinProbe(dev *device.Spec, probes int64, htBytes int64) float64 {
+	stream := float64(4*2*probes) / dev.ReadBandwidth
+	llc := dev.LastLevelCache()
+	if htBytes <= llc.Size {
+		// Served by the deepest cache level that holds it; hits in smaller
+		// levels are discounted per the (1 - pi_{K-1}) factor.
+		var t float64
+		covered := 0.0
+		for _, c := range dev.Caches {
+			frac := 1.0
+			if htBytes > 0 {
+				frac = float64(c.Size) / float64(htBytes)
+				if frac > 1 {
+					frac = 1
+				}
+			}
+			hit := frac - covered
+			if hit < 0 {
+				hit = 0
+			}
+			covered = frac
+			if c.Bandwidth > 0 && hit > 0 {
+				t += float64(probes) * hit * float64(c.ProbeGranularity) / c.Bandwidth
+			}
+		}
+		if t > stream {
+			return t
+		}
+		return stream
+	}
+	pi := float64(llc.Size) / float64(htBytes)
+	dram := (1 - pi) * float64(probes) * float64(dev.LineSize) / dev.ReadBandwidth
+	return stream + dram
+}
+
+// RadixHistogram is the Section 4.4 histogram-phase model: one streaming
+// read of the key column.
+func RadixHistogram(dev *device.Spec, n int64) float64 {
+	return float64(4*n) / dev.ReadBandwidth
+}
+
+// RadixShuffle is the Section 4.4 shuffle-phase model: key and payload
+// columns are read and the partitioned columns written.
+func RadixShuffle(dev *device.Spec, n int64) float64 {
+	return float64(2*4*n)/dev.ReadBandwidth + float64(2*4*n)/dev.WriteBandwidth
+}
+
+// Sort models the 4-pass radix sort of Section 4.4 (LSB with 8-bit stable
+// passes on the CPU, MSB with 8-bit unstable passes on the GPU): four
+// histogram+shuffle pass pairs.
+func Sort(dev *device.Spec, n int64) float64 {
+	return 4 * (RadixHistogram(dev, n) + RadixShuffle(dev, n))
+}
+
+// CoprocessorBound is the Section 3.1 lower bound for the coprocessor
+// architecture: shipping cols 4-byte fact columns of |L| rows over PCIe.
+func CoprocessorBound(cols int, rows int64) float64 {
+	return device.TransferTime(int64(cols) * 4 * rows)
+}
+
+// Q21Params carries the Section 5.3 case-study parameters.
+type Q21Params struct {
+	L      int64   // lineorder cardinality (120M at SF 20)
+	S      int64   // supplier cardinality
+	D      int64   // date cardinality
+	PartHT int64   // part hash-table bytes (8 MB at SF 20)
+	Sigma1 float64 // supplier join selectivity (1/5)
+	Sigma2 float64 // part join selectivity (1/25)
+}
+
+// Query21 is the Section 5.3 model for SSB q2.1: r1 (fact column access) +
+// r2 (hash-table probes) + r3 (result writes). On the GPU the part table
+// only partially fits in L2 (pi = available L2 / HT size); on the CPU all
+// three tables fit in L3, so r2 only reads the tables themselves once.
+func Query21(dev *device.Spec, p Q21Params) float64 {
+	c := float64(dev.LineSize)
+	br, bw := dev.ReadBandwidth, dev.WriteBandwidth
+	fl := float64(p.L)
+
+	colLines := 4 * fl / c
+	linesFK2 := minf(colLines, fl*p.Sigma1)
+	linesRest := minf(colLines, fl*p.Sigma1*p.Sigma2)
+	r1 := (colLines + linesFK2 + 2*linesRest) * c / br
+
+	var r2 float64
+	if dev.IsGPU() {
+		// Supplier and date tables stay in L2; the part table exceeds it.
+		avail := float64(dev.LastLevelCache().Size) - float64(2*4*p.S+2*4*p.D)
+		pi := avail / float64(p.PartHT)
+		if pi > 1 {
+			pi = 1
+		}
+		if pi < 0 {
+			pi = 0
+		}
+		r2 = (float64(2*p.S) + float64(2*p.D) + (1-pi)*fl*p.Sigma1) * c / br
+	} else {
+		r2 = (float64(2*p.S) + float64(2*p.D) + 2*float64(p.PartHT)/c) * c / br
+	}
+
+	out := fl * p.Sigma1 * p.Sigma2
+	r3 := out*c/br + out*c/bw
+	return r1 + r2 + r3
+}
+
+// SF20 returns the Section 5.3 parameters at scale factor 20 (the paper's
+// evaluation point): |L|=120M, |S|=40k, |D|=2.5k, part HT 8 MB, selectivity
+// 1/5 and 1/25.
+func SF20() Q21Params {
+	return Q21Params{
+		L:      120_000_000,
+		S:      40_000,
+		D:      2_557,
+		PartHT: 8 << 20,
+		Sigma1: 1.0 / 5,
+		Sigma2: 1.0 / 25,
+	}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,122 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"crystal/internal/device"
+)
+
+func TestProjectModelMatchesPaperNumbers(t *testing.T) {
+	// Figure 10 model lines at N=2^28: GPU ~3.7 ms, CPU-Opt ~60 ms.
+	n := int64(1) << 28
+	gpu := Project(device.V100(), n) * 1e3
+	cpu := Project(device.I76900(), n) * 1e3
+	if gpu < 3 || gpu > 4.5 {
+		t.Errorf("GPU project model = %.2f ms, paper ~3.9", gpu)
+	}
+	if cpu < 55 || cpu > 70 {
+		t.Errorf("CPU project model = %.2f ms, paper ~64", cpu)
+	}
+	// Ratio near the bandwidth ratio 16.2.
+	if r := cpu / gpu; r < 15 || r > 18 {
+		t.Errorf("project ratio = %.1f", r)
+	}
+}
+
+func TestSelectModelShape(t *testing.T) {
+	n := int64(1) << 28
+	dev := device.V100()
+	if Select(dev, n, 0) >= Select(dev, n, 0.5) || Select(dev, n, 0.5) >= Select(dev, n, 1) {
+		t.Error("select model should grow with selectivity")
+	}
+	// At sigma=0.5 and N=2^28 the GPU model is ~1.8 ms (Section 3.3's
+	// measured 2.1 ms includes atomics).
+	got := Select(dev, n, 0.5) * 1e3
+	if got < 1.5 || got > 2.5 {
+		t.Errorf("GPU select model = %.2f ms", got)
+	}
+}
+
+func TestJoinProbeRegimes(t *testing.T) {
+	gpu, cpu := device.V100(), device.I76900()
+	probes := int64(256) << 20
+	// Cache resident on both: ratio ~bandwidth-bound regimes of Section 4.3.
+	small := JoinProbe(cpu, probes, 8<<10) / JoinProbe(gpu, probes, 8<<10)
+	if small < 12 || small > 20 {
+		t.Errorf("tiny-table ratio = %.1f, want ~16", small)
+	}
+	mid := JoinProbe(cpu, probes, 2<<20) / JoinProbe(gpu, probes, 2<<20)
+	if mid < 10 || mid > 18 {
+		t.Errorf("1-4MB ratio = %.1f, want ~14.5", mid)
+	}
+	big := JoinProbe(cpu, probes, 512<<20) / JoinProbe(gpu, probes, 512<<20)
+	if big < 6 || big > 11 {
+		t.Errorf("out-of-cache ratio = %.1f, want ~8.1 (model)", big)
+	}
+	// Monotone in hash-table size.
+	prev := 0.0
+	for h := int64(8 << 10); h <= 1<<30; h <<= 1 {
+		v := JoinProbe(gpu, probes, h)
+		if v+1e-12 < prev {
+			t.Fatalf("GPU join model decreased at %d", h)
+		}
+		prev = v
+	}
+}
+
+func TestRadixAndSortModels(t *testing.T) {
+	n := int64(1) << 28
+	cpu, gpu := device.I76900(), device.V100()
+	// Section 4.4: sorting 2^28 pairs takes 464 ms on CPU, 27 ms on GPU.
+	cpuMS := Sort(cpu, n) * 1e3
+	gpuMS := Sort(gpu, n) * 1e3
+	if cpuMS < 350 || cpuMS > 500 {
+		t.Errorf("CPU sort model = %.0f ms, paper measures 464", cpuMS)
+	}
+	if gpuMS < 20 || gpuMS > 32 {
+		t.Errorf("GPU sort model = %.1f ms, paper measures 27", gpuMS)
+	}
+	if r := cpuMS / gpuMS; r < 14 || r > 19 {
+		t.Errorf("sort ratio = %.1f, paper 17.13", r)
+	}
+	if RadixHistogram(cpu, n) >= RadixShuffle(cpu, n) {
+		t.Error("histogram pass should be cheaper than shuffle pass")
+	}
+}
+
+func TestCoprocessorBound(t *testing.T) {
+	// Section 3.1: q1.1 ships 4 columns of 120M rows; 16L/Bp ~ 150 ms.
+	got := CoprocessorBound(4, 120_000_000) * 1e3
+	if got < 140 || got > 160 {
+		t.Errorf("coprocessor bound = %.0f ms, want ~150", got)
+	}
+}
+
+func TestQuery21PaperNumbers(t *testing.T) {
+	// Section 5.3: expected runtimes ~47 ms (CPU) and ~3.7 ms (GPU).
+	p := SF20()
+	gpu := Query21(device.V100(), p) * 1e3
+	cpu := Query21(device.I76900(), p) * 1e3
+	if gpu < 2.5 || gpu > 5 {
+		t.Errorf("GPU q2.1 model = %.2f ms, paper derives 3.7", gpu)
+	}
+	// Plugging Table 2 constants into the printed equations yields ~23 ms;
+	// the paper quotes 47 ms (it appears not to apply the min() line
+	// skipping to r1). Either way the model sits well below the measured
+	// 125 ms — which is the section's point.
+	if cpu < 18 || cpu > 60 {
+		t.Errorf("CPU q2.1 model = %.1f ms, paper derives 47", cpu)
+	}
+}
+
+func TestQuery21PiClamping(t *testing.T) {
+	p := SF20()
+	p.PartHT = 1 << 10 // tiny: pi clamps to 1
+	small := Query21(device.V100(), p)
+	p.PartHT = 1 << 34 // huge: pi clamps to 0
+	big := Query21(device.V100(), p)
+	if !(small < big) || math.IsNaN(small) || math.IsNaN(big) {
+		t.Errorf("pi clamping broken: %f vs %f", small, big)
+	}
+}

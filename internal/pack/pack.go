@@ -1,0 +1,138 @@
+// Package pack implements bit-packed integer columns — the compression
+// extension the paper's Section 5.5 singles out as future work: "GPUs have
+// higher compute to bandwidth ratio than CPUs which could allow use of
+// non-byte addressable packing schemes."
+//
+// A packed column stores each value in the minimum number of bits (after
+// subtracting a frame-of-reference minimum), laid out contiguously across
+// 64-bit words. Scanning it reads width/32 of the plain column's bytes but
+// pays an unpacking cost per element; on the GPU (14 Tflops against
+// 880 GBps) the scan stays bandwidth bound and the traffic saving is a real
+// speedup, while on the CPU the same scan can tip into compute bound —
+// which is exactly the asymmetry the paper predicts. The ablation benchmark
+// BenchmarkAblation_PackedScan quantifies it.
+package pack
+
+import "fmt"
+
+// Column is an immutable bit-packed int32 column.
+type Column struct {
+	words []uint64
+	n     int
+	width uint // bits per value, 1..32 (0 means all values equal Ref)
+	ref   int32
+}
+
+// BitsFor returns the number of bits needed for the value range [0, maxDelta].
+func BitsFor(maxDelta uint32) uint {
+	w := uint(0)
+	for maxDelta != 0 {
+		w++
+		maxDelta >>= 1
+	}
+	return w
+}
+
+// New packs vals with frame-of-reference encoding: width is chosen from the
+// span max(vals)-min(vals).
+func New(vals []int32) *Column {
+	c := &Column{n: len(vals)}
+	if len(vals) == 0 {
+		return c
+	}
+	mn, mx := vals[0], vals[0]
+	for _, v := range vals {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	c.ref = mn
+	c.width = BitsFor(uint32(mx - mn))
+	if c.width == 0 {
+		return c // constant column: zero storage
+	}
+	c.words = make([]uint64, (uint(len(vals))*c.width+63)/64)
+	for i, v := range vals {
+		c.put(i, uint32(v-mn))
+	}
+	return c
+}
+
+func (c *Column) put(i int, v uint32) {
+	bit := uint(i) * c.width
+	word, off := bit/64, bit%64
+	c.words[word] |= uint64(v) << off
+	if off+c.width > 64 {
+		c.words[word+1] |= uint64(v) >> (64 - off)
+	}
+}
+
+// Get returns the i-th value.
+func (c *Column) Get(i int) int32 {
+	if c.width == 0 {
+		return c.ref
+	}
+	bit := uint(i) * c.width
+	word, off := bit/64, bit%64
+	v := c.words[word] >> off
+	if off+c.width > 64 {
+		v |= c.words[word+1] << (64 - off)
+	}
+	mask := uint64(1)<<c.width - 1
+	return c.ref + int32(v&mask)
+}
+
+// Len returns the number of values.
+func (c *Column) Len() int { return c.n }
+
+// Width returns the bits per value.
+func (c *Column) Width() uint { return c.width }
+
+// Ref returns the frame-of-reference minimum.
+func (c *Column) Ref() int32 { return c.ref }
+
+// Bytes returns the packed storage footprint.
+func (c *Column) Bytes() int64 { return int64(len(c.words)) * 8 }
+
+// PlainBytes returns the footprint of the equivalent 4-byte column.
+func (c *Column) PlainBytes() int64 { return int64(c.n) * 4 }
+
+// Ratio returns the compression ratio (plain/packed); +Inf for constant
+// columns is avoided by reporting against one word minimum.
+func (c *Column) Ratio() float64 {
+	b := c.Bytes()
+	if b == 0 {
+		b = 8
+	}
+	return float64(c.PlainBytes()) / float64(b)
+}
+
+// Unpack decodes the whole column into a fresh slice.
+func (c *Column) Unpack() []int32 {
+	out := make([]int32, c.n)
+	for i := range out {
+		out[i] = c.Get(i)
+	}
+	return out
+}
+
+// UnpackRange decodes [lo, hi) into dst (len >= hi-lo) and returns hi-lo.
+func (c *Column) UnpackRange(lo, hi int, dst []int32) int {
+	if hi > c.n {
+		hi = c.n
+	}
+	if lo < 0 || lo > hi {
+		panic(fmt.Sprintf("pack: bad range [%d,%d)", lo, hi))
+	}
+	for i := lo; i < hi; i++ {
+		dst[i-lo] = c.Get(i)
+	}
+	return hi - lo
+}
+
+// UnpackCyclesPerElem is the calibrated per-element decode cost in scalar
+// cycles (two shifts, a mask, an add and the word bookkeeping).
+const UnpackCyclesPerElem = 4.0

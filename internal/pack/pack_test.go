@@ -1,0 +1,140 @@
+package pack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsFor(t *testing.T) {
+	cases := map[uint32]uint{0: 0, 1: 1, 2: 2, 3: 2, 7: 3, 8: 4, 255: 8, 1 << 31: 32}
+	for v, want := range cases {
+		if got := BitsFor(v); got != want {
+			t.Errorf("BitsFor(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestPackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int32, 10_000)
+	for i := range vals {
+		vals[i] = rng.Int31n(1000) - 500 // negative refs too
+	}
+	c := New(vals)
+	if c.Len() != len(vals) {
+		t.Fatalf("len = %d", c.Len())
+	}
+	for i, want := range vals {
+		if got := c.Get(i); got != want {
+			t.Fatalf("Get(%d) = %d, want %d", i, got, want)
+		}
+	}
+	got := c.Unpack()
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatal("Unpack mismatch")
+		}
+	}
+	// 1000 distinct deltas need 10 bits: ratio >= 3x.
+	if c.Width() != 10 {
+		t.Errorf("width = %d, want 10", c.Width())
+	}
+	if c.Ratio() < 3 {
+		t.Errorf("ratio = %.2f", c.Ratio())
+	}
+}
+
+func TestPackRoundTripProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		c := New(vals)
+		for i, want := range vals {
+			if c.Get(i) != want {
+				return false
+			}
+		}
+		return c.Len() == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstantColumn(t *testing.T) {
+	c := New([]int32{42, 42, 42, 42})
+	if c.Width() != 0 || c.Bytes() != 0 {
+		t.Errorf("constant column should pack to zero bits, got width %d", c.Width())
+	}
+	for i := 0; i < 4; i++ {
+		if c.Get(i) != 42 {
+			t.Fatal("constant value lost")
+		}
+	}
+	if c.Ratio() <= 0 {
+		t.Error("ratio must stay finite")
+	}
+}
+
+func TestEmptyColumn(t *testing.T) {
+	c := New(nil)
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Error("empty column")
+	}
+	if got := c.Unpack(); len(got) != 0 {
+		t.Error("empty unpack")
+	}
+}
+
+func TestUnpackRange(t *testing.T) {
+	vals := []int32{10, 20, 30, 40, 50}
+	c := New(vals)
+	dst := make([]int32, 3)
+	if m := c.UnpackRange(1, 4, dst); m != 3 {
+		t.Fatalf("m = %d", m)
+	}
+	if dst[0] != 20 || dst[2] != 40 {
+		t.Errorf("range = %v", dst)
+	}
+	// hi clamps to n.
+	dst = make([]int32, 5)
+	if m := c.UnpackRange(3, 10, dst); m != 2 {
+		t.Errorf("clamped m = %d", m)
+	}
+}
+
+func TestUnpackRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative lo should panic")
+		}
+	}()
+	New([]int32{1}).UnpackRange(-1, 1, make([]int32, 2))
+}
+
+func TestWordBoundarySpans(t *testing.T) {
+	// Width 20 values straddle 64-bit word boundaries every few entries.
+	vals := make([]int32, 1000)
+	rng := rand.New(rand.NewSource(2))
+	for i := range vals {
+		vals[i] = rng.Int31n(1 << 20)
+	}
+	c := New(vals)
+	if c.Width() > 20 {
+		t.Fatalf("width = %d", c.Width())
+	}
+	for i, want := range vals {
+		if c.Get(i) != want {
+			t.Fatalf("boundary span broken at %d", i)
+		}
+	}
+}
+
+func TestFullWidthValues(t *testing.T) {
+	vals := []int32{-2147483648, 2147483647, 0, -1, 1}
+	c := New(vals)
+	for i, want := range vals {
+		if got := c.Get(i); got != want {
+			t.Fatalf("full-width Get(%d) = %d, want %d", i, got, want)
+		}
+	}
+}

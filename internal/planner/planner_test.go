@@ -1,0 +1,114 @@
+package planner
+
+import (
+	"testing"
+
+	"crystal/internal/device"
+	"crystal/internal/queries"
+	"crystal/internal/ssb"
+)
+
+var ds = ssb.GenerateRows(100_000)
+
+func TestStatsSelectivities(t *testing.T) {
+	q, err := queries.ByID("q2.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Stats(ds, q)
+	if len(stats) != 3 {
+		t.Fatalf("stats = %d", len(stats))
+	}
+	// supplier region filter ~1/5; part category ~1/25; date unfiltered.
+	if s := stats[0].Selectivity; s < 0.15 || s > 0.25 {
+		t.Errorf("supplier selectivity = %.3f", s)
+	}
+	if s := stats[1].Selectivity; s < 0.02 || s > 0.06 {
+		t.Errorf("part selectivity = %.3f", s)
+	}
+	if s := stats[2].Selectivity; s != 1.0 {
+		t.Errorf("date selectivity = %.3f, want 1", s)
+	}
+	if stats[1].HTBytes <= stats[2].HTBytes {
+		t.Error("part table should dwarf date table")
+	}
+}
+
+func TestChooseOrdersPlansByCost(t *testing.T) {
+	q, _ := queries.ByID("q2.1")
+	plans := Choose(device.I76900(), ds, q)
+	if len(plans) != 6 { // 3! permutations
+		t.Fatalf("plans = %d, want 6", len(plans))
+	}
+	for i := 1; i < len(plans); i++ {
+		if plans[i].Seconds < plans[i-1].Seconds {
+			t.Fatal("plans not sorted by cost")
+		}
+	}
+	if plans[0].Describe() == "" {
+		t.Error("empty plan description")
+	}
+}
+
+func TestBestPlanPutsSelectiveJoinsEarly(t *testing.T) {
+	// A selective join placed first shrinks every later probe count; the
+	// cheapest plan must not start with the unfiltered date join.
+	q, _ := queries.ByID("q2.1")
+	for _, dev := range []*device.Spec{device.V100(), device.I76900()} {
+		best := Choose(dev, ds, q)[0]
+		if best.Order[0].Dim == "date" {
+			t.Errorf("%s: best plan starts with the unfiltered date join: %s", dev.Name, best.Describe())
+		}
+	}
+}
+
+func TestOptimizePreservesResults(t *testing.T) {
+	// Optimizing may permute group-key order, so compare decoded group
+	// multisets: the total and the number of groups must be identical.
+	q, _ := queries.ByID("q2.1")
+	opt := Optimize(device.V100(), ds, q)
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := queries.RunGPU(ds, q)
+	b := queries.RunGPU(ds, opt)
+	if len(a.Groups) != len(b.Groups) {
+		t.Fatalf("optimized plan changed group count: %d vs %d", len(a.Groups), len(b.Groups))
+	}
+	var ta, tb int64
+	for _, v := range a.Groups {
+		ta += v
+	}
+	for _, v := range b.Groups {
+		tb += v
+	}
+	if ta != tb {
+		t.Fatalf("optimized plan changed aggregate total: %d vs %d", ta, tb)
+	}
+}
+
+func TestOptimizedPlanNotSlower(t *testing.T) {
+	// The engine's simulated time under the optimizer's order must be no
+	// worse than the hand-written order (they share the cost model).
+	for _, id := range []string{"q2.1", "q3.1", "q4.1", "q4.3"} {
+		q, _ := queries.ByID(id)
+		opt := Optimize(device.I76900(), ds, q)
+		hand := queries.RunCPU(ds, q).Seconds
+		chosen := queries.RunCPU(ds, opt).Seconds
+		if chosen > hand*1.02 {
+			t.Errorf("%s: optimizer picked a slower plan: %.6f vs %.6f", id, chosen, hand)
+		}
+	}
+}
+
+func TestNoJoinQuery(t *testing.T) {
+	q, _ := queries.ByID("q1.1")
+	plans := Choose(device.V100(), ds, q)
+	if len(plans) != 1 || len(plans[0].Order) != 0 {
+		t.Fatalf("no-join query should have one empty plan, got %d", len(plans))
+	}
+	opt := Optimize(device.V100(), ds, q)
+	if len(opt.Joins) != 0 {
+		t.Error("optimize changed a no-join query")
+	}
+}

@@ -1,0 +1,201 @@
+package queries
+
+import (
+	"fmt"
+	"strings"
+
+	"crystal/internal/ssb"
+)
+
+// validFactCols and validDimCols are the schema the planner checks against.
+var validFactCols = map[string]bool{
+	"orderdate": true, "custkey": true, "partkey": true, "suppkey": true,
+	"quantity": true, "discount": true, "extprice": true, "revenue": true,
+	"supplycost": true,
+}
+
+var validDims = map[string][]string{
+	"date":     {"year", "yearmonthnum", "weeknuminyear"},
+	"customer": {"region", "nation", "city"},
+	"supplier": {"region", "nation", "city"},
+	"part":     {"mfgr", "category", "brand1"},
+}
+
+// Validate checks a query against the SSB schema: referenced columns exist,
+// join dimensions are known, filters are well formed, and the packed group
+// key has room for every payload.
+func (q *Query) Validate() error {
+	if q.ID == "" {
+		return fmt.Errorf("queries: query has no id")
+	}
+	for _, f := range q.FactFilters {
+		if !validFactCols[f.Col] {
+			return fmt.Errorf("queries: %s filters unknown fact column %q", q.ID, f.Col)
+		}
+		if err := f.validate(); err != nil {
+			return fmt.Errorf("queries: %s: %w", q.ID, err)
+		}
+	}
+	for _, j := range q.Joins {
+		cols, ok := validDims[j.Dim]
+		if !ok {
+			return fmt.Errorf("queries: %s joins unknown dimension %q", q.ID, j.Dim)
+		}
+		if !validFactCols[j.FactFK] {
+			return fmt.Errorf("queries: %s join %s uses unknown FK %q", q.ID, j.Dim, j.FactFK)
+		}
+		for _, f := range j.Filters {
+			if !contains(cols, f.Col) {
+				return fmt.Errorf("queries: %s filters unknown %s column %q", q.ID, j.Dim, f.Col)
+			}
+			if err := f.validate(); err != nil {
+				return fmt.Errorf("queries: %s: %w", q.ID, err)
+			}
+		}
+		if j.Payload != "" && !contains(cols, j.Payload) {
+			return fmt.Errorf("queries: %s groups by unknown %s column %q", q.ID, j.Dim, j.Payload)
+		}
+	}
+	if n := len(q.GroupPayloads()); n > 3 {
+		return fmt.Errorf("queries: %s has %d group keys; the packed key holds at most 3", q.ID, n)
+	}
+	return nil
+}
+
+func (f *Filter) validate() error {
+	if f.In != nil {
+		if len(f.In) == 0 {
+			return fmt.Errorf("filter on %q has an empty IN set", f.Col)
+		}
+		return nil
+	}
+	if f.Lo > f.Hi {
+		return fmt.Errorf("filter on %q has empty range [%d,%d]", f.Col, f.Lo, f.Hi)
+	}
+	return nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Describe renders the query as the SQL it implements, with dictionary
+// codes decoded back to SSB literals where the attribute is known.
+func (q *Query) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s\nSELECT %s", q.ID, q.Agg.SQL())
+	for _, j := range q.GroupPayloads() {
+		fmt.Fprintf(&b, ", %s.%s", j.Dim, j.Payload)
+	}
+	tables := []string{"lineorder"}
+	for _, j := range q.Joins {
+		tables = append(tables, j.Dim)
+	}
+	fmt.Fprintf(&b, "\nFROM %s\nWHERE 1=1", strings.Join(tables, ", "))
+	for _, f := range q.FactFilters {
+		fmt.Fprintf(&b, "\n  AND %s", f.SQL("lo", f.Col, nil))
+	}
+	for _, j := range q.Joins {
+		fmt.Fprintf(&b, "\n  AND lo.%s = %s.key", j.FactFK, j.Dim)
+		for _, f := range j.Filters {
+			fmt.Fprintf(&b, "\n  AND %s", f.SQL(j.Dim, f.Col, decodeFor(j.Dim, f.Col)))
+		}
+	}
+	if gps := q.GroupPayloads(); len(gps) > 0 {
+		var keys []string
+		for _, j := range gps {
+			keys = append(keys, j.Dim+"."+j.Payload)
+		}
+		fmt.Fprintf(&b, "\nGROUP BY %s", strings.Join(keys, ", "))
+	}
+	b.WriteString(";")
+	return b.String()
+}
+
+// SQL renders the aggregate expression.
+func (a AggKind) SQL() string {
+	switch a {
+	case AggSumExtDisc:
+		return "SUM(lo.extprice * lo.discount)"
+	case AggSumProfit:
+		return "SUM(lo.revenue - lo.supplycost)"
+	default:
+		return "SUM(lo.revenue)"
+	}
+}
+
+// SQL renders a filter as a predicate, using decode to turn dictionary
+// codes back into literals when available.
+func (f *Filter) SQL(table, col string, decode func(int32) string) string {
+	render := func(v int32) string {
+		if decode != nil {
+			return fmt.Sprintf("'%s'", decode(v))
+		}
+		return fmt.Sprint(v)
+	}
+	ref := table + "." + col
+	if f.In != nil {
+		var vals []string
+		for _, v := range f.In {
+			vals = append(vals, render(v))
+		}
+		return fmt.Sprintf("%s IN (%s)", ref, strings.Join(vals, ", "))
+	}
+	if f.Lo == f.Hi {
+		return fmt.Sprintf("%s = %s", ref, render(f.Lo))
+	}
+	return fmt.Sprintf("%s BETWEEN %s AND %s", ref, render(f.Lo), render(f.Hi))
+}
+
+// decodeFor returns the dictionary decoder for a dimension attribute, or
+// nil for plain numeric attributes.
+func decodeFor(dim, col string) func(int32) string {
+	switch col {
+	case "region":
+		return func(v int32) string { return ssb.Regions[v] }
+	case "nation":
+		return func(v int32) string { return ssb.Nations[v] }
+	case "city":
+		return ssb.CityName
+	case "mfgr":
+		return ssb.MfgrName
+	case "category":
+		return ssb.CategoryName
+	case "brand1":
+		return ssb.BrandName
+	}
+	return nil
+}
+
+// DecodedRow is one result row with its group keys decoded back to
+// SQL-level values (dictionary strings where the attribute has one).
+type DecodedRow struct {
+	Labels []string
+	Sum    int64
+}
+
+// DecodeRows renders a result's rows with group keys decoded through the
+// query's payload attributes, sorted by packed key (group-by order).
+func (q *Query) DecodeRows(r *Result) []DecodedRow {
+	gps := q.GroupPayloads()
+	rows := r.Rows()
+	out := make([]DecodedRow, len(rows))
+	for i, row := range rows {
+		vals := UnpackGroup(row[0], len(gps))
+		labels := make([]string, len(gps))
+		for j, gp := range gps {
+			if dec := decodeFor(gp.Dim, gp.Payload); dec != nil {
+				labels[j] = dec(vals[j])
+			} else {
+				labels[j] = fmt.Sprint(vals[j])
+			}
+		}
+		out[i] = DecodedRow{Labels: labels, Sum: row[1]}
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package queries
+
+import (
+	"runtime"
+	"sync"
+
+	"crystal/internal/crystal"
+	"crystal/internal/ssb"
+)
+
+// dimFill sizes dimension hash tables like the paper's (Section 5.3:
+// "the size of the part hash table (with perfect hashing) is 2x4x1M =
+// 8MB"): capacity is the next power of two above the full dimension
+// cardinality, independent of how many rows survive the dimension filters.
+const dimFill = 0.99
+
+// buildInfo is one constructed join hash table plus the traffic its build
+// phase generated (charged differently per engine).
+type buildInfo struct {
+	spec     JoinSpec
+	ht       *crystal.HashTable
+	dimRows  int64
+	inserted int64
+	// bytesRead is the dimension column bytes the build scanned.
+	bytesRead int64
+}
+
+// buildTables constructs the join hash tables for a query: each table maps
+// the dimension key to the group-by payload (or is key-only for pure
+// semijoin filters), and only rows passing the dimension filters are
+// inserted — probing misses are how filtered dimensions drop fact rows.
+func buildTables(ds *ssb.Dataset, q Query) []buildInfo {
+	builds := make([]buildInfo, len(q.Joins))
+	for ji, j := range q.Joins {
+		d := DimTable(ds, j.Dim)
+		ht := crystal.NewHashTable(d.Rows(), dimFill, j.Payload != "")
+		filterCols := make([][]int32, len(j.Filters))
+		for fi := range j.Filters {
+			filterCols[fi] = d.Col(j.Filters[fi].Col)
+		}
+		var payload []int32
+		if j.Payload != "" {
+			payload = d.Col(j.Payload)
+		}
+		inserted := int64(0)
+	rows:
+		for i := 0; i < d.Rows(); i++ {
+			for fi := range j.Filters {
+				if !j.Filters[fi].Match(filterCols[fi][i]) {
+					continue rows
+				}
+			}
+			v := int32(0)
+			if payload != nil {
+				v = payload[i]
+			}
+			ht.Insert(d.Key[i], v)
+			inserted++
+		}
+		builds[ji] = buildInfo{
+			spec:      j,
+			ht:        ht,
+			dimRows:   int64(d.Rows()),
+			inserted:  inserted,
+			bytesRead: int64(d.Rows()) * int64(1+len(j.Filters)+btoi(j.Payload != "")) * 4,
+		}
+	}
+	return builds
+}
+
+func btoi(b bool) int { return map[bool]int{true: 1}[b] }
+
+// pipeStats records the exact memory-access statistics of one pipelined
+// pass over the fact table, from which each engine derives its traffic.
+type pipeStats struct {
+	rows int64
+	// colOrder is the sequence of fact columns the pass touches.
+	colOrder []string
+	// lines64 and lines128 count, per fact column, the distinct 64 B and
+	// 128 B lines containing at least one row alive when the column was
+	// read — the exact form of the min(4|L|/C, |L|sigma) term in the
+	// Section 5.3 model.
+	lines64  map[string]int64
+	lines128 map[string]int64
+	// evals[i] is the number of rows evaluated by fact filter i.
+	evals []int64
+	// probes[j] is the number of probes into join j's hash table.
+	probes []int64
+	// alive[k] is the number of rows alive after stage k (fact filters
+	// first, then joins).
+	alive []int64
+	// out is the number of rows reaching the aggregate.
+	out int64
+}
+
+// aggEstimate caps the aggregation-table sizing.
+func aggEstimate(q Query) int {
+	est := 1
+	for _, j := range q.GroupPayloads() {
+		switch j.Payload {
+		case "year":
+			est *= 7
+		case "nation":
+			est *= 25
+		case "city":
+			est *= 250
+		case "brand1":
+			est *= 1000
+		case "category":
+			est *= 25
+		default:
+			est *= 64
+		}
+		if est > 1<<20 {
+			return 1 << 20
+		}
+	}
+	return est
+}
+
+// runPipeline executes the query's probe pipeline functionally and in
+// parallel: fact filters in order, then the join probes, then the grouped
+// aggregate, short-circuiting per row exactly like the generated kernels.
+// It returns the result and the access statistics.
+func runPipeline(ds *ssb.Dataset, q Query, builds []buildInfo) (*Result, *pipeStats) {
+	n := ds.Lineorder.Rows()
+	st := &pipeStats{
+		rows:     int64(n),
+		lines64:  map[string]int64{},
+		lines128: map[string]int64{},
+		evals:    make([]int64, len(q.FactFilters)),
+		probes:   make([]int64, len(q.Joins)),
+		alive:    make([]int64, len(q.FactFilters)+len(q.Joins)),
+	}
+
+	filterCols := make([][]int32, len(q.FactFilters))
+	for i := range q.FactFilters {
+		filterCols[i] = FactCol(&ds.Lineorder, q.FactFilters[i].Col)
+		st.colOrder = append(st.colOrder, q.FactFilters[i].Col)
+	}
+	fkCols := make([][]int32, len(q.Joins))
+	for i := range q.Joins {
+		fkCols[i] = FactCol(&ds.Lineorder, q.Joins[i].FactFK)
+		st.colOrder = append(st.colOrder, q.Joins[i].FactFK)
+	}
+	aggCols := q.Agg.Columns()
+	aggSlices := make([][]int32, len(aggCols))
+	for i, c := range aggCols {
+		aggSlices[i] = FactCol(&ds.Lineorder, c)
+		st.colOrder = append(st.colOrder, c)
+	}
+	numPayloads := len(q.GroupPayloads())
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type wstat struct {
+		lines64, lines128 map[string]int64
+		evals, probes     []int64
+		alive             []int64
+		out               int64
+		groups            map[int64]int64
+	}
+	results := make([]wstat, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			ws := wstat{
+				lines64:  map[string]int64{},
+				lines128: map[string]int64{},
+				evals:    make([]int64, len(q.FactFilters)),
+				probes:   make([]int64, len(q.Joins)),
+				alive:    make([]int64, len(st.alive)),
+				groups:   map[int64]int64{},
+			}
+			last64 := map[string]int{}
+			last128 := map[string]int{}
+			touch := func(col string, row int) {
+				if l := row >> 4; last64[col] != l+1 {
+					last64[col] = l + 1
+					ws.lines64[col]++
+				}
+				if l := row >> 5; last128[col] != l+1 {
+					last128[col] = l + 1
+					ws.lines128[col]++
+				}
+			}
+			payloads := make([]int32, 0, numPayloads)
+			vals := make([]int32, len(aggCols))
+		rows:
+			for row := lo; row < hi; row++ {
+				for i := range q.FactFilters {
+					ws.evals[i]++
+					touch(q.FactFilters[i].Col, row)
+					if !q.FactFilters[i].Match(filterCols[i][row]) {
+						continue rows
+					}
+					ws.alive[i]++
+				}
+				payloads = payloads[:0]
+				for ji := range q.Joins {
+					ws.probes[ji]++
+					touch(q.Joins[ji].FactFK, row)
+					v, ok := builds[ji].ht.Get(fkCols[ji][row])
+					if !ok {
+						continue rows
+					}
+					ws.alive[len(q.FactFilters)+ji]++
+					if q.Joins[ji].Payload != "" {
+						payloads = append(payloads, v)
+					}
+				}
+				for i := range vals {
+					touch(aggCols[i], row)
+					vals[i] = aggSlices[i][row]
+				}
+				ws.out++
+				ws.groups[PackGroup(payloads)] += q.Agg.Eval(vals)
+			}
+			results[w] = ws
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	res := &Result{QueryID: q.ID, Groups: map[int64]int64{}}
+	for _, ws := range results {
+		if ws.groups == nil {
+			continue
+		}
+		for c, v := range ws.lines64 {
+			st.lines64[c] += v
+		}
+		for c, v := range ws.lines128 {
+			st.lines128[c] += v
+		}
+		for i, v := range ws.evals {
+			st.evals[i] += v
+		}
+		for i, v := range ws.probes {
+			st.probes[i] += v
+		}
+		for i, v := range ws.alive {
+			st.alive[i] += v
+		}
+		st.out += ws.out
+		for k, v := range ws.groups {
+			res.Groups[k] += v
+		}
+	}
+	if len(q.GroupPayloads()) == 0 && len(res.Groups) == 0 {
+		res.Groups[0] = 0 // a global aggregate always yields one row
+	}
+	return res, st
+}

@@ -1,0 +1,60 @@
+package ssb
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the dataset decoder: it must reject
+// garbage with an error, never panic, and never allocate beyond the input
+// size for a single column.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid tiny dataset and a few mutations.
+	var buf bytes.Buffer
+	ds := GenerateRows(16)
+	if err := ds.write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte("SSB1"))
+	f.Add([]byte("XXXX garbage"))
+	truncated := append([]byte(nil), valid[:len(valid)/2]...)
+	f.Add(truncated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data), int64(len(data)))
+		if err == nil && got == nil {
+			t.Fatal("nil dataset without error")
+		}
+	})
+}
+
+func TestReadValidRoundTripViaReader(t *testing.T) {
+	var buf bytes.Buffer
+	ds := GenerateRows(128)
+	if err := ds.write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lineorder.Rows() != 128 {
+		t.Errorf("rows = %d", got.Lineorder.Rows())
+	}
+}
+
+func TestReadRejectsOversizedColumnHeader(t *testing.T) {
+	// Craft a header claiming a 1-billion-entry column in a tiny buffer.
+	var buf bytes.Buffer
+	buf.WriteString("SSB1")
+	buf.Write([]byte{1, 0, 0, 0}) // SF
+	buf.Write([]byte{1, 0, 0, 0}) // one fact column
+	buf.Write([]byte{2, 0, 0, 0}) // name length 2
+	buf.WriteString("xx")
+	buf.Write([]byte{0, 0, 0, 0xE8, 0, 0, 0, 0}) // huge int64 length
+	if _, err := Read(bytes.NewReader(buf.Bytes()), int64(buf.Len())); err == nil {
+		t.Fatal("oversized column accepted")
+	}
+}

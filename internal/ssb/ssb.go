@@ -1,0 +1,134 @@
+// Package ssb implements the Star Schema Benchmark substrate (O'Neil et
+// al.): the star schema of Section 5.1, a deterministic data generator for
+// any scale factor, dictionary encoding for the string attributes, and a
+// simple columnar binary format.
+//
+// Following the paper's methodology, every column is stored as a 4-byte
+// integer: string attributes (region, nation, city, mfgr, category, brand)
+// are dictionary encoded at generation time and queries reference the
+// encoded values directly (Section 5.2).
+package ssb
+
+import "fmt"
+
+// Scale-factor cardinalities (SSB specification).
+const (
+	LineorderPerSF = 6_000_000
+	CustomerPerSF  = 30_000
+	SupplierPerSF  = 2_000
+	PartBase       = 200_000
+	// DateDays is the number of rows in the date dimension: 7 years,
+	// 1992-01-01 .. 1998-12-31 (two leap years; the SSB spec's nominal
+	// 2556 omits one).
+	DateDays = 2557
+)
+
+// Region codes (5 regions; nations are grouped so that region = nation/5).
+const (
+	Africa int32 = iota
+	America
+	Asia
+	Europe
+	MiddleEast
+)
+
+// Regions is the region dictionary.
+var Regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// Nations is the nation dictionary, ordered so that nation n belongs to
+// region n/5 (TPC-H nation-to-region assignment).
+var Nations = []string{
+	// AFRICA
+	"ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE",
+	// AMERICA
+	"ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES",
+	// ASIA
+	"CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM",
+	// EUROPE
+	"FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM",
+	// MIDDLE EAST
+	"EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA",
+}
+
+// NationRegion returns the region code of a nation code.
+func NationRegion(nation int32) int32 { return nation / 5 }
+
+// CitiesPerNation is the number of cities per nation (city = nation*10+j).
+const CitiesPerNation = 10
+
+// CityName renders a city code in SSB style: the nation name truncated or
+// padded to 9 characters plus a digit ("UNITED KI1").
+func CityName(city int32) string {
+	nation := Nations[city/CitiesPerNation]
+	name := nation + "         "
+	return fmt.Sprintf("%s%d", name[:9], city%CitiesPerNation)
+}
+
+// CityNation returns the nation code of a city code.
+func CityNation(city int32) int32 { return city / CitiesPerNation }
+
+// CityCode returns the city code for an SSB-style city name such as
+// "UNITED KI1", or -1 if no nation matches.
+func CityCode(name string) int32 {
+	if len(name) != 10 {
+		return -1
+	}
+	prefix, digit := name[:9], int32(name[9]-'0')
+	for n, nation := range Nations {
+		padded := nation + "         "
+		if padded[:9] == prefix {
+			return int32(n)*CitiesPerNation + digit
+		}
+	}
+	return -1
+}
+
+// Part attribute encodings: mfgr in 0..4 ("MFGR#1".."MFGR#5"); category
+// in 0..24 ("MFGR#11".."MFGR#55", category = mfgr*5 + c); brand in 0..999
+// ("MFGR#111".."MFGR#5540", brand = category*40 + b).
+const (
+	NumMfgr       = 5
+	NumCategories = 25
+	BrandsPerCat  = 40
+	NumBrands     = NumCategories * BrandsPerCat
+)
+
+// MfgrName renders an mfgr code.
+func MfgrName(m int32) string { return fmt.Sprintf("MFGR#%d", m+1) }
+
+// CategoryName renders a category code ("MFGR#12" = mfgr 1, category 2).
+func CategoryName(c int32) string { return fmt.Sprintf("MFGR#%d%d", c/5+1, c%5+1) }
+
+// BrandName renders a brand code ("MFGR#1221" = category MFGR#12, brand 21).
+func BrandName(b int32) string {
+	return fmt.Sprintf("%s%d", CategoryName(b/BrandsPerCat), b%BrandsPerCat+1)
+}
+
+// CategoryCode parses an SSB category literal such as "MFGR#12".
+func CategoryCode(s string) int32 {
+	var m, c int32
+	if _, err := fmt.Sscanf(s, "MFGR#%1d%1d", &m, &c); err != nil {
+		return -1
+	}
+	return (m-1)*5 + (c - 1)
+}
+
+// BrandCode parses an SSB brand literal such as "MFGR#1221".
+func BrandCode(s string) int32 {
+	var m, c, b int32
+	if _, err := fmt.Sscanf(s, "MFGR#%1d%1d%d", &m, &c, &b); err != nil {
+		return -1
+	}
+	return ((m-1)*5+(c-1))*BrandsPerCat + (b - 1)
+}
+
+// PartRows returns the part-table cardinality for a scale factor:
+// 200,000 * floor(1 + log2(SF)) per the SSB specification (1M at SF 20,
+// matching Section 5.3).
+func PartRows(sf int) int {
+	mult := 1
+	for s := sf; s >= 2; s >>= 1 {
+		mult++
+	}
+	return PartBase * mult
+}
