@@ -1,0 +1,28 @@
+# Local targets mirror .github/workflows/ci.yml step for step, so a green
+# `make ci` locally means a green CI run.
+
+GO ?= go
+
+.PHONY: all build test lint bench-smoke serve ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+serve:
+	$(GO) run ./cmd/ssbserve
+
+ci: build lint test bench-smoke

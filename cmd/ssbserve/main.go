@@ -1,0 +1,222 @@
+// Command ssbserve exposes the concurrent SSB query service over HTTP:
+//
+//	GET /query?id=q2.1&engine=gpu   execute one query on one engine
+//	GET /engines                    list engines and their aliases
+//	GET /stats                      cache hit rates, per-engine latency
+//
+// The service schedules requests across a bounded worker pool and caches
+// compiled plans and recent results, so repeated queries are served from
+// memory while simulated engine times stay identical to a cold run.
+//
+//	ssbserve -sf 1 -workers 8 -addr :8080
+//	curl 'localhost:8080/query?id=q2.1&engine=gpu'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"crystal/internal/queries"
+	"crystal/internal/serve"
+	"crystal/internal/ssb"
+)
+
+var (
+	flagAddr    = flag.String("addr", ":8080", "listen address")
+	flagSF      = flag.Int("sf", 1, "scale factor to generate")
+	flagRows    = flag.Int("rows", 0, "generate exactly this many fact rows instead of -sf")
+	flagWorkers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flagData    = flag.String("data", "", "load a dataset written by datagen instead of generating")
+)
+
+func main() {
+	flag.Parse()
+
+	var ds *ssb.Dataset
+	var version string
+	var err error
+	switch {
+	case *flagData != "":
+		ds, err = ssb.Load(*flagData)
+		if err != nil {
+			log.Fatal(err)
+		}
+		version = *flagData
+	case *flagRows > 0:
+		ds = ssb.GenerateRows(*flagRows)
+		version = fmt.Sprintf("rows%d", *flagRows)
+	default:
+		ds = ssb.Generate(*flagSF)
+		version = fmt.Sprintf("sf%d", *flagSF)
+	}
+	log.Printf("dataset %s: %d fact rows, %.2f GB", version, ds.Lineorder.Rows(), float64(ds.Bytes())/1e9)
+
+	svc := serve.New(ds, version, serve.Options{Workers: *flagWorkers})
+	log.Printf("serving on %s with %d workers", *flagAddr, svc.Workers())
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", handleQuery(svc))
+	mux.HandleFunc("/engines", handleEngines)
+	mux.HandleFunc("/stats", handleStats(svc))
+
+	srv := &http.Server{
+		Addr:              *flagAddr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+	err = srv.ListenAndServe()
+	// Shutdown (or a listener error) stops accepting; drain the pool before
+	// exiting so in-flight queries finish.
+	svc.Close()
+	if !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+// queryResponse is the JSON shape of one /query result.
+type queryResponse struct {
+	Query        string  `json:"query"`
+	Engine       string  `json:"engine"`
+	Version      string  `json:"version"`
+	Rows         [][]any `json:"rows"`
+	SimMS        float64 `json:"sim_ms"`
+	WallMS       float64 `json:"wall_ms"`
+	PlanCached   bool    `json:"plan_cached"`
+	ResultCached bool    `json:"result_cached"`
+}
+
+func handleQuery(svc *serve.Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			httpError(w, http.StatusBadRequest, errors.New("missing ?id= (try q2.1)"))
+			return
+		}
+		// The service canonicalizes and validates the engine; the query is
+		// resolved here only because decodeRows needs its group-by shape.
+		q, err := queries.ByID(id)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		noCache := false
+		if v := r.URL.Query().Get("nocache"); v != "" {
+			noCache, err = strconv.ParseBool(v)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad nocache value %q: want a boolean", v))
+				return
+			}
+		}
+		req := serve.Request{
+			QueryID: id,
+			Engine:  queries.Engine(r.URL.Query().Get("engine")),
+			NoCache: noCache,
+		}
+		resp, err := svc.Do(r.Context(), req)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, r.Context().Err()) {
+				status = http.StatusRequestTimeout
+			} else if resp.Err != nil {
+				status = http.StatusBadRequest
+			}
+			httpError(w, status, err)
+			return
+		}
+		out := queryResponse{
+			Query:        id,
+			Engine:       string(resp.Request.Engine),
+			Version:      resp.Version,
+			Rows:         decodeRows(q, resp.Result),
+			SimMS:        resp.SimSeconds * 1e3,
+			WallMS:       float64(resp.Wall) / float64(time.Millisecond),
+			PlanCached:   resp.PlanCached,
+			ResultCached: resp.ResultCached,
+		}
+		writeJSON(w, out)
+	}
+}
+
+// decodeRows unpacks the result's packed group keys into per-payload
+// columns followed by the aggregate sum.
+func decodeRows(q queries.Query, res *queries.Result) [][]any {
+	n := len(q.GroupPayloads())
+	rows := res.Rows()
+	out := make([][]any, 0, len(rows))
+	for _, kv := range rows {
+		row := make([]any, 0, n+1)
+		for _, v := range queries.UnpackGroup(kv[0], n) {
+			row = append(row, v)
+		}
+		row = append(row, kv[1])
+		out = append(out, row)
+	}
+	return out
+}
+
+type engineInfo struct {
+	Alias string `json:"alias"`
+	Name  string `json:"name"`
+}
+
+func handleEngines(w http.ResponseWriter, _ *http.Request) {
+	var out []engineInfo
+	for _, e := range queries.Engines() {
+		out = append(out, engineInfo{Alias: serve.EngineAlias(e), Name: string(e)})
+	}
+	writeJSON(w, out)
+}
+
+func handleStats(svc *serve.Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st := svc.Stats()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "dataset %s, %d workers, %d requests (%d errors)\n",
+				st.Version, st.Workers, st.Requests, st.Errors)
+			fmt.Fprintf(w, "plan cache:   %.0f%% hit rate, %d entries\n",
+				st.PlanHitRate*100, st.CachedPlans)
+			fmt.Fprintf(w, "result cache: %.0f%% hit rate, %d entries\n\n",
+				st.ResultHitRate*100, st.CachedResults)
+			st.Table().Fprint(w)
+			return
+		}
+		writeJSON(w, st)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

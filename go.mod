@@ -1,0 +1,3 @@
+module crystal
+
+go 1.22

@@ -69,7 +69,11 @@ func (f *Figure) Fprint(w io.Writer) {
 type Table struct {
 	Title   string
 	Columns []string
-	rows    []tableRow
+	// NoMean suppresses the trailing mean row, for tables whose columns mix
+	// units (e.g. counts next to latencies) where a column mean is
+	// meaningless.
+	NoMean bool
+	rows   []tableRow
 }
 
 type tableRow struct {
@@ -127,11 +131,13 @@ func (t *Table) Fprint(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
-	fmt.Fprintf(w, "%-*s", width, "mean")
-	for i := range t.Columns {
-		fmt.Fprintf(w, "%16.3f", t.ColumnMean(i))
+	if !t.NoMean {
+		fmt.Fprintf(w, "%-*s", width, "mean")
+		for i := range t.Columns {
+			fmt.Fprintf(w, "%16.3f", t.ColumnMean(i))
+		}
+		fmt.Fprintln(w)
 	}
-	fmt.Fprintln(w)
 	fmt.Fprintln(w)
 }
 

@@ -41,6 +41,16 @@ func TestTablePrintAndMean(t *testing.T) {
 	}
 }
 
+func TestTableNoMean(t *testing.T) {
+	tb := Table{Title: "stats", Columns: []string{"requests", "wall ms"}, NoMean: true}
+	tb.AddRow("gpu", 12, 0.5)
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	if strings.Contains(buf.String(), "mean") {
+		t.Errorf("NoMean table still printed a mean row:\n%s", buf.String())
+	}
+}
+
 func TestScale(t *testing.T) {
 	if got := Scale(1.0, 1<<20, 1<<24); got != 16 {
 		t.Errorf("scale = %f", got)

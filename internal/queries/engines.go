@@ -23,23 +23,11 @@ func Engines() []Engine {
 	return []Engine{EngineHyper, EngineCPU, EngineMonet, EngineOmnisci, EngineGPU, EngineCoproc}
 }
 
-// Run executes query q on the chosen engine.
+// Run executes query q on the chosen engine, compiling a fresh plan. A
+// serving layer that runs the same query repeatedly should Compile once and
+// call Plan.Run instead.
 func Run(ds *ssb.Dataset, q Query, e Engine) *Result {
-	switch e {
-	case EngineGPU:
-		return RunGPU(ds, q)
-	case EngineCPU:
-		return RunCPU(ds, q)
-	case EngineHyper:
-		return RunHyper(ds, q)
-	case EngineMonet:
-		return RunMonet(ds, q)
-	case EngineOmnisci:
-		return RunOmnisci(ds, q)
-	case EngineCoproc:
-		return RunCoprocessor(ds, q)
-	}
-	panic("queries: unknown engine " + string(e))
+	return Compile(ds, q).Run(e)
 }
 
 // Per-element compute costs (scalar-equivalent cycles) of the CPU engines.
@@ -82,24 +70,28 @@ func chargeBuilds(clk *device.Clock, builds []buildInfo) {
 // (Section 5.2). One pass over the fact table evaluates filters with SIMD
 // predicates, probes the join hash tables, and aggregates into thread-local
 // tables merged at the end.
-func RunCPU(ds *ssb.Dataset, q Query) *Result {
+func RunCPU(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunCPU() }
+
+// RunCPU executes the compiled plan on the Standalone CPU engine.
+func (p *Plan) RunCPU() *Result {
 	clk := device.NewClock(device.I76900())
-	builds := buildTables(ds, q)
-	chargeBuilds(clk, builds)
-	res, st := runPipeline(ds, q, builds)
-	clk.Charge(cpuProbePass(st, builds, q, cpuFilterCycles, cpuProbeCycles, cpuAggCycles, true))
+	chargeBuilds(clk, p.builds)
+	res, st := runPipeline(p.ds, p.Query, p.builds)
+	clk.Charge(cpuProbePass(st, p.builds, p.Query, cpuFilterCycles, cpuProbeCycles, cpuAggCycles, true))
 	res.Seconds = clk.Seconds()
 	return res
 }
 
 // RunHyper is the Hyper stand-in: the same pipelined push-based execution,
 // but with scalar predicate evaluation and tuple-at-a-time hash probes.
-func RunHyper(ds *ssb.Dataset, q Query) *Result {
+func RunHyper(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunHyper() }
+
+// RunHyper executes the compiled plan on the Hyper stand-in.
+func (p *Plan) RunHyper() *Result {
 	clk := device.NewClock(device.I76900())
-	builds := buildTables(ds, q)
-	chargeBuilds(clk, builds)
-	res, st := runPipeline(ds, q, builds)
-	pass := cpuProbePass(st, builds, q, hyperFilterCycles, hyperProbeCycles, hyperAggCycles, true)
+	chargeBuilds(clk, p.builds)
+	res, st := runPipeline(p.ds, p.Query, p.builds)
+	pass := cpuProbePass(st, p.builds, p.Query, hyperFilterCycles, hyperProbeCycles, hyperAggCycles, true)
 	for i := range pass.Probes {
 		pass.Probes[i].Count = int64(float64(pass.Probes[i].Count) * hyperProbeFactor)
 	}
@@ -156,11 +148,14 @@ func cpuProbePass(st *pipeStats, builds []buildInfo, q Query, filterCyc, probeCy
 // candidate list back, gathers the foreign-key column at random, probes,
 // and materializes again; the aggregate gathers its value columns through
 // the final candidate list.
-func RunMonet(ds *ssb.Dataset, q Query) *Result {
+func RunMonet(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunMonet() }
+
+// RunMonet executes the compiled plan on the MonetDB stand-in.
+func (pl *Plan) RunMonet() *Result {
+	q, builds := pl.Query, pl.builds
 	clk := device.NewClock(device.I76900())
-	builds := buildTables(ds, q)
 	chargeBuilds(clk, builds)
-	res, st := runPipeline(ds, q, builds)
+	res, st := runPipeline(pl.ds, q, builds)
 
 	factBytes := st.rows * 4
 	in := st.rows
@@ -216,17 +211,20 @@ func RunMonet(ds *ssb.Dataset, q Query) *Result {
 // materialization, a second read for the offset computation, uncoalesced
 // scatter writes, and per-match atomic cursor updates. Section 5.2 measures
 // this style ~16x slower than the tile-based kernels.
-func RunOmnisci(ds *ssb.Dataset, q Query) *Result {
+func RunOmnisci(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunOmnisci() }
+
+// RunOmnisci executes the compiled plan on the Omnisci stand-in.
+func (pl *Plan) RunOmnisci() *Result {
+	q, builds := pl.Query, pl.builds
 	clk := device.NewClock(device.V100())
 	// Build phases are identical to the standalone GPU engine.
-	builds := buildTables(ds, q)
 	for i := range builds {
 		b := &builds[i]
 		pass := &device.Pass{Label: "build " + b.spec.Dim, BytesRead: b.bytesRead, Kernels: 1}
 		pass.AddProbes(device.ProbeSet{Count: b.inserted, StructBytes: b.ht.Bytes(), Writes: true})
 		clk.Charge(pass)
 	}
-	res, st := runPipeline(ds, q, builds)
+	res, st := runPipeline(pl.ds, q, builds)
 
 	factBytes := st.rows * 4
 	in := st.rows
@@ -275,8 +273,12 @@ func RunOmnisci(ds *ssb.Dataset, q Query) *Result {
 // runtime is the maximum of the two, and since PCIe bandwidth is far below
 // the GPU's memory bandwidth, the transfer dominates — which is why the
 // coprocessor model cannot beat a decent CPU implementation (Figure 3).
-func RunCoprocessor(ds *ssb.Dataset, q Query) *Result {
-	res := RunGPU(ds, q)
+func RunCoprocessor(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunCoprocessor() }
+
+// RunCoprocessor executes the compiled plan in the coprocessor architecture.
+func (pl *Plan) RunCoprocessor() *Result {
+	ds, q := pl.ds, pl.Query
+	res := pl.RunGPU()
 	cols := map[string]bool{}
 	for _, f := range q.FactFilters {
 		cols[f.Col] = true

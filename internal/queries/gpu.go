@@ -19,9 +19,12 @@ func gpuConfig(elems int) sim.Config {
 // the join hash tables in a pipeline with BlockLookup, and updates the
 // global aggregate — the fact columns are read from global memory exactly
 // once, selectively, and nothing is materialized in between.
-func RunGPU(ds *ssb.Dataset, q Query) *Result {
+func RunGPU(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunGPU() }
+
+// RunGPU executes the compiled plan with the tile-based Crystal kernels.
+func (pl *Plan) RunGPU() *Result {
+	ds, q, builds := pl.ds, pl.Query, pl.builds
 	clk := device.NewClock(device.V100())
-	builds := buildTables(ds, q)
 	for i := range builds {
 		b := &builds[i]
 		pass := &device.Pass{Label: "gpu build " + b.spec.Dim, BytesRead: b.bytesRead, Kernels: 1}

@@ -168,6 +168,16 @@ func (r *Result) Equal(o *Result) bool {
 // Milliseconds returns the simulated runtime in ms.
 func (r *Result) Milliseconds() float64 { return r.Seconds * 1e3 }
 
+// Clone returns a deep copy; mutating the copy's Groups cannot affect the
+// original (used by caches that hand results to untrusted callers).
+func (r *Result) Clone() *Result {
+	out := &Result{QueryID: r.QueryID, Seconds: r.Seconds, Groups: make(map[int64]int64, len(r.Groups))}
+	for k, v := range r.Groups {
+		out.Groups[k] = v
+	}
+	return out
+}
+
 // FactCol resolves a fact column by name.
 func FactCol(l *ssb.Lineorder, name string) []int32 {
 	switch name {

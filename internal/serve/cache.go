@@ -1,0 +1,59 @@
+package serve
+
+import "container/list"
+
+// lru is a small mutex-free LRU map (callers synchronize): string keys,
+// opaque values, least-recently-used eviction at a fixed capacity. Both the
+// plan cache and the result cache are tiny (13 queries x 6 engines x a few
+// dataset versions), so a plain list+map is plenty.
+type lru struct {
+	cap   int
+	order *list.List // front = most recent; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lru) get(key string) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts or refreshes key, evicting the LRU entry when over capacity.
+func (c *lru) put(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// purge drops every entry.
+func (c *lru) purge() {
+	c.order.Init()
+	clear(c.items)
+}
+
+// len returns the number of cached entries.
+func (c *lru) len() int { return c.order.Len() }

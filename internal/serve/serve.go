@@ -1,0 +1,416 @@
+// Package serve is the concurrent query-service layer on top of the SSB
+// engines: requests name a query and an engine, a bounded worker pool
+// executes them (partition-per-core, like the operators' parallelFor), and
+// two caches short-circuit repeated work — compiled plans (the built join
+// hash tables, shared safely between concurrent runs) and recent results,
+// both keyed by dataset version so swapping in a new dataset invalidates
+// everything at once.
+//
+// The simulated engine times are unaffected by serving: a cache-hit plan
+// re-charges its build traffic exactly as a cold run would, so a served
+// Result is row-for-row and second-for-second identical to sequential
+// queries.Run. What serving changes is the wall clock — the host executes
+// the functional work once and fans requests out across cores — which is
+// the Stats split of simulated vs. wall-clock latency per engine.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"crystal/internal/queries"
+	"crystal/internal/ssb"
+)
+
+// ErrClosed is returned by submissions to a closed service.
+var ErrClosed = errors.New("serve: service is closed")
+
+// Request names one unit of work: an SSB query executed on one engine.
+type Request struct {
+	QueryID string
+	Engine  queries.Engine
+	// NoCache bypasses the result cache for this request (the plan cache
+	// still applies); used to force fresh execution for benchmarking.
+	NoCache bool
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	Request Request
+	// Version is the dataset version the request executed against.
+	Version string
+	Result  *queries.Result
+	// SimSeconds is the engine's simulated device time (Result.Seconds).
+	SimSeconds float64
+	// Wall is the host wall-clock time the service spent producing the
+	// result (near zero on a result-cache hit).
+	Wall time.Duration
+	// PlanCached and ResultCached report whether the compiled plan and the
+	// result were served from cache.
+	PlanCached   bool
+	ResultCached bool
+	Err          error
+}
+
+// Options configures a Service.
+type Options struct {
+	// Workers is the size of the execution pool; 0 means GOMAXPROCS.
+	Workers int
+	// PlanCacheSize caps the compiled-plan cache (default 64 entries).
+	PlanCacheSize int
+	// ResultCacheSize caps the result cache (default 256 entries).
+	ResultCacheSize int
+	// QueueDepth bounds the pending-request queue (default 4x Workers).
+	QueueDepth int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if out.PlanCacheSize <= 0 {
+		out.PlanCacheSize = 64
+	}
+	if out.ResultCacheSize <= 0 {
+		out.ResultCacheSize = 256
+	}
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = 4 * out.Workers
+	}
+	return out
+}
+
+// planEntry is a once-guarded plan-cache slot: concurrent misses for the
+// same (version, query) compile exactly once and the rest wait on the Once.
+type planEntry struct {
+	once sync.Once
+	plan *queries.Plan
+}
+
+type job struct {
+	req  Request
+	done chan Response
+}
+
+// Service executes SSB query requests concurrently over one dataset.
+type Service struct {
+	opts Options
+
+	mu      sync.RWMutex // guards ds, version, gen, closed
+	ds      *ssb.Dataset
+	version string
+	// gen is a monotonic dataset generation. Cache keys embed gen, not the
+	// version label, so reusing a label (rollback, redeploy) can never
+	// resurrect entries compiled against different data.
+	gen    uint64
+	closed bool
+
+	// cacheMu guards both LRUs (lookups reorder the recency list, so even
+	// reads are writes); it is separate from mu so the cache-hit fast path
+	// never contends with dataset snapshots.
+	cacheMu sync.Mutex
+	plans   *lru // "version\x00query" -> *planEntry
+	results *lru // "version\x00query\x00engine" -> *Response
+
+	statsMu sync.Mutex
+	stats   statsAccum
+
+	jobs chan job
+	wg   sync.WaitGroup
+	// pending counts Submit calls that have passed the closed check but not
+	// yet enqueued; Close waits for them before closing the job channel.
+	pending sync.WaitGroup
+}
+
+// New starts a service over ds, identified by version, with opts.Workers
+// executor goroutines. Close releases them.
+func New(ds *ssb.Dataset, version string, opts Options) *Service {
+	s := &Service{
+		opts:    opts.withDefaults(),
+		ds:      ds,
+		version: version,
+	}
+	s.plans = newLRU(s.opts.PlanCacheSize)
+	s.results = newLRU(s.opts.ResultCacheSize)
+	s.stats.engines = map[queries.Engine]*engineAccum{}
+	s.jobs = make(chan job, s.opts.QueueDepth)
+	s.wg.Add(s.opts.Workers)
+	for w := 0; w < s.opts.Workers; w++ {
+		go func() {
+			defer s.wg.Done()
+			for j := range s.jobs {
+				j.done <- s.execute(j.req)
+			}
+		}()
+	}
+	return s
+}
+
+// Workers returns the execution pool size.
+func (s *Service) Workers() int { return s.opts.Workers }
+
+// Version returns the current dataset version.
+func (s *Service) Version() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// SetDataset atomically swaps in a new dataset under a new version and
+// drops every cached plan and result: entries are keyed by version, so
+// nothing compiled against the old data can ever be served again.
+func (s *Service) SetDataset(version string, ds *ssb.Dataset) {
+	s.mu.Lock()
+	s.ds = ds
+	s.version = version
+	s.gen++
+	s.mu.Unlock()
+	s.cacheMu.Lock()
+	s.plans.purge()
+	s.results.purge()
+	s.cacheMu.Unlock()
+}
+
+// Close drains the worker pool. In-flight requests finish; subsequent
+// submissions fail with ErrClosed.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.pending.Wait()
+	close(s.jobs)
+	s.wg.Wait()
+}
+
+// Submit enqueues a request on the worker pool and returns a channel that
+// receives the single response. Submit blocks while the queue is full —
+// backpressure, not load shedding.
+func (s *Service) Submit(req Request) (<-chan Response, error) {
+	return s.submit(context.Background(), req)
+}
+
+func (s *Service) submit(ctx context.Context, req Request) (<-chan Response, error) {
+	done := make(chan Response, 1)
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	// Registering under the read lock orders this submission before any
+	// Close: the worker pool stays up until the send below lands.
+	s.pending.Add(1)
+	s.mu.RUnlock()
+	defer s.pending.Done()
+	select {
+	case s.jobs <- job{req: req, done: done}:
+		return done, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Do executes one request synchronously, honoring ctx cancellation both
+// while the request waits for queue space and while it waits for a worker.
+// A request cancelled after enqueueing still completes in the background;
+// its response is discarded.
+func (s *Service) Do(ctx context.Context, req Request) (Response, error) {
+	done, err := s.submit(ctx, req)
+	if err != nil {
+		return Response{}, err
+	}
+	select {
+	case resp := <-done:
+		return resp, resp.Err
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+}
+
+// RunAll dispatches the batch across the worker pool and returns the
+// responses in request order. Per-request failures are reported in each
+// Response.Err; the returned error covers submission only.
+func (s *Service) RunAll(ctx context.Context, reqs []Request) ([]Response, error) {
+	chans := make([]<-chan Response, len(reqs))
+	for i, req := range reqs {
+		done, err := s.submit(ctx, req)
+		if err != nil {
+			return nil, fmt.Errorf("serve: submitting request %d: %w", i, err)
+		}
+		chans[i] = done
+	}
+	out := make([]Response, len(reqs))
+	for i, done := range chans {
+		select {
+		case out[i] = <-done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// execute runs one request on the calling worker goroutine.
+func (s *Service) execute(req Request) Response {
+	start := time.Now()
+
+	// Canonicalize the engine so aliases ("gpu") hit the same cache entries
+	// and dispatch as their full names.
+	engine, err := ParseEngine(string(req.Engine))
+	if err != nil {
+		s.recordError()
+		return Response{Request: req, Err: err}
+	}
+	req.Engine = engine
+	resp := Response{Request: req}
+
+	s.mu.RLock()
+	ds, version, gen := s.ds, s.version, s.gen
+	s.mu.RUnlock()
+	resp.Version = version
+
+	genKey := strconv.FormatUint(gen, 10)
+	resultKey := cacheKey(genKey, req.QueryID, string(req.Engine))
+	if !req.NoCache {
+		s.cacheMu.Lock()
+		v, ok := s.results.get(resultKey)
+		s.cacheMu.Unlock()
+		if ok {
+			cached := v.(*Response)
+			// Hand out a copy: callers may mutate Groups in place, and the
+			// cached rows must stay identical to sequential execution.
+			resp.Result = cached.Result.Clone()
+			resp.SimSeconds = cached.SimSeconds
+			resp.PlanCached = true
+			resp.ResultCached = true
+			resp.Wall = time.Since(start)
+			s.recordStats(resp)
+			return resp
+		}
+	}
+	// Only the compile path needs the query definition; resolving it after
+	// the result-cache lookup keeps the hot path free of the catalog scan.
+	// (An unknown id can never be cached, so it still errors here.)
+	q, err := queries.ByID(req.QueryID)
+	if err != nil {
+		resp.Err = err
+		s.recordError()
+		return resp
+	}
+
+	// Plan lookup: install a once-guarded entry so concurrent misses for
+	// the same (generation, query) compile a single plan. The install is
+	// skipped if the dataset moved on since the snapshot — the entry would
+	// be keyed by a dead generation and only waste an LRU slot.
+	planKey := cacheKey(genKey, req.QueryID)
+	s.cacheMu.Lock()
+	var entry *planEntry
+	if v, ok := s.plans.get(planKey); ok {
+		entry = v.(*planEntry)
+		resp.PlanCached = true
+	} else {
+		entry = &planEntry{}
+		if s.generation() == gen {
+			s.plans.put(planKey, entry)
+		}
+	}
+	s.cacheMu.Unlock()
+
+	entry.once.Do(func() { entry.plan = queries.Compile(ds, q) })
+	resp.Result = entry.plan.Run(req.Engine)
+	resp.SimSeconds = resp.Result.Seconds
+	resp.Wall = time.Since(start)
+
+	// Cache only results that are still current: the dataset may have been
+	// swapped while this request executed. (A swap between the check and the
+	// put is benign — the entry is keyed by the old generation, which no
+	// lookup uses anymore.)
+	if s.generation() == gen {
+		// The cache keeps its own copy for the same reason the hit path
+		// clones: the caller owns the returned Result.
+		cached := resp
+		cached.Result = resp.Result.Clone()
+		s.cacheMu.Lock()
+		s.results.put(resultKey, &cached)
+		s.cacheMu.Unlock()
+	}
+	s.recordStats(resp)
+	return resp
+}
+
+func (s *Service) generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+func (s *Service) recordStats(resp Response) {
+	s.statsMu.Lock()
+	s.stats.record(resp)
+	s.statsMu.Unlock()
+}
+
+func (s *Service) recordError() {
+	s.statsMu.Lock()
+	s.stats.errors++
+	s.stats.requests++
+	s.statsMu.Unlock()
+}
+
+// cacheKey joins key parts with NUL, which cannot appear in query ids,
+// engine names or versions.
+func cacheKey(parts ...string) string { return strings.Join(parts, "\x00") }
+
+// engineAliases maps short names (CLI/HTTP friendly) to engines.
+var engineAliases = map[string]queries.Engine{
+	"gpu":     queries.EngineGPU,
+	"cpu":     queries.EngineCPU,
+	"hyper":   queries.EngineHyper,
+	"monet":   queries.EngineMonet,
+	"monetdb": queries.EngineMonet,
+	"omnisci": queries.EngineOmnisci,
+	"coproc":  queries.EngineCoproc,
+}
+
+// ParseEngine resolves an engine from its full name ("Standalone GPU") or
+// a short alias ("gpu", "cpu", "hyper", "monet", "omnisci", "coproc").
+func ParseEngine(name string) (queries.Engine, error) {
+	for _, e := range queries.Engines() {
+		if string(e) == name {
+			return e, nil
+		}
+	}
+	if e, ok := engineAliases[strings.ToLower(strings.TrimSpace(name))]; ok {
+		return e, nil
+	}
+	return "", fmt.Errorf("serve: unknown engine %q", name)
+}
+
+// EngineAlias returns the canonical short alias for an engine.
+func EngineAlias(e queries.Engine) string {
+	switch e {
+	case queries.EngineGPU:
+		return "gpu"
+	case queries.EngineCPU:
+		return "cpu"
+	case queries.EngineHyper:
+		return "hyper"
+	case queries.EngineMonet:
+		return "monet"
+	case queries.EngineOmnisci:
+		return "omnisci"
+	case queries.EngineCoproc:
+		return "coproc"
+	}
+	return string(e)
+}

@@ -1,0 +1,462 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"crystal/internal/queries"
+	"crystal/internal/ssb"
+)
+
+var (
+	dsOnce sync.Once
+	testDS *ssb.Dataset
+)
+
+// testData is a small dataset shared across tests; serving-layer behavior
+// does not depend on scale.
+func testData() *ssb.Dataset {
+	dsOnce.Do(func() { testDS = ssb.GenerateRows(1 << 12) })
+	return testDS
+}
+
+// allRequests is every (query, engine) pair: 13 x 6 = 78 requests.
+func allRequests() []Request {
+	var reqs []Request
+	for _, q := range queries.All() {
+		for _, e := range queries.Engines() {
+			reqs = append(reqs, Request{QueryID: q.ID, Engine: e})
+		}
+	}
+	return reqs
+}
+
+// TestEquivalenceWithSequentialRun is the tentpole correctness gate: all 13
+// queries on all 6 engines, dispatched concurrently across >= 4 workers,
+// must return row-for-row (and simulated-second) identical results to
+// sequential queries.Run.
+func TestEquivalenceWithSequentialRun(t *testing.T) {
+	ds := testData()
+	workers := 4
+	s := New(ds, "v1", Options{Workers: workers})
+	defer s.Close()
+	if s.Workers() < 4 {
+		t.Fatalf("want >= 4 workers, got %d", s.Workers())
+	}
+
+	reqs := allRequests()
+	resps, err := s.RunAll(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, resp := range resps {
+		if resp.Err != nil {
+			t.Fatalf("request %+v failed: %v", reqs[i], resp.Err)
+		}
+		q, err := queries.ByID(reqs[i].QueryID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := queries.Run(ds, q, reqs[i].Engine)
+		if !resp.Result.Equal(want) {
+			t.Errorf("%s on %s: served rows differ from sequential run", q.ID, reqs[i].Engine)
+		}
+		if resp.Result.Seconds != want.Seconds {
+			t.Errorf("%s on %s: served %.9fs simulated, sequential %.9fs",
+				q.ID, reqs[i].Engine, resp.Result.Seconds, want.Seconds)
+		}
+	}
+	st := s.Stats()
+	if st.Requests != int64(len(reqs)) {
+		t.Errorf("stats recorded %d requests, want %d", st.Requests, len(reqs))
+	}
+	if st.Errors != 0 {
+		t.Errorf("stats recorded %d errors, want 0", st.Errors)
+	}
+}
+
+// TestConcurrentSubmission hammers the pool from many client goroutines at
+// once (run under -race in CI): every response must match the reference.
+func TestConcurrentSubmission(t *testing.T) {
+	ds := testData()
+	s := New(ds, "v1", Options{Workers: 8})
+	defer s.Close()
+
+	refs := map[string]*queries.Result{}
+	for _, q := range queries.All() {
+		refs[q.ID] = queries.Reference(ds, q)
+	}
+
+	reqs := allRequests()
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := range reqs {
+				req := reqs[(i+c)%len(reqs)]
+				resp, err := s.Do(context.Background(), req)
+				if err != nil {
+					errs <- fmt.Errorf("client %d: %v", c, err)
+					return
+				}
+				if !resp.Result.Equal(refs[req.QueryID]) {
+					errs <- fmt.Errorf("client %d: %s on %s differs from reference", c, req.QueryID, req.Engine)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := s.Stats()
+	if want := int64(clients * len(reqs)); st.Requests != want {
+		t.Errorf("stats recorded %d requests, want %d", st.Requests, want)
+	}
+	// 78 distinct requests served 16x each: the vast majority must have hit
+	// the result cache, and plans are shared across engines.
+	if st.ResultHits < st.ResultMisses {
+		t.Errorf("expected mostly result hits, got %d hits / %d misses", st.ResultHits, st.ResultMisses)
+	}
+}
+
+func TestPlanAndResultCache(t *testing.T) {
+	ds := testData()
+	s := New(ds, "v1", Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+	req := Request{QueryID: "q2.1", Engine: queries.EngineCPU}
+
+	first, err := s.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.PlanCached || first.ResultCached {
+		t.Errorf("first request: PlanCached=%v ResultCached=%v, want cold", first.PlanCached, first.ResultCached)
+	}
+
+	second, err := s.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.PlanCached || !second.ResultCached {
+		t.Errorf("second request: PlanCached=%v ResultCached=%v, want both hits", second.PlanCached, second.ResultCached)
+	}
+	if !second.Result.Equal(first.Result) || second.SimSeconds != first.SimSeconds {
+		t.Error("cached response differs from computed response")
+	}
+
+	// A different engine on the same query reuses the plan but not the result.
+	other, err := s.Do(ctx, Request{QueryID: "q2.1", Engine: queries.EngineGPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !other.PlanCached {
+		t.Error("engine switch: plan should be shared across engines")
+	}
+	if other.ResultCached {
+		t.Error("engine switch: result cache must be keyed by engine")
+	}
+
+	// NoCache bypasses the result cache but still reuses the plan.
+	forced, err := s.Do(ctx, Request{QueryID: "q2.1", Engine: queries.EngineCPU, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forced.PlanCached {
+		t.Error("NoCache: plan cache should still apply")
+	}
+	if forced.ResultCached {
+		t.Error("NoCache: result must be recomputed")
+	}
+	if !forced.Result.Equal(first.Result) {
+		t.Error("NoCache recomputation differs from original result")
+	}
+
+	st := s.Stats()
+	if st.PlanHits != 3 || st.PlanMisses != 1 {
+		t.Errorf("plan cache: %d hits / %d misses, want 3/1", st.PlanHits, st.PlanMisses)
+	}
+	if st.ResultHits != 1 || st.ResultMisses != 3 {
+		t.Errorf("result cache: %d hits / %d misses, want 1/3", st.ResultHits, st.ResultMisses)
+	}
+	if st.CachedPlans != 1 {
+		t.Errorf("cached plans = %d, want 1", st.CachedPlans)
+	}
+	if st.CachedResults != 2 {
+		t.Errorf("cached results = %d, want 2 (cpu + gpu)", st.CachedResults)
+	}
+}
+
+// TestSetDatasetInvalidation swaps the dataset and checks that nothing
+// compiled against the old version is served: plans recompile and the new
+// (differently sized) data produces a different result.
+func TestSetDatasetInvalidation(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+	req := Request{QueryID: "q1.1", Engine: queries.EngineCPU}
+
+	old, err := s.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Version != "v1" {
+		t.Errorf("response version = %q, want v1", old.Version)
+	}
+
+	next := ssb.GenerateRows(1 << 11)
+	s.SetDataset("v2", next)
+	if st := s.Stats(); st.CachedPlans != 0 || st.CachedResults != 0 {
+		t.Errorf("after swap: %d plans / %d results still cached", st.CachedPlans, st.CachedResults)
+	}
+
+	fresh, err := s.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Version != "v2" {
+		t.Errorf("response version = %q, want v2", fresh.Version)
+	}
+	if fresh.PlanCached || fresh.ResultCached {
+		t.Error("request after swap must recompile and recompute")
+	}
+	want := queries.RunCPU(next, mustQuery(t, "q1.1"))
+	if !fresh.Result.Equal(want) {
+		t.Error("post-swap result does not match the new dataset")
+	}
+	if fresh.Result.Equal(old.Result) && fresh.SimSeconds == old.SimSeconds {
+		t.Error("post-swap response identical to pre-swap response; stale serve suspected")
+	}
+}
+
+func mustQuery(t *testing.T, id string) queries.Query {
+	t.Helper()
+	q, err := queries.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestAliasEngineRequest submits engine aliases through the Go API: they
+// must execute (not panic the worker) and share cache entries with the
+// canonical engine name.
+func TestAliasEngineRequest(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	byAlias, err := s.Do(ctx, Request{QueryID: "q2.1", Engine: "gpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byAlias.Request.Engine != queries.EngineGPU {
+		t.Errorf("alias request not canonicalized: engine = %q", byAlias.Request.Engine)
+	}
+	byName, err := s.Do(ctx, Request{QueryID: "q2.1", Engine: queries.EngineGPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !byName.ResultCached {
+		t.Error("canonical-name request should hit the alias request's cache entry")
+	}
+	if !byName.Result.Equal(byAlias.Result) {
+		t.Error("alias and canonical results differ")
+	}
+}
+
+func TestRequestErrors(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 1})
+	defer s.Close()
+	ctx := context.Background()
+
+	if _, err := s.Do(ctx, Request{QueryID: "q9.9", Engine: queries.EngineCPU}); err == nil {
+		t.Error("unknown query id: want error")
+	}
+	if _, err := s.Do(ctx, Request{QueryID: "q1.1", Engine: "Postgres"}); err == nil {
+		t.Error("unknown engine: want error")
+	}
+	if st := s.Stats(); st.Errors != 2 {
+		t.Errorf("stats recorded %d errors, want 2", st.Errors)
+	}
+}
+
+func TestCloseRejectsSubmissions(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 2})
+	resp, err := s.Do(context.Background(), Request{QueryID: "q1.1", Engine: queries.EngineCPU})
+	if err != nil || resp.Err != nil {
+		t.Fatalf("pre-close request failed: %v / %v", err, resp.Err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Submit(Request{QueryID: "q1.1", Engine: queries.EngineCPU}); err != ErrClosed {
+		t.Errorf("submit after close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestDoHonorsContext(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 1})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := s.Do(ctx, Request{QueryID: "q4.1", Engine: queries.EngineMonet})
+	// Either the request won the race and completed (err == nil), or the
+	// canceled wait returned promptly with context.Canceled.
+	if err != nil && err != context.Canceled {
+		t.Errorf("Do with canceled context: err = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("canceled Do did not return promptly")
+	}
+}
+
+// TestDoHonorsContextWhileQueueFull saturates a 1-worker, depth-1 queue
+// with slow requests and checks that a deadline-bound Do returns promptly
+// instead of blocking on the enqueue.
+func TestDoHonorsContextWhileQueueFull(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+	// Fill the single worker and the single queue slot with uncached work.
+	for i := 0; i < 4; i++ {
+		if _, err := s.Submit(Request{QueryID: "q4.1", Engine: queries.EngineGPU, NoCache: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.Do(ctx, Request{QueryID: "q1.1", Engine: queries.EngineCPU})
+	if err != nil && err != context.DeadlineExceeded {
+		t.Errorf("Do under full queue: err = %v, want DeadlineExceeded (or completion)", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("Do blocked %v past its 50ms deadline", elapsed)
+	}
+}
+
+// TestCachedResultIsolation mutates a served result and checks the cache
+// still returns the original rows.
+func TestCachedResultIsolation(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 1})
+	defer s.Close()
+	ctx := context.Background()
+	req := Request{QueryID: "q2.1", Engine: queries.EngineCPU}
+	first, err := s.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := first.Result.Clone()
+	for k := range first.Result.Groups {
+		first.Result.Groups[k] = -1 // caller trashes its copy
+	}
+	second, err := s.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.ResultCached {
+		t.Fatal("expected a cache hit")
+	}
+	if !second.Result.Equal(want) {
+		t.Error("cache served rows corrupted by an earlier caller's mutation")
+	}
+	for k := range second.Result.Groups {
+		second.Result.Groups[k] = -2 // mutating a hit must not touch the cache
+	}
+	third, err := s.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Result.Equal(want) {
+		t.Error("cache corrupted by mutating a cache-hit response")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	cases := map[string]queries.Engine{
+		"gpu":            queries.EngineGPU,
+		"CPU":            queries.EngineCPU,
+		"hyper":          queries.EngineHyper,
+		"monet":          queries.EngineMonet,
+		"monetdb":        queries.EngineMonet,
+		"omnisci":        queries.EngineOmnisci,
+		"coproc":         queries.EngineCoproc,
+		"Standalone GPU": queries.EngineGPU,
+		"Hyper (CPU)":    queries.EngineHyper,
+	}
+	for in, want := range cases {
+		got, err := ParseEngine(in)
+		if err != nil || got != want {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseEngine("duckdb"); err == nil {
+		t.Error("ParseEngine(duckdb): want error")
+	}
+	for _, e := range queries.Engines() {
+		rt, err := ParseEngine(EngineAlias(e))
+		if err != nil || rt != e {
+			t.Errorf("alias round-trip for %v failed: %v, %v", e, rt, err)
+		}
+	}
+}
+
+func TestStatsTable(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 2})
+	defer s.Close()
+	if _, err := s.Do(context.Background(), Request{QueryID: "q1.1", Engine: queries.EngineGPU}); err != nil {
+		t.Fatal(err)
+	}
+	tb := s.Stats().Table()
+	var buf strings.Builder
+	tb.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"v1", "gpu", "requests", "wall ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "mean") {
+		t.Errorf("stats table should suppress the mean row:\n%s", out)
+	}
+}
+
+func TestLRU(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	c.put("c", 3) // evicts b (least recently used after the get of a)
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.get("a"); !ok || v.(int) != 1 {
+		t.Error("a lost")
+	}
+	if v, ok := c.get("c"); !ok || v.(int) != 3 {
+		t.Error("c lost")
+	}
+	c.put("a", 9)
+	if v, _ := c.get("a"); v.(int) != 9 {
+		t.Error("put did not refresh existing key")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+	c.purge()
+	if c.len() != 0 {
+		t.Errorf("len after purge = %d, want 0", c.len())
+	}
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"crystal/internal/bench"
+	"crystal/internal/queries"
+)
+
+// engineAccum accumulates per-engine latency under the service mutex.
+type engineAccum struct {
+	requests    int64
+	simSeconds  float64
+	wallSeconds float64
+}
+
+// statsAccum is the service-internal running tally.
+type statsAccum struct {
+	requests     int64
+	errors       int64
+	planHits     int64
+	planMisses   int64
+	resultHits   int64
+	resultMisses int64
+	engines      map[queries.Engine]*engineAccum
+}
+
+func (a *statsAccum) record(resp Response) {
+	a.requests++
+	if resp.PlanCached {
+		a.planHits++
+	} else {
+		a.planMisses++
+	}
+	if resp.ResultCached {
+		a.resultHits++
+	} else {
+		a.resultMisses++
+	}
+	e := a.engines[resp.Request.Engine]
+	if e == nil {
+		e = &engineAccum{}
+		a.engines[resp.Request.Engine] = e
+	}
+	e.requests++
+	e.simSeconds += resp.SimSeconds
+	e.wallSeconds += resp.Wall.Seconds()
+}
+
+// EngineStats reports one engine's served traffic: how much simulated
+// device time it accounted for versus the wall-clock time the host spent
+// producing it (caching and concurrency only affect the latter).
+type EngineStats struct {
+	Engine   queries.Engine `json:"engine"`
+	Alias    string         `json:"alias"`
+	Requests int64          `json:"requests"`
+	// SimMS and WallMS are the mean per-request latencies in milliseconds.
+	SimMS  float64 `json:"sim_ms"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	Version  string `json:"version"`
+	Workers  int    `json:"workers"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+
+	PlanHits      int64   `json:"plan_hits"`
+	PlanMisses    int64   `json:"plan_misses"`
+	PlanHitRate   float64 `json:"plan_hit_rate"`
+	CachedPlans   int     `json:"cached_plans"`
+	ResultHits    int64   `json:"result_hits"`
+	ResultMisses  int64   `json:"result_misses"`
+	ResultHitRate float64 `json:"result_hit_rate"`
+	CachedResults int     `json:"cached_results"`
+
+	Engines []EngineStats `json:"engines"`
+}
+
+// Stats snapshots the current counters.
+func (s *Service) Stats() Stats {
+	out := Stats{Workers: s.opts.Workers}
+	s.mu.RLock()
+	out.Version = s.version
+	s.mu.RUnlock()
+	s.cacheMu.Lock()
+	out.CachedPlans = s.plans.len()
+	out.CachedResults = s.results.len()
+	s.cacheMu.Unlock()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	out.Requests = s.stats.requests
+	out.Errors = s.stats.errors
+	out.PlanHits = s.stats.planHits
+	out.PlanMisses = s.stats.planMisses
+	out.ResultHits = s.stats.resultHits
+	out.ResultMisses = s.stats.resultMisses
+	out.PlanHitRate = rate(out.PlanHits, out.PlanMisses)
+	out.ResultHitRate = rate(out.ResultHits, out.ResultMisses)
+	// Report engines in the fixed evaluation order so output is stable.
+	for _, e := range queries.Engines() {
+		a := s.stats.engines[e]
+		if a == nil {
+			continue
+		}
+		out.Engines = append(out.Engines, EngineStats{
+			Engine:   e,
+			Alias:    EngineAlias(e),
+			Requests: a.requests,
+			SimMS:    a.simSeconds / float64(a.requests) * 1e3,
+			WallMS:   a.wallSeconds / float64(a.requests) * 1e3,
+		})
+	}
+	return out
+}
+
+// Table renders the per-engine latency split with the repo's reporting
+// harness: requests served, mean simulated device time, and mean host
+// wall-clock time per engine.
+func (st Stats) Table() *bench.Table {
+	tb := &bench.Table{
+		Title:   "served engines (dataset " + st.Version + ")",
+		Columns: []string{"requests", "sim ms", "wall ms"},
+		NoMean:  true,
+	}
+	for _, e := range st.Engines {
+		tb.AddRow(e.Alias, float64(e.Requests), e.SimMS, e.WallMS)
+	}
+	return tb
+}
+
+func rate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}

@@ -1,0 +1,96 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"crystal/internal/queries"
+	"crystal/internal/serve"
+	"crystal/internal/ssb"
+)
+
+var (
+	serveOnce sync.Once
+	serveDS   *ssb.Dataset
+)
+
+// serveData is deliberately small: a serving workload is many cheap
+// queries, and the smaller the per-query parallel section, the more the
+// pool's concurrency (not the operators' internal parallelism) determines
+// throughput.
+func serveData() *ssb.Dataset {
+	serveOnce.Do(func() { serveDS = ssb.GenerateRows(1 << 14) })
+	return serveDS
+}
+
+// BenchmarkServiceThroughput drives the 13 SSB queries on every engine
+// through the query service at increasing pool sizes. Requests bypass the
+// result cache (NoCache) so every dispatch executes functionally; the plan
+// cache stays hot, as it would in steady-state serving. The custom metric
+// queries/s is the end-to-end service throughput: on a multi-core host it
+// rises with the worker count until the cores are saturated.
+func BenchmarkServiceThroughput(b *testing.B) {
+	ds := serveData()
+	var reqs []serve.Request
+	for _, q := range queries.All() {
+		for _, e := range queries.Engines() {
+			reqs = append(reqs, serve.Request{QueryID: q.ID, Engine: e, NoCache: true})
+		}
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := serve.New(ds, "bench", serve.Options{Workers: workers})
+			defer s.Close()
+			// One warm pass compiles and caches every plan.
+			if _, err := s.RunAll(ctx, reqs); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resps, err := s.RunAll(ctx, reqs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range resps {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*len(reqs))/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkServiceCachedThroughput is the same workload with the result
+// cache enabled: after the first pass every request is a cache hit, which
+// is the serving layer's fast path for repeated dashboards-style traffic.
+func BenchmarkServiceCachedThroughput(b *testing.B) {
+	ds := serveData()
+	var reqs []serve.Request
+	for _, q := range queries.All() {
+		for _, e := range queries.Engines() {
+			reqs = append(reqs, serve.Request{QueryID: q.ID, Engine: e})
+		}
+	}
+	ctx := context.Background()
+	s := serve.New(ds, "bench", serve.Options{Workers: 4, ResultCacheSize: len(reqs)})
+	defer s.Close()
+	if _, err := s.RunAll(ctx, reqs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunAll(ctx, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := s.Stats()
+	b.ReportMetric(float64(b.N*len(reqs))/b.Elapsed().Seconds(), "queries/s")
+	b.ReportMetric(st.ResultHitRate*100, "hit%")
+}
