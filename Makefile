@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench-smoke serve ci
+.PHONY: all build test lint fuzz bench-smoke serve ci
 
 all: build test
 
@@ -12,6 +12,13 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# Each fuzz target runs its corpus plus ~20s of new inputs: the dataset
+# decoder and the SQL frontend (parse -> canonical print fixed point, bind
+# never panics).
+fuzz:
+	$(GO) test ./internal/ssb -run='^$$' -fuzz=FuzzRead -fuzztime=20s
+	$(GO) test ./internal/sql -run='^$$' -fuzz=FuzzParse -fuzztime=20s
 
 lint:
 	$(GO) vet ./...
@@ -25,4 +32,4 @@ bench-smoke:
 serve:
 	$(GO) run ./cmd/ssbserve
 
-ci: build lint test bench-smoke
+ci: build lint test fuzz bench-smoke

@@ -5,7 +5,8 @@
 //	-fig16  Hyper, Standalone CPU, Omnisci, Standalone GPU (Figure 16)
 //	-case21 the Section 5.3 q2.1 case study (model vs measured)
 //	-cost   the Section 5.4 dollar-cost comparison (Table 3)
-//	-all    everything
+//	-sql    one ad-hoc SQL statement, compiled by internal/sql, on every engine
+//	-all    everything (except -sql)
 //
 // Queries execute functionally at the given scale factor (default 2; the
 // paper uses 20) and the reported milliseconds are additionally
@@ -23,6 +24,7 @@ import (
 	"crystal/internal/model"
 	"crystal/internal/planner"
 	"crystal/internal/queries"
+	sqlfe "crystal/internal/sql"
 	"crystal/internal/ssb"
 )
 
@@ -36,13 +38,14 @@ var (
 	plans   = flag.Bool("plans", false, "rank the q2.1 join orders with the cost-based planner (Section 5.3)")
 	all     = flag.Bool("all", false, "run everything")
 	dataset = flag.String("data", "", "load a dataset written by datagen instead of generating")
+	sqlStmt = flag.String("sql", "", "run one ad-hoc SQL statement across every engine and print its rows")
 )
 
 const paperSF = 20
 
 func main() {
 	flag.Parse()
-	if !(*fig3 || *fig16 || *case21 || *cost || *multi || *plans) {
+	if !(*fig3 || *fig16 || *case21 || *cost || *multi || *plans || *sqlStmt != "") {
 		*all = true
 	}
 
@@ -101,6 +104,56 @@ func main() {
 	if *all || *plans {
 		runPlans(ds)
 	}
+	if *sqlStmt != "" {
+		if err := runSQL(ds, scale, *sqlStmt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runSQL compiles one ad-hoc statement through the SQL frontend, reorders
+// its joins with the cost-based planner (payload order preserved), runs it
+// on every engine, cross-checks the rows, and prints the result table.
+func runSQL(ds *ssb.Dataset, scale func(*queries.Result) float64, stmt string) error {
+	q, err := sqlfe.Compile(stmt)
+	if err != nil {
+		return err
+	}
+	q = planner.OptimizeGrouped(device.V100(), ds, q)
+	bench.Banner(os.Stdout, "ad-hoc SQL ("+q.ID+"), extrapolated to SF 20")
+	fmt.Printf("%s\n\n", q.Describe())
+
+	tb := &bench.Table{Title: "engine times (ms)"}
+	var results []*queries.Result
+	for _, e := range queries.Engines() {
+		res := queries.Run(ds, q, e)
+		results = append(results, res)
+		tb.Columns = append(tb.Columns, string(e))
+	}
+	var vals []float64
+	for _, res := range results {
+		vals = append(vals, scale(res))
+	}
+	tb.AddRow(q.ID, vals...)
+	tb.Fprint(os.Stdout)
+
+	for i, res := range results[1:] {
+		if !res.Equal(results[0]) {
+			return fmt.Errorf("engine %s disagrees with %s on the result rows",
+				queries.Engines()[i+1], queries.Engines()[0])
+		}
+	}
+	rows := q.DecodeRows(results[0])
+	fmt.Printf("\n%d result row(s):\n", len(rows))
+	for _, r := range rows {
+		for _, l := range r.Labels {
+			fmt.Printf("%-14s", l)
+		}
+		fmt.Printf("%d\n", r.Sum)
+	}
+	fmt.Println()
+	return nil
 }
 
 // runPlans reproduces the Section 5.3 plan-selection exercise: every join

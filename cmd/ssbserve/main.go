@@ -1,15 +1,23 @@
 // Command ssbserve exposes the concurrent SSB query service over HTTP:
 //
-//	GET /query?id=q2.1&engine=gpu   execute one query on one engine
-//	GET /engines                    list engines and their aliases
-//	GET /stats                      cache hit rates, per-engine latency
+//	GET  /query?id=q2.1&engine=gpu  execute one catalog query on one engine
+//	POST /sql?engine=gpu            execute an ad-hoc SQL statement (body)
+//	GET  /sql?q=SELECT...&engine=gpu  same, statement in the query string
+//	GET  /engines                   list engines and their aliases
+//	GET  /stats                     cache hit rates, named vs ad-hoc traffic
 //
 // The service schedules requests across a bounded worker pool and caches
-// compiled plans and recent results, so repeated queries are served from
-// memory while simulated engine times stay identical to a cold run.
+// SQL bindings, compiled plans and recent results, so repeated queries are
+// served from memory while simulated engine times stay identical to a cold
+// run. Plan and result caches key on the canonical form of the bound
+// query, so any respelling of the same statement — whitespace, comments,
+// filter order — hits the same entries.
 //
 //	ssbserve -sf 1 -workers 8 -addr :8080
 //	curl 'localhost:8080/query?id=q2.1&engine=gpu'
+//	curl -d "SELECT SUM(revenue), d_year FROM lineorder, date \
+//	         WHERE lo_orderdate = d_datekey GROUP BY d_year" \
+//	     'localhost:8080/sql?engine=gpu'
 package main
 
 import (
@@ -18,11 +26,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,6 +77,7 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", handleQuery(svc))
+	mux.HandleFunc("/sql", handleSQL(svc))
 	mux.HandleFunc("/engines", handleEngines)
 	mux.HandleFunc("/stats", handleStats(svc))
 
@@ -94,11 +106,12 @@ func main() {
 	}
 }
 
-// queryResponse is the JSON shape of one /query result.
+// queryResponse is the JSON shape of one /query or /sql result.
 type queryResponse struct {
 	Query        string  `json:"query"`
 	Engine       string  `json:"engine"`
 	Version      string  `json:"version"`
+	Adhoc        bool    `json:"adhoc"`
 	Rows         [][]any `json:"rows"`
 	SimMS        float64 `json:"sim_ms"`
 	WallMS       float64 `json:"wall_ms"`
@@ -113,49 +126,76 @@ func handleQuery(svc *serve.Service) http.HandlerFunc {
 			httpError(w, http.StatusBadRequest, errors.New("missing ?id= (try q2.1)"))
 			return
 		}
-		// The service canonicalizes and validates the engine; the query is
-		// resolved here only because decodeRows needs its group-by shape.
-		q, err := queries.ByID(id)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		noCache := false
-		if v := r.URL.Query().Get("nocache"); v != "" {
-			noCache, err = strconv.ParseBool(v)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("bad nocache value %q: want a boolean", v))
-				return
-			}
-		}
-		req := serve.Request{
+		serveRequest(svc, w, r, serve.Request{
 			QueryID: id,
 			Engine:  queries.Engine(r.URL.Query().Get("engine")),
-			NoCache: noCache,
-		}
-		resp, err := svc.Do(r.Context(), req)
-		if err != nil {
-			status := http.StatusInternalServerError
-			if errors.Is(err, r.Context().Err()) {
-				status = http.StatusRequestTimeout
-			} else if resp.Err != nil {
-				status = http.StatusBadRequest
+		})
+	}
+}
+
+// handleSQL executes an ad-hoc statement: POST with the statement as the
+// request body (or form field "q"), or GET with ?q=.
+func handleSQL(svc *serve.Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		stmt := r.URL.Query().Get("q")
+		if stmt == "" && r.Method == http.MethodPost {
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
 			}
-			httpError(w, status, err)
+			stmt = string(body)
+			// Accept form posts (curl --data-urlencode q=...) as well as a
+			// raw statement body.
+			if vals, err := url.ParseQuery(stmt); err == nil && vals.Get("q") != "" {
+				stmt = vals.Get("q")
+			}
+		}
+		if strings.TrimSpace(stmt) == "" {
+			httpError(w, http.StatusBadRequest, errors.New("missing SQL statement: POST it as the body or pass ?q="))
 			return
 		}
-		out := queryResponse{
-			Query:        id,
-			Engine:       string(resp.Request.Engine),
-			Version:      resp.Version,
-			Rows:         decodeRows(q, resp.Result),
-			SimMS:        resp.SimSeconds * 1e3,
-			WallMS:       float64(resp.Wall) / float64(time.Millisecond),
-			PlanCached:   resp.PlanCached,
-			ResultCached: resp.ResultCached,
-		}
-		writeJSON(w, out)
+		serveRequest(svc, w, r, serve.Request{
+			SQL:    stmt,
+			Engine: queries.Engine(r.URL.Query().Get("engine")),
+		})
 	}
+}
+
+// serveRequest runs one request through the service and writes the shared
+// JSON response shape.
+func serveRequest(svc *serve.Service, w http.ResponseWriter, r *http.Request, req serve.Request) {
+	if v := r.URL.Query().Get("nocache"); v != "" {
+		noCache, err := strconv.ParseBool(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad nocache value %q: want a boolean", v))
+			return
+		}
+		req.NoCache = noCache
+	}
+	resp, err := svc.Do(r.Context(), req)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, r.Context().Err()) {
+			status = http.StatusRequestTimeout
+		} else if resp.Err != nil {
+			status = http.StatusBadRequest
+		}
+		httpError(w, status, err)
+		return
+	}
+	out := queryResponse{
+		Query:        resp.Query.ID,
+		Engine:       string(resp.Request.Engine),
+		Version:      resp.Version,
+		Adhoc:        resp.Adhoc,
+		Rows:         decodeRows(resp.Query, resp.Result),
+		SimMS:        resp.SimSeconds * 1e3,
+		WallMS:       float64(resp.Wall) / float64(time.Millisecond),
+		PlanCached:   resp.PlanCached,
+		ResultCached: resp.ResultCached,
+	}
+	writeJSON(w, out)
 }
 
 // decodeRows unpacks the result's packed group keys into per-payload
@@ -193,8 +233,8 @@ func handleStats(svc *serve.Service) http.HandlerFunc {
 		st := svc.Stats()
 		if r.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprintf(w, "dataset %s, %d workers, %d requests (%d errors)\n",
-				st.Version, st.Workers, st.Requests, st.Errors)
+			fmt.Fprintf(w, "dataset %s, %d workers, %d requests (%d named, %d ad-hoc, %d errors)\n",
+				st.Version, st.Workers, st.Requests, st.NamedRequests, st.AdhocRequests, st.Errors)
 			fmt.Fprintf(w, "plan cache:   %.0f%% hit rate, %d entries\n",
 				st.PlanHitRate*100, st.CachedPlans)
 			fmt.Fprintf(w, "result cache: %.0f%% hit rate, %d entries\n\n",

@@ -15,6 +15,7 @@ package planner
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"crystal/internal/device"
@@ -163,5 +164,38 @@ func Optimize(dev *device.Spec, ds *ssb.Dataset, q queries.Query) queries.Query 
 	}
 	out := q
 	out.Joins = plans[0].Order
+	return out
+}
+
+// OptimizeGrouped returns a copy of the query with its joins reordered to
+// the cheapest plan that keeps the payload-carrying joins in their original
+// relative order. Packed group keys follow join order, so unlike Optimize
+// the result rows — keys included — are identical to the input query's;
+// this is the variant the SQL frontend uses, where the GROUP BY clause has
+// already fixed the payload order. The identity order always qualifies, so
+// a plan is always found.
+func OptimizeGrouped(dev *device.Spec, ds *ssb.Dataset, q queries.Query) queries.Query {
+	want := payloadDims(q.Joins)
+	for _, p := range Choose(dev, ds, q) {
+		if len(p.Order) == 0 {
+			return q
+		}
+		if slices.Equal(payloadDims(p.Order), want) {
+			out := q
+			out.Joins = p.Order
+			return out
+		}
+	}
+	return q
+}
+
+// payloadDims lists the dimensions of payload-carrying joins in join order.
+func payloadDims(joins []queries.JoinSpec) []string {
+	var out []string
+	for _, j := range joins {
+		if j.Payload != "" {
+			out = append(out, j.Dim)
+		}
+	}
 	return out
 }

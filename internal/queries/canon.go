@@ -1,0 +1,46 @@
+package queries
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Canonical returns a deterministic encoding of the query's physical form:
+// the aggregate, the fact filters, and each join in plan order with its
+// filters. The ID is excluded and IN-set order is normalized away, but
+// filter order and join order are part of the encoding — both shape the
+// memory traffic the engines charge, so queries that execute differently
+// must never collide. Text-level freedom (whitespace, comments, conjunct
+// order) is instead normalized by the SQL binder, which sorts filters into
+// a canonical order before this encoding is taken.
+//
+// The serving layer uses this as its plan- and result-cache key: equal
+// canonical forms guarantee identical rows and identical simulated
+// seconds.
+func (q *Query) Canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "agg=%d;fact=%s", q.Agg, canonFilters(q.FactFilters))
+	for _, j := range q.Joins {
+		fmt.Fprintf(&b, ";join=%s/%s/%s/%s", j.Dim, j.FactFK, j.Payload, canonFilters(j.Filters))
+	}
+	return b.String()
+}
+
+func canonFilters(fs []Filter) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		if f.In != nil {
+			vals := append([]int32(nil), f.In...)
+			sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+			strs := make([]string, len(vals))
+			for vi, v := range vals {
+				strs[vi] = fmt.Sprint(v)
+			}
+			parts[i] = fmt.Sprintf("%s:in:%s", f.Col, strings.Join(strs, ","))
+		} else {
+			parts[i] = fmt.Sprintf("%s:%d:%d", f.Col, f.Lo, f.Hi)
+		}
+	}
+	return strings.Join(parts, "|")
+}

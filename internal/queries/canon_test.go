@@ -1,0 +1,73 @@
+package queries
+
+import "testing"
+
+func TestCanonicalExcludesIDKeepsFilterOrder(t *testing.T) {
+	q, _ := ByID("q1.1")
+	renamed := q
+	renamed.ID = "something-else"
+	if q.Canonical() != renamed.Canonical() {
+		t.Errorf("ID leaked into the canonical form:\n%s\n%s", q.Canonical(), renamed.Canonical())
+	}
+	// Filter order is physical: evaluation order changes the short-circuit
+	// traffic the engines charge, so reordered filters must not collide
+	// (text-level order freedom is normalized by the SQL binder instead).
+	reordered := q
+	reordered.FactFilters = []Filter{q.FactFilters[2], q.FactFilters[0], q.FactFilters[1]}
+	if q.Canonical() == reordered.Canonical() {
+		t.Error("different filter orders share a canonical form; served seconds would be nondeterministic")
+	}
+}
+
+func TestCanonicalNormalizesInSets(t *testing.T) {
+	a := Query{ID: "a", Joins: []JoinSpec{{Dim: "customer", FactFK: "custkey",
+		Filters: []Filter{{Col: "city", In: []int32{7, 3}}}}}}
+	b := Query{ID: "b", Joins: []JoinSpec{{Dim: "customer", FactFK: "custkey",
+		Filters: []Filter{{Col: "city", In: []int32{3, 7}}}}}}
+	if a.Canonical() != b.Canonical() {
+		t.Error("IN-set order leaked into the canonical form")
+	}
+}
+
+func TestCanonicalDistinguishesSemantics(t *testing.T) {
+	base, _ := ByID("q2.1")
+	seen := map[string]string{base.Canonical(): "q2.1"}
+	check := func(name string, q Query) {
+		t.Helper()
+		c := q.Canonical()
+		if prev, dup := seen[c]; dup {
+			t.Errorf("%s and %s share a canonical form: %s", name, prev, c)
+		}
+		seen[c] = name
+	}
+	agg := base
+	agg.Agg = AggSumProfit
+	check("different aggregate", agg)
+
+	bounds := base
+	bounds.FactFilters = []Filter{{Col: "quantity", Lo: 1, Hi: 10}}
+	check("extra fact filter", bounds)
+
+	order := base
+	order.Joins = []JoinSpec{base.Joins[1], base.Joins[0], base.Joins[2]}
+	check("different join order", order) // join order packs group keys differently
+
+	payload := base
+	payload.Joins = append([]JoinSpec(nil), base.Joins...)
+	payload.Joins[2].Payload = ""
+	check("dropped payload", payload)
+
+	for _, q := range All() {
+		if q.ID != "q2.1" {
+			check(q.ID, q)
+		}
+	}
+}
+
+func TestCanonicalTreatsNilAndEmptyFiltersAlike(t *testing.T) {
+	a := Query{ID: "a", Joins: []JoinSpec{{Dim: "date", FactFK: "orderdate"}}}
+	b := Query{ID: "b", Joins: []JoinSpec{{Dim: "date", FactFK: "orderdate", Filters: []Filter{}}}}
+	if a.Canonical() != b.Canonical() {
+		t.Error("nil vs empty filter slice changed the canonical form")
+	}
+}

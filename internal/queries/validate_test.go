@@ -1,0 +1,119 @@
+package queries
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateErrorMessages pins the wording of every Validate error path:
+// the SQL frontend surfaces these verbatim to users, so each must name the
+// query, the offending column and the constraint.
+func TestValidateErrorMessages(t *testing.T) {
+	cases := []struct {
+		name    string
+		q       Query
+		wantSub string
+	}{
+		{
+			"no id",
+			Query{},
+			"no id",
+		},
+		{
+			"unknown fact column",
+			Query{ID: "x", FactFilters: []Filter{{Col: "lo_tax", Lo: 0, Hi: 1}}},
+			`unknown fact column "lo_tax"`,
+		},
+		{
+			"inverted fact range",
+			Query{ID: "x", FactFilters: []Filter{{Col: "discount", Lo: 9, Hi: 2}}},
+			"empty range [9,2]",
+		},
+		{
+			"empty fact IN set",
+			Query{ID: "x", FactFilters: []Filter{{Col: "discount", In: []int32{}}}},
+			"empty IN set",
+		},
+		{
+			"unknown dimension",
+			Query{ID: "x", Joins: []JoinSpec{{Dim: "warehouse", FactFK: "suppkey"}}},
+			`unknown dimension "warehouse"`,
+		},
+		{
+			"unknown foreign key",
+			Query{ID: "x", Joins: []JoinSpec{{Dim: "supplier", FactFK: "warehousekey"}}},
+			`unknown FK "warehousekey"`,
+		},
+		{
+			"dim filter on foreign column",
+			Query{ID: "x", Joins: []JoinSpec{{Dim: "date", FactFK: "orderdate",
+				Filters: []Filter{{Col: "region", Lo: 0, Hi: 1}}}}},
+			`unknown date column "region"`,
+		},
+		{
+			"inverted dim range",
+			Query{ID: "x", Joins: []JoinSpec{{Dim: "date", FactFK: "orderdate",
+				Filters: []Filter{{Col: "year", Lo: 1998, Hi: 1992}}}}},
+			"empty range [1998,1992]",
+		},
+		{
+			"empty dim IN set",
+			Query{ID: "x", Joins: []JoinSpec{{Dim: "customer", FactFK: "custkey",
+				Filters: []Filter{{Col: "city", In: nil, Lo: 1, Hi: 0}}}}},
+			"empty range",
+		},
+		{
+			"payload on foreign column",
+			Query{ID: "x", Joins: []JoinSpec{{Dim: "part", FactFK: "partkey", Payload: "year"}}},
+			`unknown part column "year"`,
+		},
+		{
+			"packed group-key overflow",
+			Query{ID: "x", Joins: []JoinSpec{
+				{Dim: "customer", FactFK: "custkey", Payload: "nation"},
+				{Dim: "supplier", FactFK: "suppkey", Payload: "nation"},
+				{Dim: "part", FactFK: "partkey", Payload: "brand1"},
+				{Dim: "date", FactFK: "orderdate", Payload: "year"},
+			}},
+			"4 group keys; the packed key holds at most 3",
+		},
+	}
+	for _, tc := range cases {
+		err := tc.q.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the query", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.wantSub)
+		}
+		if tc.q.ID != "" && !strings.Contains(err.Error(), tc.q.ID) {
+			t.Errorf("%s: error %q does not name the query id", tc.name, err)
+		}
+	}
+}
+
+// TestValidateAcceptsBoundaryShapes covers the accepting edge of each rule:
+// shapes close to the failure cases above that must stay valid.
+func TestValidateAcceptsBoundaryShapes(t *testing.T) {
+	cases := []Query{
+		// Single-point range (Lo == Hi).
+		{ID: "x", FactFilters: []Filter{{Col: "quantity", Lo: 24, Hi: 24}}},
+		// One-element IN set; Lo/Hi garbage is ignored when In is set.
+		{ID: "x", FactFilters: []Filter{{Col: "discount", In: []int32{4}, Lo: 9, Hi: 2}}},
+		// Exactly three group keys fill the packed key.
+		{ID: "x", Joins: []JoinSpec{
+			{Dim: "customer", FactFK: "custkey", Payload: "city"},
+			{Dim: "supplier", FactFK: "suppkey", Payload: "city"},
+			{Dim: "date", FactFK: "orderdate", Payload: "year"},
+		}},
+		// A join may both filter and carry a payload on the same column.
+		{ID: "x", Joins: []JoinSpec{{Dim: "part", FactFK: "partkey",
+			Filters: []Filter{{Col: "brand1", Lo: 0, Hi: 10}}, Payload: "brand1"}}},
+	}
+	for i, q := range cases {
+		if err := q.Validate(); err != nil {
+			t.Errorf("case %d: Validate rejected a valid query: %v", i, err)
+		}
+	}
+}

@@ -1,10 +1,16 @@
 // Package serve is the concurrent query-service layer on top of the SSB
-// engines: requests name a query and an engine, a bounded worker pool
+// engines: requests name a catalog query (or carry an ad-hoc SQL statement
+// compiled through internal/sql) and an engine, a bounded worker pool
 // executes them (partition-per-core, like the operators' parallelFor), and
-// two caches short-circuit repeated work — compiled plans (the built join
-// hash tables, shared safely between concurrent runs) and recent results,
-// both keyed by dataset version so swapping in a new dataset invalidates
-// everything at once.
+// three caches short-circuit repeated work — SQL bindings (statement text
+// to planner-ordered query), compiled plans (the built join hash tables,
+// shared safely between concurrent runs) and recent results. Plan and
+// result keys are the query's canonical form: the binder normalizes ad-hoc
+// text (whitespace, comments, conjunct order) into one physical shape, so
+// every respelling of a statement shares entries — and a named query's
+// entries are shared too whenever the planner lands on the catalog's exact
+// plan. Every key embeds the dataset generation, so swapping in a new
+// dataset invalidates everything at once.
 //
 // The simulated engine times are unaffected by serving: a cache-hit plan
 // re-charges its build traffic exactly as a cold run would, so a served
@@ -24,17 +30,25 @@ import (
 	"sync"
 	"time"
 
+	"crystal/internal/device"
+	"crystal/internal/planner"
 	"crystal/internal/queries"
+	sqlfe "crystal/internal/sql"
 	"crystal/internal/ssb"
 )
 
 // ErrClosed is returned by submissions to a closed service.
 var ErrClosed = errors.New("serve: service is closed")
 
-// Request names one unit of work: an SSB query executed on one engine.
+// Request names one unit of work: a query executed on one engine. The
+// query is either named (QueryID, one of the 13 SSB definitions) or ad hoc
+// (SQL, a statement in the internal/sql dialect); exactly one must be set.
 type Request struct {
 	QueryID string
-	Engine  queries.Engine
+	// SQL is an ad-hoc statement compiled through the SQL frontend and
+	// join-ordered by the cost-based planner.
+	SQL    string
+	Engine queries.Engine
 	// NoCache bypasses the result cache for this request (the plan cache
 	// still applies); used to force fresh execution for benchmarking.
 	NoCache bool
@@ -45,7 +59,12 @@ type Response struct {
 	Request Request
 	// Version is the dataset version the request executed against.
 	Version string
-	Result  *queries.Result
+	// Query is the resolved (and, for SQL requests, planner-ordered) query
+	// the service executed; callers use it to decode result group keys.
+	Query queries.Query
+	// Adhoc reports whether the request came through the SQL frontend.
+	Adhoc  bool
+	Result *queries.Result
 	// SimSeconds is the engine's simulated device time (Result.Seconds).
 	SimSeconds float64
 	// Wall is the host wall-clock time the service spent producing the
@@ -66,6 +85,9 @@ type Options struct {
 	PlanCacheSize int
 	// ResultCacheSize caps the result cache (default 256 entries).
 	ResultCacheSize int
+	// BindCacheSize caps the SQL bind cache, which maps raw statement text
+	// to its bound, planner-ordered query (default 128 entries).
+	BindCacheSize int
 	// QueueDepth bounds the pending-request queue (default 4x Workers).
 	QueueDepth int
 }
@@ -80,6 +102,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.ResultCacheSize <= 0 {
 		out.ResultCacheSize = 256
+	}
+	if out.BindCacheSize <= 0 {
+		out.BindCacheSize = 128
 	}
 	if out.QueueDepth <= 0 {
 		out.QueueDepth = 4 * out.Workers
@@ -112,12 +137,18 @@ type Service struct {
 	gen    uint64
 	closed bool
 
-	// cacheMu guards both LRUs (lookups reorder the recency list, so even
+	// cacheMu guards the LRUs (lookups reorder the recency list, so even
 	// reads are writes); it is separate from mu so the cache-hit fast path
-	// never contends with dataset snapshots.
+	// never contends with dataset snapshots. Plan and result keys use the
+	// query's canonical form (queries.Query.Canonical), not its ID, so two
+	// SQL spellings of one statement — whitespace, comments, filter order —
+	// share entries, as does a named query whose catalog plan coincides
+	// with the bound form. Distinct canonical forms never collide, which
+	// keeps served simulated seconds deterministic.
 	cacheMu sync.Mutex
-	plans   *lru // "version\x00query" -> *planEntry
-	results *lru // "version\x00query\x00engine" -> *Response
+	plans   *lru // "gen\x00canonical" -> *planEntry
+	results *lru // "gen\x00canonical\x00engine" -> *Response
+	binds   *lru // "gen\x00sql text" -> *boundSQL
 
 	statsMu sync.Mutex
 	stats   statsAccum
@@ -139,6 +170,7 @@ func New(ds *ssb.Dataset, version string, opts Options) *Service {
 	}
 	s.plans = newLRU(s.opts.PlanCacheSize)
 	s.results = newLRU(s.opts.ResultCacheSize)
+	s.binds = newLRU(s.opts.BindCacheSize)
 	s.stats.engines = map[queries.Engine]*engineAccum{}
 	s.jobs = make(chan job, s.opts.QueueDepth)
 	s.wg.Add(s.opts.Workers)
@@ -175,6 +207,7 @@ func (s *Service) SetDataset(version string, ds *ssb.Dataset) {
 	s.cacheMu.Lock()
 	s.plans.purge()
 	s.results.purge()
+	s.binds.purge()
 	s.cacheMu.Unlock()
 }
 
@@ -260,6 +293,77 @@ func (s *Service) RunAll(ctx context.Context, reqs []Request) ([]Response, error
 	return out, nil
 }
 
+// boundSQL is a bind-cache entry: the statement compiled, validated and
+// join-ordered once, with its canonical cache key.
+type boundSQL struct {
+	q     queries.Query
+	canon string
+}
+
+// catalog memoizes the 13 named queries with their canonical keys, so the
+// result-cache fast path never re-scans the catalog or re-renders the
+// canonical string. Entries are read-only after the Once.
+var (
+	catalogOnce sync.Once
+	catalog     map[string]*boundSQL
+)
+
+func namedQuery(id string) (*boundSQL, error) {
+	catalogOnce.Do(func() {
+		catalog = make(map[string]*boundSQL)
+		for _, q := range queries.All() {
+			catalog[q.ID] = &boundSQL{q: q, canon: q.Canonical()}
+		}
+	})
+	b, ok := catalog[id]
+	if !ok {
+		_, err := queries.ByID(id) // canonical "unknown query" error
+		return nil, err
+	}
+	return b, nil
+}
+
+// resolve turns a request into the query to execute plus its canonical
+// cache key. Named queries come from the catalog; SQL statements go
+// through the frontend and the cost-based planner (payload-order
+// preserving, priced on the GPU device the paper centers on), memoized in
+// the bind cache so repeated texts skip both.
+func (s *Service) resolve(ds *ssb.Dataset, gen uint64, req Request) (queries.Query, string, error) {
+	switch {
+	case req.QueryID != "" && req.SQL != "":
+		return queries.Query{}, "", fmt.Errorf("serve: request sets both QueryID %q and SQL; pick one", req.QueryID)
+	case req.QueryID != "":
+		b, err := namedQuery(req.QueryID)
+		if err != nil {
+			return queries.Query{}, "", err
+		}
+		return b.q, b.canon, nil
+	case req.SQL != "":
+		bindKey := cacheKey(strconv.FormatUint(gen, 10), "sql", req.SQL)
+		s.cacheMu.Lock()
+		v, ok := s.binds.get(bindKey)
+		s.cacheMu.Unlock()
+		if ok {
+			b := v.(*boundSQL)
+			return b.q, b.canon, nil
+		}
+		q, err := sqlfe.Compile(req.SQL)
+		if err != nil {
+			return queries.Query{}, "", err
+		}
+		q = planner.OptimizeGrouped(device.V100(), ds, q)
+		b := &boundSQL{q: q, canon: q.Canonical()}
+		if s.generation() == gen {
+			s.cacheMu.Lock()
+			s.binds.put(bindKey, b)
+			s.cacheMu.Unlock()
+		}
+		return b.q, b.canon, nil
+	default:
+		return queries.Query{}, "", errors.New("serve: request names no query (set QueryID or SQL)")
+	}
+}
+
 // execute runs one request on the calling worker goroutine.
 func (s *Service) execute(req Request) Response {
 	start := time.Now()
@@ -272,15 +376,23 @@ func (s *Service) execute(req Request) Response {
 		return Response{Request: req, Err: err}
 	}
 	req.Engine = engine
-	resp := Response{Request: req}
+	resp := Response{Request: req, Adhoc: req.SQL != ""}
 
 	s.mu.RLock()
 	ds, version, gen := s.ds, s.version, s.gen
 	s.mu.RUnlock()
 	resp.Version = version
 
+	q, canon, err := s.resolve(ds, gen, req)
+	if err != nil {
+		resp.Err = err
+		s.recordError()
+		return resp
+	}
+	resp.Query = q
+
 	genKey := strconv.FormatUint(gen, 10)
-	resultKey := cacheKey(genKey, req.QueryID, string(req.Engine))
+	resultKey := cacheKey(genKey, canon, string(req.Engine))
 	if !req.NoCache {
 		s.cacheMu.Lock()
 		v, ok := s.results.get(resultKey)
@@ -288,8 +400,11 @@ func (s *Service) execute(req Request) Response {
 		if ok {
 			cached := v.(*Response)
 			// Hand out a copy: callers may mutate Groups in place, and the
-			// cached rows must stay identical to sequential execution.
+			// cached rows must stay identical to sequential execution. The
+			// id is rewritten because equivalent queries (named vs SQL, or
+			// two SQL spellings) share the entry under their canonical form.
 			resp.Result = cached.Result.Clone()
+			resp.Result.QueryID = q.ID
 			resp.SimSeconds = cached.SimSeconds
 			resp.PlanCached = true
 			resp.ResultCached = true
@@ -298,21 +413,12 @@ func (s *Service) execute(req Request) Response {
 			return resp
 		}
 	}
-	// Only the compile path needs the query definition; resolving it after
-	// the result-cache lookup keeps the hot path free of the catalog scan.
-	// (An unknown id can never be cached, so it still errors here.)
-	q, err := queries.ByID(req.QueryID)
-	if err != nil {
-		resp.Err = err
-		s.recordError()
-		return resp
-	}
 
 	// Plan lookup: install a once-guarded entry so concurrent misses for
-	// the same (generation, query) compile a single plan. The install is
-	// skipped if the dataset moved on since the snapshot — the entry would
-	// be keyed by a dead generation and only waste an LRU slot.
-	planKey := cacheKey(genKey, req.QueryID)
+	// the same (generation, canonical query) compile a single plan. The
+	// install is skipped if the dataset moved on since the snapshot — the
+	// entry would be keyed by a dead generation and only waste an LRU slot.
+	planKey := cacheKey(genKey, canon)
 	s.cacheMu.Lock()
 	var entry *planEntry
 	if v, ok := s.plans.get(planKey); ok {
@@ -328,6 +434,7 @@ func (s *Service) execute(req Request) Response {
 
 	entry.once.Do(func() { entry.plan = queries.Compile(ds, q) })
 	resp.Result = entry.plan.Run(req.Engine)
+	resp.Result.QueryID = q.ID
 	resp.SimSeconds = resp.Result.Seconds
 	resp.Wall = time.Since(start)
 

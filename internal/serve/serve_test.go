@@ -460,3 +460,162 @@ func TestLRU(t *testing.T) {
 		t.Errorf("len after purge = %d, want 0", c.len())
 	}
 }
+
+// TestSQLRequestMatchesNamedQuery submits q2.1 as SQL text (its Describe
+// rendering) and checks the rows match the named request on every engine.
+func TestSQLRequestMatchesNamedQuery(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+	q21 := mustQuery(t, "q2.1")
+	stmt := q21.Describe()
+	for _, e := range queries.Engines() {
+		named, err := s.Do(ctx, Request{QueryID: "q2.1", Engine: e})
+		if err != nil {
+			t.Fatal(err)
+		}
+		adhoc, err := s.Do(ctx, Request{SQL: stmt, Engine: e})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !adhoc.Result.Equal(named.Result) {
+			t.Errorf("%s: SQL rows differ from named rows", e)
+		}
+		if !adhoc.Adhoc || named.Adhoc {
+			t.Errorf("%s: Adhoc flags wrong: sql=%v named=%v", e, adhoc.Adhoc, named.Adhoc)
+		}
+		if len(adhoc.Query.GroupPayloads()) != 2 {
+			t.Errorf("%s: resolved query lost its group shape", e)
+		}
+	}
+	st := s.Stats()
+	if st.NamedRequests != 6 || st.AdhocRequests != 6 {
+		t.Errorf("traffic split = %d named / %d adhoc, want 6/6", st.NamedRequests, st.AdhocRequests)
+	}
+}
+
+// TestSQLCanonicalCacheKey is the acceptance gate for the ad-hoc cache: an
+// ad-hoc (non-SSB) query hits the plan cache on the second request, and
+// respellings — whitespace, comments, filter order, literal style — hit
+// the result cache too.
+func TestSQLCanonicalCacheKey(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+	const stmt = `SELECT SUM(revenue), supplier.nation FROM lineorder, supplier
+		WHERE lo.suppkey = supplier.key AND supplier.region = 'ASIA' AND lo.quantity < 30
+		GROUP BY supplier.nation`
+
+	first, err := s.Do(ctx, Request{SQL: stmt, Engine: queries.EngineGPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.PlanCached || first.ResultCached {
+		t.Error("first ad-hoc request should be cold")
+	}
+	second, err := s.Do(ctx, Request{SQL: stmt, Engine: queries.EngineGPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.PlanCached || !second.ResultCached {
+		t.Errorf("second identical request: PlanCached=%v ResultCached=%v, want both", second.PlanCached, second.ResultCached)
+	}
+
+	// Same statement, different spelling: whitespace, comments, reordered
+	// conjuncts, numeric region code instead of the dictionary literal.
+	respelled := "-- respelled\nselect sum(lo_revenue), s_nation from lineorder, supplier where quantity <= 29 and s_region = 2 and suppkey = s_suppkey group by s_nation"
+	third, err := s.Do(ctx, Request{SQL: respelled, Engine: queries.EngineGPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.PlanCached || !third.ResultCached {
+		t.Errorf("respelled request: PlanCached=%v ResultCached=%v, want both", third.PlanCached, third.ResultCached)
+	}
+	if !third.Result.Equal(first.Result) || third.SimSeconds != first.SimSeconds {
+		t.Error("respelled request served different rows or simulated time")
+	}
+	if third.Result.QueryID != third.Query.ID {
+		t.Errorf("cache hit kept the other spelling's id: %s vs %s", third.Result.QueryID, third.Query.ID)
+	}
+}
+
+// TestSQLNamedShareCanonicalEntries checks a named query and its SQL
+// rendering share plan and result cache entries when their physical forms
+// coincide. q2.1 qualifies: no fact filters (the binder's filter sort is a
+// no-op) and the V100 planner lands on the catalog's hand-picked
+// supplier->part->date order, so the canonical forms are equal. Queries
+// where the forms diverge (flight 1's filter order, q4.3's join order) get
+// independent entries by design — distinct physical plans never collide.
+func TestSQLNamedShareCanonicalEntries(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+	named, err := s.Do(ctx, Request{QueryID: "q2.1", Engine: queries.EngineCPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q21 := mustQuery(t, "q2.1")
+	adhoc, err := s.Do(ctx, Request{SQL: q21.Describe(), Engine: queries.EngineCPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adhoc.PlanCached || !adhoc.ResultCached {
+		t.Errorf("SQL rendering of q2.1: PlanCached=%v ResultCached=%v, want both (shared with named)", adhoc.PlanCached, adhoc.ResultCached)
+	}
+	if !adhoc.Result.Equal(named.Result) {
+		t.Error("shared entry served different rows")
+	}
+	if adhoc.SimSeconds != named.SimSeconds {
+		t.Error("shared entry served different simulated seconds")
+	}
+	if adhoc.Result.QueryID != adhoc.Query.ID {
+		t.Errorf("hit kept the named id: %s", adhoc.Result.QueryID)
+	}
+}
+
+func TestSQLRequestErrors(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 1})
+	defer s.Close()
+	ctx := context.Background()
+	cases := []Request{
+		{SQL: "SELECT * FROM lineorder", Engine: queries.EngineCPU},                             // parse error
+		{SQL: "SELECT SUM(tax) FROM lineorder", Engine: queries.EngineCPU},                      // bind error
+		{SQL: "SELECT SUM(revenue) FROM lineorder", QueryID: "q1.1", Engine: queries.EngineCPU}, // both set
+		{Engine: queries.EngineCPU}, // neither set
+	}
+	for _, req := range cases {
+		if _, err := s.Do(ctx, req); err == nil {
+			t.Errorf("request %+v: want error", req)
+		}
+	}
+	if st := s.Stats(); st.Errors != int64(len(cases)) {
+		t.Errorf("stats recorded %d errors, want %d", st.Errors, len(cases))
+	}
+}
+
+// TestSQLBindCacheInvalidation swaps the dataset and checks an ad-hoc
+// statement re-binds and re-executes against the new data.
+func TestSQLBindCacheInvalidation(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+	const stmt = "SELECT SUM(lo.extprice * lo.discount) FROM lineorder WHERE lo.discount BETWEEN 1 AND 3"
+	old, err := s.Do(ctx, Request{SQL: stmt, Engine: queries.EngineGPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetDataset("v2", ssb.GenerateRows(1<<11))
+	fresh, err := s.Do(ctx, Request{SQL: stmt, Engine: queries.EngineGPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.PlanCached || fresh.ResultCached {
+		t.Error("ad-hoc request after swap must rebind and recompute")
+	}
+	if fresh.Version != "v2" {
+		t.Errorf("version = %q, want v2", fresh.Version)
+	}
+	if fresh.Result.Equal(old.Result) && fresh.SimSeconds == old.SimSeconds {
+		t.Error("post-swap ad-hoc response identical to pre-swap; stale bind suspected")
+	}
+}

@@ -15,6 +15,8 @@ type engineAccum struct {
 // statsAccum is the service-internal running tally.
 type statsAccum struct {
 	requests     int64
+	named        int64
+	adhoc        int64
 	errors       int64
 	planHits     int64
 	planMisses   int64
@@ -25,6 +27,11 @@ type statsAccum struct {
 
 func (a *statsAccum) record(resp Response) {
 	a.requests++
+	if resp.Adhoc {
+		a.adhoc++
+	} else {
+		a.named++
+	}
 	if resp.PlanCached {
 		a.planHits++
 	} else {
@@ -62,7 +69,11 @@ type Stats struct {
 	Version  string `json:"version"`
 	Workers  int    `json:"workers"`
 	Requests int64  `json:"requests"`
-	Errors   int64  `json:"errors"`
+	// NamedRequests and AdhocRequests split successful traffic between
+	// catalog queries (QueryID) and the SQL frontend.
+	NamedRequests int64 `json:"named_requests"`
+	AdhocRequests int64 `json:"adhoc_requests"`
+	Errors        int64 `json:"errors"`
 
 	PlanHits      int64   `json:"plan_hits"`
 	PlanMisses    int64   `json:"plan_misses"`
@@ -89,6 +100,8 @@ func (s *Service) Stats() Stats {
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
 	out.Requests = s.stats.requests
+	out.NamedRequests = s.stats.named
+	out.AdhocRequests = s.stats.adhoc
 	out.Errors = s.stats.errors
 	out.PlanHits = s.stats.planHits
 	out.PlanMisses = s.stats.planMisses

@@ -1,0 +1,175 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ColRef is a possibly-qualified column reference (table may be empty).
+type ColRef struct {
+	Table string
+	Col   string
+}
+
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Col
+	}
+	return c.Table + "." + c.Col
+}
+
+// Literal is an integer or single-quoted string constant.
+type Literal struct {
+	IsStr bool
+	Str   string
+	Num   int64
+}
+
+func (l Literal) String() string {
+	if l.IsStr {
+		return "'" + l.Str + "'"
+	}
+	return strconv.FormatInt(l.Num, 10)
+}
+
+// AggExpr is the SUM argument: a column, optionally combined with a second
+// one ("a * b" or "a - b"). Op is 0, '*' or '-'.
+type AggExpr struct {
+	Left  ColRef
+	Op    byte
+	Right ColRef
+}
+
+func (a AggExpr) String() string {
+	if a.Op == 0 {
+		return "SUM(" + a.Left.String() + ")"
+	}
+	return "SUM(" + a.Left.String() + " " + string(a.Op) + " " + a.Right.String() + ")"
+}
+
+// SelectItem is one projection: either the aggregate or a grouped column.
+type SelectItem struct {
+	Agg *AggExpr
+	Col *ColRef
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+func (t TableRef) String() string {
+	if t.Alias == "" {
+		return t.Name
+	}
+	return t.Name + " " + t.Alias
+}
+
+// JoinClause is an explicit "JOIN table ON left = right".
+type JoinClause struct {
+	Table TableRef
+	Left  ColRef
+	Right ColRef
+}
+
+// predKind discriminates the Pred variants.
+type predKind int
+
+const (
+	predCompare predKind = iota // Col Op Lit
+	predBetween                 // Col BETWEEN Lo AND Hi
+	predIn                      // Col IN (List...)
+	predJoinEq                  // Col = RHS (two column refs)
+	predTrivial                 // constant tautology such as 1=1
+)
+
+// Pred is one WHERE conjunct.
+type Pred struct {
+	Kind   predKind
+	Col    ColRef
+	Op     string // predCompare: = < <= > >=
+	Lit    Literal
+	Lo, Hi Literal
+	List   []Literal
+	RHS    ColRef
+}
+
+func (p Pred) String() string {
+	switch p.Kind {
+	case predBetween:
+		return p.Col.String() + " BETWEEN " + p.Lo.String() + " AND " + p.Hi.String()
+	case predIn:
+		var vals []string
+		for _, l := range p.List {
+			vals = append(vals, l.String())
+		}
+		return p.Col.String() + " IN (" + strings.Join(vals, ", ") + ")"
+	case predJoinEq:
+		return p.Col.String() + " = " + p.RHS.String()
+	case predTrivial:
+		return "1 = 1"
+	default:
+		return p.Col.String() + " " + p.Op + " " + p.Lit.String()
+	}
+}
+
+// Select is the parsed statement.
+type Select struct {
+	Items   []SelectItem
+	Tables  []TableRef
+	Joins   []JoinClause
+	Where   []Pred
+	GroupBy []ColRef
+}
+
+// String renders the statement in canonical form: uppercase keywords,
+// single spaces, no comments, trivial (1=1) conjuncts dropped, no trailing
+// semicolon. Canonical output re-parses to an AST that prints identically
+// (the fuzz fixed point), and serves as the human-readable normalized text.
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Agg != nil {
+			b.WriteString(it.Agg.String())
+		} else {
+			b.WriteString(it.Col.String())
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.Tables {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	for _, j := range s.Joins {
+		b.WriteString(" JOIN " + j.Table.String() + " ON " + j.Left.String() + " = " + j.Right.String())
+	}
+	first := true
+	for _, p := range s.Where {
+		if p.Kind == predTrivial {
+			continue
+		}
+		if first {
+			b.WriteString(" WHERE ")
+			first = false
+		} else {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(p.String())
+	}
+	for i, g := range s.GroupBy {
+		if i == 0 {
+			b.WriteString(" GROUP BY ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(g.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package sql
+
+import (
+	"testing"
+
+	"crystal/internal/queries"
+)
+
+// FuzzParse feeds arbitrary statements to the frontend: the parser must
+// never panic, any statement it accepts must have a canonical print that
+// re-parses to the same canonical print (a fixed point), and the binder
+// must turn the AST into either a valid query or an error — never a panic.
+func FuzzParse(f *testing.F) {
+	// Seed with the 13 SSB queries in the dialect plus tricky shapes.
+	for _, q := range queries.All() {
+		f.Add(q.Describe())
+	}
+	f.Add("SELECT SUM(lo_extendedprice * lo_discount) FROM lineorder WHERE lo_discount BETWEEN 1 AND 3")
+	f.Add("SELECT SUM(revenue), s.city FROM lineorder, supplier s WHERE suppkey = s.key GROUP BY s.city")
+	f.Add("select sum(revenue) from lineorder join date on orderdate = date.key where year in (1993, 1995)")
+	f.Add("SELECT SUM(revenue) FROM lineorder WHERE quantity >= -1 AND discount < 11")
+	f.Add("-- comment\nSELECT SUM(revenue) FROM lineorder;")
+	f.Add("SELECT SUM(revenue) FROM lineorder WHERE 1=1 AND city IN ('UNITED KI1')")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		ast, err := Parse(src)
+		if err != nil {
+			return // rejected input; only panics are bugs
+		}
+		canon := ast.String()
+		ast2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical print does not re-parse: %v\n input: %q\n canon: %q", err, src, canon)
+		}
+		if again := ast2.String(); again != canon {
+			t.Fatalf("canonical print is not a fixed point:\n input: %q\n first: %q\nsecond: %q", src, canon, again)
+		}
+		// Binding must never panic; errors are fine. A bound query must
+		// pass the same validation gate as the built-in catalog.
+		q, err := Bind(ast)
+		if err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("bound query fails validation: %v\n input: %q", err, src)
+		}
+		// Equivalent text (the canonical form) must bind to the same
+		// canonical query — the property the serve cache keys rely on.
+		q2, err := Bind(ast2)
+		if err != nil {
+			t.Fatalf("canonical text fails to bind: %v\n input: %q", err, src)
+		}
+		if q.Canonical() != q2.Canonical() {
+			t.Fatalf("canonical text binds differently:\n%s\n%s", q.Canonical(), q2.Canonical())
+		}
+	})
+}

@@ -1,0 +1,123 @@
+// Package sql is the ad-hoc query frontend: a small SQL dialect covering
+// the star-schema shape the engines execute —
+//
+//	SELECT SUM(<agg>) [, group cols] FROM lineorder [, dims | JOIN dim ON ...]
+//	[WHERE pred AND ...] [GROUP BY cols]
+//
+// — compiled in three stages: lexer -> parser (AST with a canonical
+// printer) -> binder, which lowers the AST onto the SSB schema and emits a
+// queries.Query that runs unchanged on all six engines. The dialect parses
+// the output of queries.Describe, so every built-in SSB query round-trips
+// through the frontend (see the golden test).
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkNumber
+	tkString
+	tkPunct // one of ( ) , . ; * - = < <= > >=
+)
+
+// token is one lexeme with its byte offset (for error messages).
+type token struct {
+	kind tokenKind
+	text string // idents lowercased; punctuation verbatim; strings unquoted
+	num  int64  // valid when kind == tkNumber
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tkEOF:
+		return "end of input"
+	case tkString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenizes the statement. "--" comments run to end of line. Strings
+// are single-quoted with no escapes (SSB literals never contain quotes).
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentPart(src[i]) {
+				i++
+			}
+			toks = append(toks, token{kind: tkIdent, text: strings.ToLower(src[start:i]), pos: start})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			n, err := strconv.ParseInt(src[start:i], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: number %q at offset %d out of range", src[start:i], start)
+			}
+			toks = append(toks, token{kind: tkNumber, text: strconv.FormatInt(n, 10), num: n, pos: start})
+		case c == '\'':
+			start := i
+			i++
+			for i < len(src) && src[i] != '\'' {
+				i++
+			}
+			if i >= len(src) {
+				return nil, fmt.Errorf("sql: unterminated string starting at offset %d", start)
+			}
+			toks = append(toks, token{kind: tkString, text: src[start+1 : i], pos: start})
+			i++
+		case c == '<' || c == '>':
+			op := string(c)
+			i++
+			if i < len(src) && src[i] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{kind: tkPunct, text: op, pos: i - len(op)})
+		case strings.ContainsRune("(),.;*-=", rune(c)):
+			toks = append(toks, token{kind: tkPunct, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tkEOF, pos: len(src)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// keywords are reserved: they never lex into column or table names.
+var keywords = map[string]bool{
+	"select": true, "sum": true, "from": true, "where": true, "and": true,
+	"group": true, "by": true, "between": true, "in": true, "join": true,
+	"inner": true, "on": true, "as": true,
+}

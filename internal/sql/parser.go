@@ -1,0 +1,344 @@
+package sql
+
+import "fmt"
+
+// Parse lexes and parses one SELECT statement. The grammar (README "SQL
+// dialect" section):
+//
+//	select   := SELECT item (',' item)* FROM table (',' table)* join*
+//	            [WHERE pred (AND pred)*] [GROUP BY col (',' col)*] [';']
+//	item     := SUM '(' col [('*'|'-') col] ')' | col
+//	table    := ident [[AS] ident]
+//	join     := [INNER] JOIN table ON col '=' col
+//	pred     := col op literal | col BETWEEN literal AND literal
+//	          | col IN '(' literal (',' literal)* ')' | col '=' col
+//	          | number '=' number          (tautology, e.g. WHERE 1=1)
+//	op       := '=' | '<' | '<=' | '>' | '>='
+//	col      := ident ['.' ident]
+//	literal  := ['-'] number | 'string'
+func Parse(src string) (*Select, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.punct(";") // optional terminator
+	if t := p.peek(); t.kind != tkEOF {
+		return nil, p.errorf("unexpected %s after statement", t)
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tkEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// keyword consumes the given keyword if it is next.
+func (p *parser) keyword(kw string) bool {
+	if t := p.peek(); t.kind == tkIdent && t.text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errorf("expected %s, got %s", kw, p.peek())
+	}
+	return nil
+}
+
+// punct consumes the given punctuation token if it is next.
+func (p *parser) punct(s string) bool {
+	if t := p.peek(); t.kind == tkPunct && t.text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.punct(s) {
+		return p.errorf("expected %q, got %s", s, p.peek())
+	}
+	return nil
+}
+
+// ident consumes a non-keyword identifier.
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tkIdent || keywords[t.text] {
+		return "", p.errorf("expected identifier, got %s", t)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	for {
+		item, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.punct(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.parseTable()
+		if err != nil {
+			return nil, err
+		}
+		sel.Tables = append(sel.Tables, t)
+		if !p.punct(",") {
+			break
+		}
+	}
+	for {
+		if p.keyword("inner") {
+			if err := p.expectKeyword("join"); err != nil {
+				return nil, err
+			}
+		} else if !p.keyword("join") {
+			break
+		}
+		t, err := p.parseTable()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("on"); err != nil {
+			return nil, err
+		}
+		left, err := p.parseCol()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		right, err := p.parseCol()
+		if err != nil {
+			return nil, err
+		}
+		sel.Joins = append(sel.Joins, JoinClause{Table: t, Left: left, Right: right})
+	}
+	if p.keyword("where") {
+		for {
+			pred, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			sel.Where = append(sel.Where, pred)
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	if p.keyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseCol()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, c)
+			if !p.punct(",") {
+				break
+			}
+		}
+	}
+	return sel, nil
+}
+
+func (p *parser) parseItem() (SelectItem, error) {
+	if p.keyword("sum") {
+		if err := p.expectPunct("("); err != nil {
+			return SelectItem{}, err
+		}
+		agg := &AggExpr{}
+		var err error
+		if agg.Left, err = p.parseCol(); err != nil {
+			return SelectItem{}, err
+		}
+		switch {
+		case p.punct("*"):
+			agg.Op = '*'
+		case p.punct("-"):
+			agg.Op = '-'
+		}
+		if agg.Op != 0 {
+			if agg.Right, err = p.parseCol(); err != nil {
+				return SelectItem{}, err
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Agg: agg}, nil
+	}
+	c, err := p.parseCol()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: &c}, nil
+}
+
+func (p *parser) parseTable() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	t := TableRef{Name: name}
+	p.keyword("as")
+	if tok := p.peek(); tok.kind == tkIdent && !keywords[tok.text] {
+		t.Alias = tok.text
+		p.next()
+	}
+	return t, nil
+}
+
+func (p *parser) parseCol() (ColRef, error) {
+	first, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.punct(".") {
+		col, err := p.ident()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: first, Col: col}, nil
+	}
+	return ColRef{Col: first}, nil
+}
+
+func (p *parser) parsePred() (Pred, error) {
+	// Constant predicate: Describe emits "WHERE 1=1" as the conjunct anchor.
+	if t := p.peek(); t.kind == tkNumber {
+		lhs := p.next()
+		if err := p.expectPunct("="); err != nil {
+			return Pred{}, err
+		}
+		rhs := p.peek()
+		if rhs.kind != tkNumber {
+			return Pred{}, p.errorf("expected number, got %s", rhs)
+		}
+		p.next()
+		if lhs.num != rhs.num {
+			return Pred{}, fmt.Errorf("sql: offset %d: constant predicate %d = %d is always false", lhs.pos, lhs.num, rhs.num)
+		}
+		return Pred{Kind: predTrivial}, nil
+	}
+	col, err := p.parseCol()
+	if err != nil {
+		return Pred{}, err
+	}
+	if p.keyword("between") {
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return Pred{}, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return Pred{}, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return Pred{}, err
+		}
+		return Pred{Kind: predBetween, Col: col, Lo: lo, Hi: hi}, nil
+	}
+	if p.keyword("in") {
+		if err := p.expectPunct("("); err != nil {
+			return Pred{}, err
+		}
+		var list []Literal
+		for {
+			l, err := p.parseLiteral()
+			if err != nil {
+				return Pred{}, err
+			}
+			list = append(list, l)
+			if !p.punct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return Pred{}, err
+		}
+		return Pred{Kind: predIn, Col: col, List: list}, nil
+	}
+	var op string
+	for _, cand := range []string{"=", "<=", ">=", "<", ">"} {
+		if p.punct(cand) {
+			op = cand
+			break
+		}
+	}
+	if op == "" {
+		return Pred{}, p.errorf("expected comparison operator, got %s", p.peek())
+	}
+	// "col = other.col" is a join predicate; any other operand is a literal.
+	if op == "=" {
+		if t := p.peek(); t.kind == tkIdent && !keywords[t.text] {
+			rhs, err := p.parseCol()
+			if err != nil {
+				return Pred{}, err
+			}
+			return Pred{Kind: predJoinEq, Col: col, RHS: rhs}, nil
+		}
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return Pred{}, err
+	}
+	return Pred{Kind: predCompare, Col: col, Op: op, Lit: lit}, nil
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	neg := p.punct("-")
+	t := p.peek()
+	switch {
+	case t.kind == tkNumber:
+		p.next()
+		n := t.num
+		if neg {
+			n = -n
+		}
+		return Literal{Num: n}, nil
+	case t.kind == tkString && !neg:
+		p.next()
+		return Literal{IsStr: true, Str: t.text}, nil
+	default:
+		return Literal{}, p.errorf("expected literal, got %s", t)
+	}
+}

@@ -1,0 +1,210 @@
+package sql
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"crystal/internal/queries"
+	"crystal/internal/ssb"
+)
+
+func mustCompile(t *testing.T, stmt string) queries.Query {
+	t.Helper()
+	q, err := Compile(stmt)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", stmt, err)
+	}
+	return q
+}
+
+func TestParseCanonicalFixedPoint(t *testing.T) {
+	cases := []string{
+		"SELECT SUM(lo.revenue) FROM lineorder",
+		"select   sum( revenue )\nfrom lineorder ;",
+		"-- comment\nSELECT SUM(lo.extprice * lo.discount) FROM lineorder WHERE 1=1 AND lo.discount BETWEEN 1 AND 3",
+		"SELECT SUM(revenue), d.year FROM lineorder, date WHERE lo_orderdate = d.key GROUP BY d.year",
+		"SELECT SUM(revenue) FROM lineorder JOIN supplier ON lo.suppkey = supplier.key WHERE supplier.region = 'ASIA'",
+		"SELECT SUM(revenue) FROM lineorder, customer AS cst WHERE custkey = cst.key AND cst.city IN ('UNITED KI1', 'UNITED KI5')",
+		"SELECT SUM(revenue) FROM lineorder WHERE quantity >= -5 AND discount <= 3 AND extprice > 10 AND supplycost < 99",
+	}
+	for _, src := range cases {
+		ast, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		canon := ast.String()
+		ast2, err := Parse(canon)
+		if err != nil {
+			t.Errorf("canonical %q does not re-parse: %v", canon, err)
+			continue
+		}
+		if again := ast2.String(); again != canon {
+			t.Errorf("canonical print not a fixed point:\n first %q\nsecond %q", canon, again)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT FROM lineorder",
+		"SUM(revenue) FROM lineorder",
+		"SELECT SUM(revenue)", // no FROM
+		"SELECT SUM(revenue revenue) FROM lineorder",                        // bad agg expr
+		"SELECT SUM(a + b) FROM lineorder",                                  // unsupported operator
+		"SELECT SUM(revenue) FROM lineorder WHERE",                          // dangling WHERE
+		"SELECT SUM(revenue) FROM lineorder WHERE 1 = 2",                    // always false
+		"SELECT SUM(revenue) FROM lineorder WHERE quantity",                 // no operator
+		"SELECT SUM(revenue) FROM lineorder WHERE quantity ! 3",             // bad character
+		"SELECT SUM(revenue) FROM lineorder WHERE q BETWEEN 1",              // half a BETWEEN
+		"SELECT SUM(revenue) FROM lineorder WHERE q IN ()",                  // empty IN
+		"SELECT SUM(revenue) FROM lineorder WHERE q IN (1,",                 // unclosed IN
+		"SELECT SUM(revenue) FROM lineorder GROUP year",                     // missing BY
+		"SELECT SUM(revenue) FROM lineorder JOIN date",                      // missing ON
+		"SELECT SUM(revenue) FROM lineorder; SELECT 1",                      // trailing statement
+		"SELECT SUM(revenue) FROM lineorder WHERE x = 'oops",                // unterminated string
+		"SELECT SUM(revenue) FROM lineorder WHERE x = 99999999999999999999", // number overflow
+		"SELECT SUM(select) FROM lineorder",                                 // keyword as identifier
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestBindSimpleAggregate(t *testing.T) {
+	q := mustCompile(t, "SELECT SUM(lo.extprice * lo.discount) FROM lineorder WHERE lo.discount BETWEEN 1 AND 3 AND lo.quantity < 25")
+	if q.Agg != queries.AggSumExtDisc {
+		t.Errorf("agg = %v", q.Agg)
+	}
+	want := []queries.Filter{
+		{Col: "discount", Lo: 1, Hi: 3},
+		{Col: "quantity", Lo: math.MinInt32, Hi: 24},
+	}
+	if !reflect.DeepEqual(q.FactFilters, want) {
+		t.Errorf("filters = %+v", q.FactFilters)
+	}
+	if len(q.Joins) != 0 {
+		t.Errorf("joins = %+v", q.Joins)
+	}
+	if !strings.HasPrefix(q.ID, "sql-") {
+		t.Errorf("id = %q", q.ID)
+	}
+}
+
+func TestBindComparisonOperators(t *testing.T) {
+	cases := map[string]queries.Filter{
+		"quantity = 7":  {Col: "quantity", Lo: 7, Hi: 7},
+		"quantity < 7":  {Col: "quantity", Lo: math.MinInt32, Hi: 6},
+		"quantity <= 7": {Col: "quantity", Lo: math.MinInt32, Hi: 7},
+		"quantity > 7":  {Col: "quantity", Lo: 8, Hi: math.MaxInt32},
+		"quantity >= 7": {Col: "quantity", Lo: 7, Hi: math.MaxInt32},
+	}
+	for pred, want := range cases {
+		q := mustCompile(t, "SELECT SUM(revenue) FROM lineorder WHERE "+pred)
+		if len(q.FactFilters) != 1 || !reflect.DeepEqual(q.FactFilters[0], want) {
+			t.Errorf("%s -> %+v, want %+v", pred, q.FactFilters, want)
+		}
+	}
+}
+
+func TestBindDictionaryLiterals(t *testing.T) {
+	q := mustCompile(t, `SELECT SUM(revenue), part.brand1, date.year
+		FROM lineorder, supplier, part, date
+		WHERE lo.suppkey = supplier.key AND supplier.region = 'AMERICA'
+		  AND lo.partkey = part.key AND part.category = 'MFGR#12'
+		  AND lo.orderdate = date.key
+		GROUP BY part.brand1, date.year`)
+	if got := q.Joins[0].Filters[0]; got.Lo != ssb.America || got.Hi != ssb.America {
+		t.Errorf("region filter = %+v", got)
+	}
+	if got := q.Joins[1].Filters[0]; got.Lo != ssb.CategoryCode("MFGR#12") {
+		t.Errorf("category filter = %+v", got)
+	}
+	// SSB-style column names and numeric codes bind to the same query.
+	alt := mustCompile(t, `SELECT SUM(lo_revenue), p_brand1, d_year
+		FROM lineorder, supplier, part, date
+		WHERE lo_suppkey = s_suppkey AND s_region = 1
+		  AND lo_partkey = p_partkey AND p_category = 'MFGR#12'
+		  AND lo_orderdate = d_datekey
+		GROUP BY p_brand1, d_year`)
+	if alt.Canonical() != q.Canonical() {
+		t.Errorf("SSB-style spelling binds differently:\n%s\n%s", alt.Canonical(), q.Canonical())
+	}
+	if alt.ID != q.ID {
+		t.Errorf("equivalent statements got different ids: %s vs %s", alt.ID, q.ID)
+	}
+}
+
+func TestBindGroupByOrderControlsPayloadOrder(t *testing.T) {
+	base := `SELECT SUM(revenue) FROM lineorder, part, date
+		WHERE lo.partkey = part.key AND lo.orderdate = date.key GROUP BY `
+	ab := mustCompile(t, base+"part.brand1, date.year")
+	ba := mustCompile(t, base+"date.year, part.brand1")
+	if ab.Joins[0].Dim != "part" || ab.Joins[1].Dim != "date" {
+		t.Errorf("brand-first join order = %v, %v", ab.Joins[0].Dim, ab.Joins[1].Dim)
+	}
+	if ba.Joins[0].Dim != "date" || ba.Joins[1].Dim != "part" {
+		t.Errorf("year-first join order = %v, %v", ba.Joins[0].Dim, ba.Joins[1].Dim)
+	}
+	if ab.Canonical() == ba.Canonical() {
+		t.Error("different GROUP BY orders must not share a canonical form (they pack keys differently)")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cases := []struct{ stmt, wantSub string }{
+		{"SELECT SUM(revenue) FROM date WHERE year = 1997", "fact table"},
+		{"SELECT SUM(revenue) FROM nosuch", "unknown table"},
+		{"SELECT SUM(revenue) FROM lineorder, lineorder", "listed twice"},
+		{"SELECT SUM(revenue) FROM lineorder, date, date", "listed twice"},
+		{"SELECT SUM(revenue) FROM lineorder, date WHERE date.year = 1997", "never joined"},
+		{"SELECT SUM(revenue) FROM lineorder WHERE nosuch = 1", "unknown column"},
+		{"SELECT SUM(revenue) FROM lineorder, customer, supplier WHERE custkey = customer.key AND suppkey = supplier.key AND city = 'UNITED KI1'", "ambiguous"},
+		{"SELECT SUM(revenue) FROM lineorder, date WHERE orderdate = date.key AND date.city = 'UNITED KI1'", "no column"},
+		{"SELECT SUM(quantity) FROM lineorder", "unsupported aggregate"},
+		{"SELECT SUM(revenue - discount) FROM lineorder", "unsupported aggregate"},
+		{"SELECT SUM(year) FROM lineorder, date WHERE orderdate = date.key", "fact columns only"},
+		{"SELECT SUM(revenue), year FROM lineorder, date WHERE orderdate = date.key", "GROUP BY"},
+		{"SELECT revenue FROM lineorder", "exactly one SUM"},
+		{"SELECT SUM(revenue), SUM(revenue) FROM lineorder", "exactly one SUM"},
+		{"SELECT SUM(revenue) FROM lineorder, date WHERE orderdate = date.key GROUP BY orderdate", "fact columns is not supported"},
+		{"SELECT SUM(revenue) FROM lineorder, date WHERE orderdate = date.key GROUP BY date.key", "dimension key"},
+		{"SELECT SUM(revenue) FROM lineorder, date WHERE orderdate = date.key GROUP BY year, yearmonthnum", "one payload per join"},
+		{"SELECT SUM(revenue) FROM lineorder, date WHERE orderdate = date.key AND orderdate = date.key", "joined twice"},
+		{"SELECT SUM(revenue) FROM lineorder, date WHERE suppkey = date.key", "references"},
+		{"SELECT SUM(revenue) FROM lineorder, date WHERE quantity = date.key", "not a foreign key"},
+		{"SELECT SUM(revenue) FROM lineorder, date WHERE orderdate = year", "dimension key"},
+		{"SELECT SUM(revenue) FROM lineorder, date WHERE orderdate = date.key AND date.key = 19970101", "dimension keys are not supported"},
+		{"SELECT SUM(revenue) FROM lineorder WHERE quantity = 'MFGR#12'", "numeric"},
+		{"SELECT SUM(revenue) FROM lineorder, supplier WHERE suppkey = supplier.key AND supplier.region = 'ATLANTIS'", "not a valid region"},
+		{"SELECT SUM(revenue) FROM lineorder, part WHERE partkey = part.key AND part.brand1 = 'MFGR#9999'", "not a valid brand1"},
+		{"SELECT SUM(revenue) FROM lineorder WHERE quantity = 99999999999", "32-bit"},
+		{"SELECT SUM(revenue) FROM lineorder WHERE quantity BETWEEN 10 AND 1", "empty range"},
+		{"SELECT SUM(revenue) FROM lineorder x, date x WHERE orderdate = x.key", "ambiguous"},
+	}
+	for _, tc := range cases {
+		_, err := Compile(tc.stmt)
+		if err == nil {
+			t.Errorf("Compile(%q): expected error containing %q", tc.stmt, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Compile(%q) error %q does not mention %q", tc.stmt, err, tc.wantSub)
+		}
+	}
+}
+
+func TestBindAliases(t *testing.T) {
+	// User aliases, builtin short aliases and AS all refer to the same table.
+	q := mustCompile(t, `SELECT SUM(revenue) FROM lineorder AS f, supplier AS sup
+		WHERE f.suppkey = sup.key AND s.nation = 'UNITED STATES'`)
+	if q.Joins[0].Filters[0].Lo != 9 {
+		t.Errorf("nation filter = %+v", q.Joins[0].Filters[0])
+	}
+}
