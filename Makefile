@@ -3,22 +3,43 @@
 
 GO ?= go
 
-.PHONY: all build test lint fuzz bench-smoke serve ci
+# Coverage floors for the packages the differential/invariance harness
+# guards; set to the measured pre-harness baselines so the new tests stay
+# load-bearing. Raise them if coverage improves, never lower them.
+COVER_FLOOR_QUERIES ?= 96.7
+COVER_FLOOR_SSB     ?= 86.5
+
+.PHONY: all build test lint fuzz cover bench-smoke serve ci
 
 all: build test
 
 build:
 	$(GO) build ./...
 
+# -timeout 30m: the differential/invariance harness in internal/queries
+# runs ~1500 engine executions; under -race on a small runner that can
+# brush against go test's default 10m per-package limit.
 test:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Each fuzz target runs its corpus plus ~20s of new inputs: the dataset
-# decoder and the SQL frontend (parse -> canonical print fixed point, bind
-# never panics).
+# decoder, the SQL frontend (parse -> canonical print fixed point, bind
+# never panics), and zone-map pruning (a pruned morsel never contains a
+# matching row).
 fuzz:
 	$(GO) test ./internal/ssb -run='^$$' -fuzz=FuzzRead -fuzztime=20s
 	$(GO) test ./internal/sql -run='^$$' -fuzz=FuzzParse -fuzztime=20s
+	$(GO) test ./internal/queries -run='^$$' -fuzz=FuzzZoneMap -fuzztime=20s
+
+cover:
+	@set -e; \
+	check() { \
+		pct=$$($(GO) test -cover "$$1" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		echo "$$1 coverage: $$pct% (floor $$2%)"; \
+		awk "BEGIN { exit !($$pct >= $$2) }" || { echo "coverage of $$1 fell below $$2%"; exit 1; }; \
+	}; \
+	check ./internal/queries $(COVER_FLOOR_QUERIES); \
+	check ./internal/ssb $(COVER_FLOOR_SSB)
 
 lint:
 	$(GO) vet ./...
@@ -32,4 +53,4 @@ bench-smoke:
 serve:
 	$(GO) run ./cmd/ssbserve
 
-ci: build lint test fuzz bench-smoke
+ci: build lint test cover fuzz bench-smoke

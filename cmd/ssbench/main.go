@@ -8,6 +8,10 @@
 //	-sql    one ad-hoc SQL statement, compiled by internal/sql, on every engine
 //	-all    everything (except -sql)
 //
+// -partitions N runs every scan as N zone-mapped morsels (identical times
+// on the uniform layout; combine with -cluster orderdate to watch pruning
+// skip morsels and the plan costs drop), and appends a pruning report.
+//
 // Queries execute functionally at the given scale factor (default 2; the
 // paper uses 20) and the reported milliseconds are additionally
 // extrapolated to SF 20 with the linear bandwidth model, so the rows are
@@ -18,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 
 	"crystal/internal/bench"
 	"crystal/internal/device"
@@ -39,6 +45,8 @@ var (
 	all     = flag.Bool("all", false, "run everything")
 	dataset = flag.String("data", "", "load a dataset written by datagen instead of generating")
 	sqlStmt = flag.String("sql", "", "run one ad-hoc SQL statement across every engine and print its rows")
+	parts   = flag.Int("partitions", 0, "split each fact scan into this many zone-mapped morsels (0 = monolithic)")
+	cluster = flag.String("cluster", "", "sort the fact table by this column first (clustered layouts give zone maps pruning power)")
 )
 
 const paperSF = 20
@@ -61,7 +69,20 @@ func main() {
 		fmt.Printf("generating SSB at SF %d...\n", *flagSF)
 		ds = ssb.Generate(*flagSF)
 	}
-	fmt.Printf("dataset: SF %d, %d fact rows, %.2f GB\n\n", ds.SF, ds.Lineorder.Rows(), float64(ds.Bytes())/1e9)
+	if *cluster != "" {
+		if !slices.Contains(ssb.FactColumns(), *cluster) {
+			fmt.Fprintf(os.Stderr, "unknown -cluster column %q (fact columns: %s)\n",
+				*cluster, strings.Join(ssb.FactColumns(), ", "))
+			os.Exit(1)
+		}
+		fmt.Printf("clustering fact table by %s...\n", *cluster)
+		ds = ds.ClusterBy(*cluster)
+	}
+	fmt.Printf("dataset: SF %d, %d fact rows, %.2f GB\n", ds.SF, ds.Lineorder.Rows(), float64(ds.Bytes())/1e9)
+	if *parts > 0 {
+		fmt.Printf("partitioned execution: %d zone-mapped morsels per scan\n", *parts)
+	}
+	fmt.Println()
 
 	// Times are extrapolated to SF 20 by scaling the fact-dependent portion.
 	scaleTo := int64(paperSF) * ssb.LineorderPerSF
@@ -104,6 +125,9 @@ func main() {
 	if *all || *plans {
 		runPlans(ds)
 	}
+	if *parts > 0 {
+		runPruneReport(ds, *parts)
+	}
 	if *sqlStmt != "" {
 		if err := runSQL(ds, scale, *sqlStmt); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -125,9 +149,10 @@ func runSQL(ds *ssb.Dataset, scale func(*queries.Result) float64, stmt string) e
 	fmt.Printf("%s\n\n", q.Describe())
 
 	tb := &bench.Table{Title: "engine times (ms)"}
+	plan := queries.Compile(ds, q)
 	var results []*queries.Result
 	for _, e := range queries.Engines() {
-		res := queries.Run(ds, q, e)
+		res := exec(plan, e)
 		results = append(results, res)
 		tb.Columns = append(tb.Columns, string(e))
 	}
@@ -203,20 +228,55 @@ func runMultiGPU(ds *ssb.Dataset) {
 	fmt.Println()
 }
 
+// exec runs one compiled plan on one engine, honoring the -partitions
+// flag. With no pruning (the uniform layout) the partitioned times are
+// identical to the monolithic ones; with -cluster they can only be
+// cheaper. Callers compile once per query so the hash-table builds and the
+// plan's zone-map cache are shared across engines.
+func exec(plan *queries.Plan, e queries.Engine) *queries.Result {
+	return plan.RunPartitioned(e, queries.RunOptions{Partitions: *parts})
+}
+
 func runTable(ds *ssb.Dataset, scale func(*queries.Result) float64, title string, engines []queries.Engine) *bench.Table {
 	tb := &bench.Table{Title: title}
 	for _, e := range engines {
 		tb.Columns = append(tb.Columns, string(e))
 	}
 	for _, q := range queries.All() {
+		plan := queries.Compile(ds, q)
 		var vals []float64
 		for _, e := range engines {
-			vals = append(vals, scale(queries.Run(ds, q, e)))
+			vals = append(vals, scale(exec(plan, e)))
 		}
 		tb.AddRow(q.ID, vals...)
 	}
 	tb.Fprint(os.Stdout)
 	return tb
+}
+
+// runPruneReport summarizes what zone maps buy at the requested partition
+// count: per query, the morsels pruned and the planner's monolithic vs
+// pruning-aware cost on the GPU device.
+func runPruneReport(ds *ssb.Dataset, n int) {
+	bench.Banner(os.Stdout, fmt.Sprintf("zone-map pruning at %d morsels", n))
+	morsels := ds.Partition(n)
+	dev := device.V100()
+	totalPruned, total := 0, 0
+	for _, q := range queries.All() {
+		pr := planner.PruneEstimate(morsels, q)
+		mono := planner.Choose(dev, ds, q)[0].Seconds
+		pruned := planner.ChoosePartitioned(dev, ds, q, morsels)[0].Seconds
+		fmt.Printf("  %-5s %3d/%3d morsels pruned   plan cost %8.3f ms -> %8.3f ms\n",
+			q.ID, pr.Pruned, pr.Morsels, bench.MS(mono), bench.MS(pruned))
+		totalPruned += pr.Pruned
+		total += pr.Morsels
+	}
+	fmt.Printf("total: %d/%d morsels pruned", totalPruned, total)
+	if totalPruned == 0 {
+		fmt.Printf(" (uniform layouts never prune; try -cluster orderdate)")
+	}
+	fmt.Println()
+	fmt.Println()
 }
 
 func runCase21(ds *ssb.Dataset, scale func(*queries.Result) float64) {

@@ -6,6 +6,12 @@
 //	GET  /engines                   list engines and their aliases
 //	GET  /stats                     cache hit rates, named vs ad-hoc traffic
 //
+// Both query endpoints accept &partitions=N to run the fact scan as N
+// zone-mapped morsels: rows are identical to the monolithic run, morsels
+// the filters cannot match are skipped (see pruned_morsels in the response
+// and /stats), and the surviving morsels fan out across the service's
+// bounded helper pool.
+//
 // The service schedules requests across a bounded worker pool and caches
 // SQL bindings, compiled plans and recent results, so repeated queries are
 // served from memory while simulated engine times stay identical to a cold
@@ -117,6 +123,12 @@ type queryResponse struct {
 	WallMS       float64 `json:"wall_ms"`
 	PlanCached   bool    `json:"plan_cached"`
 	ResultCached bool    `json:"result_cached"`
+	// Partitions echoes the requested morsel count; Morsels and
+	// PrunedMorsels report how many the scan was split into and how many
+	// zone maps skipped.
+	Partitions    int `json:"partitions,omitempty"`
+	Morsels       int `json:"morsels"`
+	PrunedMorsels int `json:"pruned_morsels"`
 }
 
 func handleQuery(svc *serve.Service) http.HandlerFunc {
@@ -173,6 +185,14 @@ func serveRequest(svc *serve.Service, w http.ResponseWriter, r *http.Request, re
 		}
 		req.NoCache = noCache
 	}
+	if v := r.URL.Query().Get("partitions"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad partitions value %q: want a non-negative integer", v))
+			return
+		}
+		req.Partitions = n
+	}
 	resp, err := svc.Do(r.Context(), req)
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -185,15 +205,18 @@ func serveRequest(svc *serve.Service, w http.ResponseWriter, r *http.Request, re
 		return
 	}
 	out := queryResponse{
-		Query:        resp.Query.ID,
-		Engine:       string(resp.Request.Engine),
-		Version:      resp.Version,
-		Adhoc:        resp.Adhoc,
-		Rows:         decodeRows(resp.Query, resp.Result),
-		SimMS:        resp.SimSeconds * 1e3,
-		WallMS:       float64(resp.Wall) / float64(time.Millisecond),
-		PlanCached:   resp.PlanCached,
-		ResultCached: resp.ResultCached,
+		Query:         resp.Query.ID,
+		Engine:        string(resp.Request.Engine),
+		Version:       resp.Version,
+		Adhoc:         resp.Adhoc,
+		Rows:          decodeRows(resp.Query, resp.Result),
+		SimMS:         resp.SimSeconds * 1e3,
+		WallMS:        float64(resp.Wall) / float64(time.Millisecond),
+		PlanCached:    resp.PlanCached,
+		ResultCached:  resp.ResultCached,
+		Partitions:    resp.Request.Partitions,
+		Morsels:       resp.Morsels,
+		PrunedMorsels: resp.Pruned,
 	}
 	writeJSON(w, out)
 }
@@ -237,8 +260,10 @@ func handleStats(svc *serve.Service) http.HandlerFunc {
 				st.Version, st.Workers, st.Requests, st.NamedRequests, st.AdhocRequests, st.Errors)
 			fmt.Fprintf(w, "plan cache:   %.0f%% hit rate, %d entries\n",
 				st.PlanHitRate*100, st.CachedPlans)
-			fmt.Fprintf(w, "result cache: %.0f%% hit rate, %d entries\n\n",
+			fmt.Fprintf(w, "result cache: %.0f%% hit rate, %d entries\n",
 				st.ResultHitRate*100, st.CachedResults)
+			fmt.Fprintf(w, "partitioned:  %d requests, %d/%d morsels pruned (%.0f%%)\n\n",
+				st.PartitionedRequests, st.PrunedMorsels, st.Morsels, st.PruneRate*100)
 			st.Table().Fprint(w)
 			return
 		}

@@ -99,6 +99,20 @@ func Cost(dev *device.Spec, factRows int64, order []JoinStats) float64 {
 	return dev.PassTime(pass)
 }
 
+// ScanCost prices the fact-filter scan of a plan: each filter column is
+// streamed once over the scanned rows. The term is identical for every
+// join order (fact filters run before the probe pipeline), so it never
+// changes a plan ranking — but it is where zone-map pruning shows up:
+// pruned morsels shrink factRows, and with them the absolute cost a
+// scheduler compares against the monolithic plan.
+func ScanCost(dev *device.Spec, factRows int64, filterCols int) float64 {
+	if filterCols == 0 || factRows == 0 {
+		return 0
+	}
+	pass := &device.Pass{Label: "fact scan", BytesRead: factRows * 4 * int64(filterCols)}
+	return dev.PassTime(pass)
+}
+
 // Plan is one costed join order.
 type Plan struct {
 	Order   []queries.JoinSpec
@@ -114,14 +128,56 @@ func (p *Plan) Describe() string {
 	return fmt.Sprintf("%s (%.3f ms)", s, p.Seconds*1e3)
 }
 
+// Pruning summarizes zone-map pruning of a morsel set under a query's fact
+// filters: how many morsels the partitioned scan would skip and how many
+// fact rows actually reach the pipeline. It is exact, not an estimate —
+// zone maps are metadata, so the planner can afford to evaluate them.
+type Pruning struct {
+	Morsels int
+	Pruned  int
+	// ScannedRows is the fact cardinality surviving zone-map pruning; it is
+	// the row count partitioned plans are priced against.
+	ScannedRows int64
+}
+
+// PruneEstimate evaluates the query's fact filters against each morsel's
+// zone map (the same conservative check the engines use at run time).
+func PruneEstimate(morsels []ssb.Morsel, q queries.Query) Pruning {
+	pr := Pruning{Morsels: len(morsels)}
+	for i, skip := range queries.PruneMorsels(morsels, q.FactFilters) {
+		if skip {
+			pr.Pruned++
+		} else {
+			pr.ScannedRows += int64(morsels[i].Rows())
+		}
+	}
+	return pr
+}
+
 // Choose enumerates every permutation of the query's joins, prices them on
 // dev and returns them sorted cheapest first. SSB queries join at most four
 // dimensions, so exhaustive enumeration (<= 24 plans) is exact.
 func Choose(dev *device.Spec, ds *ssb.Dataset, q queries.Query) []Plan {
+	return choose(dev, int64(ds.Lineorder.Rows()), ds, q)
+}
+
+// ChoosePartitioned prices the query's join orders for a partitioned
+// execution over the given morsels: zone-pruned morsels charge nothing, so
+// every plan's scan term shrinks to the surviving fact rows. Pruning is
+// join-order independent (it only reads fact filters), so the ranking
+// matches Choose's — what changes is the absolute cost, which a scheduler
+// comparing partitioned against monolithic execution (or sizing a morsel
+// fan-out) needs to get right.
+func ChoosePartitioned(dev *device.Spec, ds *ssb.Dataset, q queries.Query, morsels []ssb.Morsel) []Plan {
+	return choose(dev, PruneEstimate(morsels, q).ScannedRows, ds, q)
+}
+
+func choose(dev *device.Spec, factRows int64, ds *ssb.Dataset, q queries.Query) []Plan {
+	scan := ScanCost(dev, factRows, len(q.FactFilters))
 	stats := Stats(ds, q)
 	n := len(stats)
 	if n == 0 {
-		return []Plan{{Seconds: Cost(dev, int64(ds.Lineorder.Rows()), nil)}}
+		return []Plan{{Seconds: scan + Cost(dev, factRows, nil)}}
 	}
 	var plans []Plan
 	perm := make([]int, n)
@@ -139,7 +195,7 @@ func Choose(dev *device.Spec, ds *ssb.Dataset, q queries.Query) []Plan {
 			}
 			plans = append(plans, Plan{
 				Order:   specs,
-				Seconds: Cost(dev, int64(ds.Lineorder.Rows()), order),
+				Seconds: scan + Cost(dev, factRows, order),
 			})
 			return
 		}

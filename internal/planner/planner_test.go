@@ -154,3 +154,42 @@ func TestOptimizeGroupedPreservesPayloadOrder(t *testing.T) {
 		t.Error("OptimizeGrouped changed a no-join query")
 	}
 }
+
+// TestPruneEstimateAndPartitionedCost: on the uniform layout zone maps
+// prune nothing and partitioned plans cost exactly the monolithic ones; on
+// a clustered layout the selective q1.1 date flight prunes most morsels and
+// every plan gets strictly cheaper.
+func TestPruneEstimateAndPartitionedCost(t *testing.T) {
+	q21, _ := queries.ByID("q2.1")
+	uniform := ds.Partition(32)
+	pr := PruneEstimate(uniform, q21)
+	if pr.Morsels != 32 || pr.Pruned != 0 || pr.ScannedRows != int64(ds.Lineorder.Rows()) {
+		t.Fatalf("uniform pruning = %+v", pr)
+	}
+	a := Choose(device.V100(), ds, q21)
+	b := ChoosePartitioned(device.V100(), ds, q21, uniform)
+	if len(a) != len(b) {
+		t.Fatalf("plan counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Seconds != b[i].Seconds {
+			t.Errorf("plan %d: unpruned partitioned cost %.9f != monolithic %.9f", i, b[i].Seconds, a[i].Seconds)
+		}
+	}
+
+	clustered := ds.ClusterBy("orderdate")
+	q11, _ := queries.ByID("q1.1")
+	morsels := clustered.Partition(64)
+	pr = PruneEstimate(morsels, q11)
+	if pr.Pruned == 0 {
+		t.Fatal("clustered q1.1 should prune morsels")
+	}
+	if pr.ScannedRows >= int64(clustered.Lineorder.Rows()) {
+		t.Fatal("pruning did not shrink the scan")
+	}
+	mono := Choose(device.V100(), clustered, q11)[0].Seconds
+	part := ChoosePartitioned(device.V100(), clustered, q11, morsels)[0].Seconds
+	if part >= mono {
+		t.Errorf("pruned plan cost %.9f not below monolithic %.9f", part, mono)
+	}
+}

@@ -73,12 +73,15 @@ func chargeBuilds(clk *device.Clock, builds []buildInfo) {
 func RunCPU(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunCPU() }
 
 // RunCPU executes the compiled plan on the Standalone CPU engine.
-func (p *Plan) RunCPU() *Result {
+func (p *Plan) RunCPU() *Result { return p.runCPU(p.morselRun(RunOptions{})) }
+
+func (p *Plan) runCPU(ms *morselRun) *Result {
 	clk := device.NewClock(device.I76900())
 	chargeBuilds(clk, p.builds)
-	res, st := runPipeline(p.ds, p.Query, p.builds)
+	res, st := runPipelineMorsels(p.ds, p.Query, p.builds, ms.live, ms.lim)
 	clk.Charge(cpuProbePass(st, p.builds, p.Query, cpuFilterCycles, cpuProbeCycles, cpuAggCycles, true))
 	res.Seconds = clk.Seconds()
+	ms.stamp(res)
 	return res
 }
 
@@ -87,15 +90,18 @@ func (p *Plan) RunCPU() *Result {
 func RunHyper(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunHyper() }
 
 // RunHyper executes the compiled plan on the Hyper stand-in.
-func (p *Plan) RunHyper() *Result {
+func (p *Plan) RunHyper() *Result { return p.runHyper(p.morselRun(RunOptions{})) }
+
+func (p *Plan) runHyper(ms *morselRun) *Result {
 	clk := device.NewClock(device.I76900())
 	chargeBuilds(clk, p.builds)
-	res, st := runPipeline(p.ds, p.Query, p.builds)
+	res, st := runPipelineMorsels(p.ds, p.Query, p.builds, ms.live, ms.lim)
 	pass := cpuProbePass(st, p.builds, p.Query, hyperFilterCycles, hyperProbeCycles, hyperAggCycles, true)
 	for i := range pass.Probes {
 		pass.Probes[i].Count = int64(float64(pass.Probes[i].Count) * hyperProbeFactor)
 	}
 	res.Seconds = clk.Seconds() + clk.Spec().PassTime(pass)
+	ms.stamp(res)
 	return res
 }
 
@@ -147,22 +153,30 @@ func cpuProbePass(st *pipeStats, builds []buildInfo, q Query, filterCyc, probeCy
 // entire column and materializes a candidate list; each join reads the
 // candidate list back, gathers the foreign-key column at random, probes,
 // and materializes again; the aggregate gathers its value columns through
-// the final candidate list.
+// the final candidate list. Zone-pruned morsels drop out of every
+// operator's scan, but random gathers still address the full column
+// footprint.
 func RunMonet(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunMonet() }
 
 // RunMonet executes the compiled plan on the MonetDB stand-in.
-func (pl *Plan) RunMonet() *Result {
+func (pl *Plan) RunMonet() *Result { return pl.runMonet(pl.morselRun(RunOptions{})) }
+
+func (pl *Plan) runMonet(ms *morselRun) *Result {
 	q, builds := pl.Query, pl.builds
 	clk := device.NewClock(device.I76900())
 	chargeBuilds(clk, builds)
-	res, st := runPipeline(pl.ds, q, builds)
+	res, st := runPipelineMorsels(pl.ds, q, builds, ms.live, ms.lim)
 
-	factBytes := st.rows * 4
+	// scanBytes is what a full-column operator scan reads (surviving morsels
+	// only); factBytes is the column's resident footprint, which prices the
+	// data-dependent gathers below.
+	scanBytes := st.rows * 4
+	factBytes := st.totalRows * 4
 	in := st.rows
 	stage := 0
 	for i := range q.FactFilters {
 		p := &device.Pass{Label: "monet select " + q.FactFilters[i].Col}
-		p.BytesRead = factBytes // full column scan, no short-circuit
+		p.BytesRead = scanBytes // full column scan, no short-circuit
 		if i > 0 {
 			p.BytesRead += in * 4 // read previous candidate list
 			// Gather through the candidate list instead of scanning when it
@@ -202,6 +216,7 @@ func (pl *Plan) RunMonet() *Result {
 	clk.Charge(agg)
 
 	res.Seconds = clk.Seconds()
+	ms.stamp(res)
 	return res
 }
 
@@ -214,7 +229,9 @@ func (pl *Plan) RunMonet() *Result {
 func RunOmnisci(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunOmnisci() }
 
 // RunOmnisci executes the compiled plan on the Omnisci stand-in.
-func (pl *Plan) RunOmnisci() *Result {
+func (pl *Plan) RunOmnisci() *Result { return pl.runOmnisci(pl.morselRun(RunOptions{})) }
+
+func (pl *Plan) runOmnisci(ms *morselRun) *Result {
 	q, builds := pl.Query, pl.builds
 	clk := device.NewClock(device.V100())
 	// Build phases are identical to the standalone GPU engine.
@@ -224,15 +241,16 @@ func (pl *Plan) RunOmnisci() *Result {
 		pass.AddProbes(device.ProbeSet{Count: b.inserted, StructBytes: b.ht.Bytes(), Writes: true})
 		clk.Charge(pass)
 	}
-	res, st := runPipeline(pl.ds, q, builds)
+	res, st := runPipelineMorsels(pl.ds, q, builds, ms.live, ms.lim)
 
-	factBytes := st.rows * 4
+	scanBytes := st.rows * 4
+	factBytes := st.totalRows * 4
 	in := st.rows
 	stage := 0
 	for i := range q.FactFilters {
 		out := st.alive[stage]
 		p := &device.Pass{Label: "omnisci select " + q.FactFilters[i].Col, Kernels: 3}
-		p.BytesRead = 2 * factBytes // count pass + write pass (Figure 4a)
+		p.BytesRead = 2 * scanBytes // count pass + write pass (Figure 4a)
 		if i > 0 {
 			p.BytesRead += 2 * in * 4
 		}
@@ -264,6 +282,7 @@ func (pl *Plan) RunOmnisci() *Result {
 	clk.Charge(agg)
 
 	res.Seconds = clk.Seconds()
+	ms.stamp(res)
 	return res
 }
 
@@ -276,9 +295,11 @@ func (pl *Plan) RunOmnisci() *Result {
 func RunCoprocessor(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunCoprocessor() }
 
 // RunCoprocessor executes the compiled plan in the coprocessor architecture.
-func (pl *Plan) RunCoprocessor() *Result {
-	ds, q := pl.ds, pl.Query
-	res := pl.RunGPU()
+func (pl *Plan) RunCoprocessor() *Result { return pl.runCoprocessor(pl.morselRun(RunOptions{})) }
+
+func (pl *Plan) runCoprocessor(ms *morselRun) *Result {
+	q := pl.Query
+	res := pl.runGPU(ms)
 	cols := map[string]bool{}
 	for _, f := range q.FactFilters {
 		cols[f.Col] = true
@@ -289,9 +310,11 @@ func (pl *Plan) RunCoprocessor() *Result {
 	for _, c := range q.Agg.Columns() {
 		cols[c] = true
 	}
-	bytes := int64(len(cols)) * int64(ds.Lineorder.Rows()) * 4
+	// Zone maps live on the host, so pruned morsels are never shipped: only
+	// surviving fact rows cross PCIe (plus the replicated dimensions).
+	bytes := int64(len(cols)) * ms.scanned * 4
 	for _, j := range q.Joins {
-		d := DimTable(ds, j.Dim)
+		d := DimTable(pl.ds, j.Dim)
 		bytes += int64(d.Rows()) * int64(1+len(j.Filters)+btoi(j.Payload != "")) * 4
 	}
 	transfer := device.TransferTime(bytes)

@@ -1,0 +1,129 @@
+package queries
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crystal/internal/ssb"
+)
+
+// dimFK maps each dimension to the fact foreign key that probes it.
+var dimFK = map[string]string{
+	"date":     "orderdate",
+	"customer": "custkey",
+	"supplier": "suppkey",
+	"part":     "partkey",
+}
+
+// dimAttrs lists each dimension's filterable/groupable attributes.
+var dimAttrs = map[string][]string{
+	"date":     {"year", "yearmonthnum", "weeknuminyear"},
+	"customer": {"region", "nation", "city"},
+	"supplier": {"region", "nation", "city"},
+	"part":     {"mfgr", "category", "brand1"},
+}
+
+// factFilterCols are the fact columns the generator filters on: the
+// orderdate key plus the value columns (foreign keys other than orderdate
+// are only useful through joins).
+var factFilterCols = []string{"orderdate", "quantity", "discount", "extprice"}
+
+// GenOptions tunes RandomQuery. The zero value generates the broadest mix.
+type GenOptions struct {
+	// WideFilters makes every range filter span at least half of the
+	// column's observed domain. On the uniformly generated dataset this
+	// guarantees zone maps prune nothing (every morsel's zone intersects a
+	// wide range), which is what the partition-invariance property needs:
+	// identical simulated seconds require identical scans.
+	WideFilters bool
+}
+
+// RandomQuery draws a pseudo-random query over the SSB schema from r:
+// random fact filters with bounds sampled from the actual column values,
+// a random join pipeline (each dimension at most once, in random order,
+// with random dimension filters), at most three group-by payloads, and a
+// random aggregate. The result always passes Validate; it is the input
+// source for the cross-engine differential harness and the
+// partition-invariance property test.
+func RandomQuery(r *rand.Rand, ds *ssb.Dataset, n int, opt GenOptions) Query {
+	q := Query{ID: fmt.Sprintf("gen%d", n), Agg: AggKind(r.Intn(3))}
+
+	// Fact filters: 0..2 distinct columns.
+	for _, ci := range r.Perm(len(factFilterCols))[:r.Intn(3)] {
+		col := factFilterCols[ci]
+		q.FactFilters = append(q.FactFilters, randomFilter(r, col, FactCol(&ds.Lineorder, col), opt))
+	}
+
+	// Joins: a random subset of the dimensions in random order.
+	dims := []string{"date", "customer", "supplier", "part"}
+	payloads := 0
+	for _, di := range r.Perm(len(dims))[:1+r.Intn(len(dims))] {
+		dim := dims[di]
+		d := DimTable(ds, dim)
+		j := JoinSpec{Dim: dim, FactFK: dimFK[dim]}
+		attrs := dimAttrs[dim]
+		for _, ai := range r.Perm(len(attrs))[:r.Intn(2)] {
+			col := attrs[ai]
+			j.Filters = append(j.Filters, randomFilter(r, col, d.Col(col), opt))
+		}
+		if payloads < 3 && r.Intn(2) == 0 {
+			j.Payload = attrs[r.Intn(len(attrs))]
+			payloads++
+		}
+		q.Joins = append(q.Joins, j)
+	}
+	return q
+}
+
+// randomFilter builds a filter whose bounds come from actual column values,
+// so generated predicates are satisfiable and exercise real selectivities.
+// Small-domain columns occasionally get an IN-set instead of a range.
+func randomFilter(r *rand.Rand, col string, vals []int32, opt GenOptions) Filter {
+	lo := vals[r.Intn(len(vals))]
+	hi := vals[r.Intn(len(vals))]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if opt.WideFilters {
+		min, max := vals[0], vals[0]
+		for _, v := range vals {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		// Anchor one end at a domain extreme so the range covers at least
+		// half the observed domain.
+		mid := min + (max-min)/2
+		if r.Intn(2) == 0 {
+			lo, hi = min, maxI32(hi, mid)
+		} else {
+			lo, hi = minI32(lo, mid), max
+		}
+	} else if r.Intn(4) == 0 {
+		// IN-set of up to 4 observed values (duplicates collapse via Match
+		// semantics, so no dedup is needed).
+		in := make([]int32, 1+r.Intn(4))
+		for i := range in {
+			in[i] = vals[r.Intn(len(vals))]
+		}
+		return Filter{Col: col, In: in}
+	}
+	return Filter{Col: col, Lo: lo, Hi: hi}
+}
+
+func minI32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

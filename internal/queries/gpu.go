@@ -8,7 +8,9 @@ import (
 )
 
 // gpuConfig is the tile configuration the SSB evaluation uses (Section 5.2:
-// thread block 256 with 8 items per thread, tile size 2048).
+// thread block 256 with 8 items per thread, tile size 2048). The tile size
+// equals ssb.MorselAlign, so a morsel is always a whole number of tiles and
+// zone-map pruning maps exactly onto skipping thread blocks.
 func gpuConfig(elems int) sim.Config {
 	return sim.Config{Threads: 256, ItemsPerThread: 8, Elems: elems}
 }
@@ -22,7 +24,42 @@ func gpuConfig(elems int) sim.Config {
 func RunGPU(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunGPU() }
 
 // RunGPU executes the compiled plan with the tile-based Crystal kernels.
-func (pl *Plan) RunGPU() *Result {
+func (pl *Plan) RunGPU() *Result { return pl.runGPU(pl.morselRun(RunOptions{})) }
+
+// blockSkips maps thread blocks to pruned morsels: skips[id] is true when
+// block id's tile lies inside a zone-pruned morsel. Morsel boundaries snap
+// to the tile size, so every block belongs to exactly one morsel. Returns
+// nil when nothing is pruned (the common case pays no lookup).
+func blockSkips(ms *morselRun, tileSize int) []bool {
+	if ms.prunedCount() == 0 {
+		return nil
+	}
+	var skips []bool
+	for i, m := range ms.morsels {
+		if !ms.pruned[i] {
+			continue
+		}
+		hi := (m.Hi + tileSize - 1) / tileSize
+		if skips == nil {
+			skips = make([]bool, 0, hi)
+		}
+		for b := m.Lo / tileSize; b < hi; b++ {
+			for len(skips) <= b {
+				skips = append(skips, false)
+			}
+			skips[b] = true
+		}
+	}
+	return skips
+}
+
+// runGPU executes the plan's kernel over the surviving morsels. The launch
+// covers the full grid; blocks whose tile sits in a pruned morsel return
+// before touching global memory, so they contribute no traffic — the
+// zone-map check itself is host-side metadata work and costs no device
+// time. With nothing pruned the launch is bit-identical to the monolithic
+// one, which is what keeps partitioned simulated seconds exact.
+func (pl *Plan) runGPU(ms *morselRun) *Result {
 	ds, q, builds := pl.ds, pl.Query, pl.builds
 	clk := device.NewClock(device.V100())
 	for i := range builds {
@@ -34,6 +71,7 @@ func (pl *Plan) RunGPU() *Result {
 
 	n := ds.Lineorder.Rows()
 	cfg := gpuConfig(n)
+	skips := blockSkips(ms, cfg.TileSize())
 	filterCols := make([][]int32, len(q.FactFilters))
 	for i := range q.FactFilters {
 		filterCols[i] = FactCol(&ds.Lineorder, q.FactFilters[i].Col)
@@ -59,7 +97,10 @@ func (pl *Plan) RunGPU() *Result {
 	aggTable := crystal.NewAggTable(aggEstimate(q))
 	var scalarSum sim.Counter // used when the query has no group-by (q1.x)
 
-	pass := sim.Run(clk.Spec(), cfg, func(b *sim.Block) {
+	pass := sim.RunBounded(clk.Spec(), cfg, func(b *sim.Block) {
+		if b.ID < len(skips) && skips[b.ID] {
+			return // tile inside a zone-pruned morsel: no loads, no probes
+		}
 		ts := cfg.TileSize()
 		items := make([]int32, ts)
 		bitmap := make([]uint8, ts)
@@ -151,7 +192,7 @@ func (pl *Plan) RunGPU() *Result {
 			keys[i] = PackGroup(vals)
 		}
 		crystal.BlockAggUpdate(b, aggTable, keys, deltas, bitmap, nn)
-	})
+	}, ms.lim)
 	pass.Label = "gpu probe pipeline " + q.ID
 	clk.Charge(pass)
 
@@ -163,5 +204,6 @@ func (pl *Plan) RunGPU() *Result {
 		aggTable.Each(func(k, sum int64) { res.Groups[k] = sum })
 	}
 	res.Seconds = clk.Seconds()
+	ms.stamp(res)
 	return res
 }

@@ -1,0 +1,162 @@
+package queries
+
+import (
+	"crystal/internal/sim"
+	"crystal/internal/ssb"
+)
+
+// Limiter bounds intra-query helper parallelism (morsel scans, GPU block
+// execution). It is sim.Gate re-exported at the query layer: the serving
+// layer shares one Limiter across every in-flight request so a single
+// partitioned query can never monopolize the host. A nil Limiter means
+// "unbounded up to GOMAXPROCS", which is the standalone (non-served)
+// behavior.
+type Limiter = sim.Gate
+
+// RunOptions configures one partitioned execution of a compiled plan.
+type RunOptions struct {
+	// Partitions is the number of morsels the fact table is split into.
+	// Values below 1 run the monolithic single-scan path with no zone maps
+	// (byte-for-byte the unpartitioned execution). 1 and above partition
+	// through ssb.Dataset.Partition, so even a single morsel carries a zone
+	// map and can be pruned outright by an unsatisfiable filter.
+	Partitions int
+	// Limiter bounds helper parallelism; nil means up to GOMAXPROCS.
+	Limiter Limiter
+}
+
+// MatchesZone reports whether the filter could match any value in the zone:
+// false means every row in the zone's morsel fails the filter and the
+// morsel can be skipped. It must never report false for a zone containing a
+// matching value (the conservative direction FuzzZoneMap pins down); it may
+// report true for a morsel with no matching rows — zone maps only know
+// min/max, not which values are present.
+func (f *Filter) MatchesZone(z ssb.Zone) bool {
+	if f.In != nil {
+		for _, v := range f.In {
+			if z.Contains(v) {
+				return true
+			}
+		}
+		return false
+	}
+	return z.Overlaps(f.Lo, f.Hi)
+}
+
+// PruneMorsels evaluates the fact filters against each morsel's zone map
+// and reports, per morsel, whether it can be skipped: a morsel is prunable
+// when some filter cannot match its zone. Morsels without zone maps are
+// never pruned. The check reads only per-morsel metadata (two int32s per
+// filter), so it is charged as host work, not device time — which is
+// exactly why pruning makes selective queries cheaper without perturbing
+// the simulated cost of the rows that do get scanned.
+func PruneMorsels(morsels []ssb.Morsel, filters []Filter) []bool {
+	pruned := make([]bool, len(morsels))
+	for i, m := range morsels {
+		if m.Zones == nil {
+			continue
+		}
+		for fi := range filters {
+			z, ok := m.Zones[filters[fi].Col]
+			if !ok {
+				continue
+			}
+			if !filters[fi].MatchesZone(z) {
+				pruned[i] = true
+				break
+			}
+		}
+	}
+	return pruned
+}
+
+// morselRun is the resolved execution extent of one partitioned run: the
+// full morsel list, the per-morsel pruning verdicts, the surviving morsels
+// in row order, and the parallelism limiter.
+type morselRun struct {
+	morsels []ssb.Morsel
+	pruned  []bool
+	live    []ssb.Morsel
+	scanned int64 // fact rows in surviving morsels
+	lim     Limiter
+}
+
+func (ms *morselRun) prunedCount() int {
+	n := 0
+	for _, p := range ms.pruned {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// stamp records the partitioning outcome on a result.
+func (ms *morselRun) stamp(res *Result) {
+	res.Morsels = len(ms.morsels)
+	res.Pruned = ms.prunedCount()
+}
+
+// morselRun resolves opts against the plan: the monolithic path uses a
+// single zoneless morsel (no Partition scan, no pruning), the partitioned
+// path fetches the plan's cached morsels and applies zone-map pruning to
+// the query's fact filters.
+func (p *Plan) morselRun(opts RunOptions) *morselRun {
+	if opts.Partitions < 1 {
+		all := []ssb.Morsel{{Lo: 0, Hi: p.ds.Lineorder.Rows()}}
+		return &morselRun{
+			morsels: all,
+			pruned:  []bool{false},
+			live:    all,
+			scanned: int64(p.ds.Lineorder.Rows()),
+			lim:     opts.Limiter,
+		}
+	}
+	morsels := p.Morsels(opts.Partitions)
+	ms := &morselRun{
+		morsels: morsels,
+		pruned:  PruneMorsels(morsels, p.Query.FactFilters),
+		lim:     opts.Limiter,
+	}
+	ms.live = make([]ssb.Morsel, 0, len(morsels))
+	for i, m := range morsels {
+		if ms.pruned[i] {
+			continue
+		}
+		ms.live = append(ms.live, m)
+		ms.scanned += int64(m.Rows())
+	}
+	return ms
+}
+
+// RunPartitioned executes the compiled plan on the chosen engine with the
+// fact table split into opts.Partitions zone-mapped morsels. Rows are
+// always identical to Run; simulated seconds are identical too whenever no
+// morsel is pruned (morsel boundaries are tile-aligned, so the per-morsel
+// traffic statistics sum exactly to the monolithic pass's), and strictly
+// cheaper when zone maps skip morsels.
+func (p *Plan) RunPartitioned(e Engine, opts RunOptions) *Result {
+	ms := p.morselRun(opts)
+	switch e {
+	case EngineGPU:
+		return p.runGPU(ms)
+	case EngineCPU:
+		return p.runCPU(ms)
+	case EngineHyper:
+		return p.runHyper(ms)
+	case EngineMonet:
+		return p.runMonet(ms)
+	case EngineOmnisci:
+		return p.runOmnisci(ms)
+	case EngineCoproc:
+		return p.runCoprocessor(ms)
+	}
+	panic("queries: unknown engine " + string(e))
+}
+
+// RunParts compiles and executes q on the chosen engine with the fact table
+// split into the given number of morsels (a convenience for one-shot
+// callers; serving layers should Compile once and call Plan.RunPartitioned).
+func RunParts(ds *ssb.Dataset, q Query, e Engine, partitions int) *Result {
+	return Compile(ds, q).RunPartitioned(e, RunOptions{Partitions: partitions})
+}

@@ -1,10 +1,11 @@
 package queries
 
 import (
-	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"crystal/internal/crystal"
+	"crystal/internal/sim"
 	"crystal/internal/ssb"
 )
 
@@ -68,18 +69,32 @@ func buildTables(ds *ssb.Dataset, q Query) []buildInfo {
 	return builds
 }
 
-func btoi(b bool) int { return map[bool]int{true: 1}[b] }
+// btoi converts a bool to 0/1.
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // pipeStats records the exact memory-access statistics of one pipelined
 // pass over the fact table, from which each engine derives its traffic.
 type pipeStats struct {
-	rows int64
+	// rows is the number of fact rows actually scanned (zone-pruned morsels
+	// are excluded); totalRows is the full fact cardinality, which sizes
+	// column footprints for random gathers regardless of pruning.
+	rows      int64
+	totalRows int64
 	// colOrder is the sequence of fact columns the pass touches.
 	colOrder []string
 	// lines64 and lines128 count, per fact column, the distinct 64 B and
 	// 128 B lines containing at least one row alive when the column was
 	// read — the exact form of the min(4|L|/C, |L|sigma) term in the
-	// Section 5.3 model.
+	// Section 5.3 model. Morsel and chunk boundaries are line-aligned
+	// (ssb.MorselAlign is a multiple of both line sizes), so per-chunk
+	// counts sum to the exact distinct-line total no matter how the scan is
+	// partitioned — which is what keeps simulated seconds identical across
+	// partition counts.
 	lines64  map[string]int64
 	lines128 map[string]int64
 	// evals[i] is the number of rows evaluated by fact filter i.
@@ -118,19 +133,65 @@ func aggEstimate(q Query) int {
 	return est
 }
 
-// runPipeline executes the query's probe pipeline functionally and in
-// parallel: fact filters in order, then the join probes, then the grouped
-// aggregate, short-circuiting per row exactly like the generated kernels.
-// It returns the result and the access statistics.
+// chunkRows is the unit of wall-clock parallelism inside a morsel scan: 16
+// tiles. Any tile-aligned chunking yields identical merged statistics (see
+// pipeStats), so the chunk size is purely a scheduling knob.
+const chunkRows = 16 * ssb.MorselAlign
+
+// scanChunk is one contiguous, tile-aligned unit of scan work.
+type scanChunk struct{ lo, hi int }
+
+// chunkMorsels splits the surviving morsels into tile-aligned chunks.
+// Morsel boundaries are themselves tile-aligned, so every chunk starts on a
+// tile boundary and never spans two morsels.
+func chunkMorsels(live []ssb.Morsel) []scanChunk {
+	var chunks []scanChunk
+	for _, m := range live {
+		for lo := m.Lo; lo < m.Hi; lo += chunkRows {
+			hi := lo + chunkRows
+			if hi > m.Hi {
+				hi = m.Hi
+			}
+			chunks = append(chunks, scanChunk{lo: lo, hi: hi})
+		}
+	}
+	return chunks
+}
+
+// wstat is one worker's private accumulator for a morsel scan.
+type wstat struct {
+	lines64, lines128 map[string]int64
+	evals, probes     []int64
+	alive             []int64
+	out               int64
+	groups            map[int64]int64
+}
+
+// runPipeline executes the query's probe pipeline over the full fact table
+// as a single unmapped morsel — the monolithic path every engine's plain
+// Run* method uses.
 func runPipeline(ds *ssb.Dataset, q Query, builds []buildInfo) (*Result, *pipeStats) {
-	n := ds.Lineorder.Rows()
+	return runPipelineMorsels(ds, q, builds, []ssb.Morsel{{Lo: 0, Hi: ds.Lineorder.Rows()}}, nil)
+}
+
+// runPipelineMorsels executes the query's probe pipeline functionally over
+// the surviving morsels: fact filters in order, then the join probes, then
+// the grouped aggregate, short-circuiting per row exactly like the
+// generated kernels. Chunks of morsels are scanned in parallel — the
+// calling goroutine always works, helpers are bounded by lim — and the
+// per-chunk statistics merge exactly (tile alignment) into the returned
+// access statistics.
+func runPipelineMorsels(ds *ssb.Dataset, q Query, builds []buildInfo, live []ssb.Morsel, lim Limiter) (*Result, *pipeStats) {
 	st := &pipeStats{
-		rows:     int64(n),
-		lines64:  map[string]int64{},
-		lines128: map[string]int64{},
-		evals:    make([]int64, len(q.FactFilters)),
-		probes:   make([]int64, len(q.Joins)),
-		alive:    make([]int64, len(q.FactFilters)+len(q.Joins)),
+		totalRows: int64(ds.Lineorder.Rows()),
+		lines64:   map[string]int64{},
+		lines128:  map[string]int64{},
+		evals:     make([]int64, len(q.FactFilters)),
+		probes:    make([]int64, len(q.Joins)),
+		alive:     make([]int64, len(q.FactFilters)+len(q.Joins)),
+	}
+	for _, m := range live {
+		st.rows += int64(m.Rows())
 	}
 
 	filterCols := make([][]int32, len(q.FactFilters))
@@ -151,34 +212,12 @@ func runPipeline(ds *ssb.Dataset, q Query, builds []buildInfo) (*Result, *pipeSt
 	}
 	numPayloads := len(q.GroupPayloads())
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	type wstat struct {
-		lines64, lines128 map[string]int64
-		evals, probes     []int64
-		alive             []int64
-		out               int64
-		groups            map[int64]int64
-	}
-	results := make([]wstat, workers)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
+	res := &Result{QueryID: q.ID, Groups: map[int64]int64{}}
+	chunks := chunkMorsels(live)
+	if len(chunks) > 0 {
+		var next int64
+		var mu sync.Mutex
+		worker := func() {
 			ws := wstat{
 				lines64:  map[string]int64{},
 				lines128: map[string]int64{},
@@ -201,66 +240,68 @@ func runPipeline(ds *ssb.Dataset, q Query, builds []buildInfo) (*Result, *pipeSt
 			}
 			payloads := make([]int32, 0, numPayloads)
 			vals := make([]int32, len(aggCols))
-		rows:
-			for row := lo; row < hi; row++ {
-				for i := range q.FactFilters {
-					ws.evals[i]++
-					touch(q.FactFilters[i].Col, row)
-					if !q.FactFilters[i].Match(filterCols[i][row]) {
-						continue rows
-					}
-					ws.alive[i]++
+			for {
+				ci := int(atomic.AddInt64(&next, 1) - 1)
+				if ci >= len(chunks) {
+					break
 				}
-				payloads = payloads[:0]
-				for ji := range q.Joins {
-					ws.probes[ji]++
-					touch(q.Joins[ji].FactFK, row)
-					v, ok := builds[ji].ht.Get(fkCols[ji][row])
-					if !ok {
-						continue rows
+			rows:
+				for row := chunks[ci].lo; row < chunks[ci].hi; row++ {
+					for i := range q.FactFilters {
+						ws.evals[i]++
+						touch(q.FactFilters[i].Col, row)
+						if !q.FactFilters[i].Match(filterCols[i][row]) {
+							continue rows
+						}
+						ws.alive[i]++
 					}
-					ws.alive[len(q.FactFilters)+ji]++
-					if q.Joins[ji].Payload != "" {
-						payloads = append(payloads, v)
+					payloads = payloads[:0]
+					for ji := range q.Joins {
+						ws.probes[ji]++
+						touch(q.Joins[ji].FactFK, row)
+						v, ok := builds[ji].ht.Get(fkCols[ji][row])
+						if !ok {
+							continue rows
+						}
+						ws.alive[len(q.FactFilters)+ji]++
+						if q.Joins[ji].Payload != "" {
+							payloads = append(payloads, v)
+						}
 					}
+					for i := range vals {
+						touch(aggCols[i], row)
+						vals[i] = aggSlices[i][row]
+					}
+					ws.out++
+					ws.groups[PackGroup(payloads)] += q.Agg.Eval(vals)
 				}
-				for i := range vals {
-					touch(aggCols[i], row)
-					vals[i] = aggSlices[i][row]
-				}
-				ws.out++
-				ws.groups[PackGroup(payloads)] += q.Agg.Eval(vals)
 			}
-			results[w] = ws
-		}(w, lo, hi)
-	}
-	wg.Wait()
+			mu.Lock()
+			defer mu.Unlock()
+			for c, v := range ws.lines64 {
+				st.lines64[c] += v
+			}
+			for c, v := range ws.lines128 {
+				st.lines128[c] += v
+			}
+			for i, v := range ws.evals {
+				st.evals[i] += v
+			}
+			for i, v := range ws.probes {
+				st.probes[i] += v
+			}
+			for i, v := range ws.alive {
+				st.alive[i] += v
+			}
+			st.out += ws.out
+			for k, v := range ws.groups {
+				res.Groups[k] += v
+			}
+		}
 
-	res := &Result{QueryID: q.ID, Groups: map[int64]int64{}}
-	for _, ws := range results {
-		if ws.groups == nil {
-			continue
-		}
-		for c, v := range ws.lines64 {
-			st.lines64[c] += v
-		}
-		for c, v := range ws.lines128 {
-			st.lines128[c] += v
-		}
-		for i, v := range ws.evals {
-			st.evals[i] += v
-		}
-		for i, v := range ws.probes {
-			st.probes[i] += v
-		}
-		for i, v := range ws.alive {
-			st.alive[i] += v
-		}
-		st.out += ws.out
-		for k, v := range ws.groups {
-			res.Groups[k] += v
-		}
+		sim.RunWithHelpers(len(chunks), lim, worker)
 	}
+
 	if len(q.GroupPayloads()) == 0 && len(res.Groups) == 0 {
 		res.Groups[0] = 0 // a global aggregate always yields one row
 	}

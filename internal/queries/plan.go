@@ -139,6 +139,11 @@ type Result struct {
 	Groups  map[int64]int64
 	// Seconds is the engine's simulated execution time.
 	Seconds float64
+	// Morsels is the number of fact-table partitions the run was split into
+	// (1 for a monolithic run); Pruned counts the morsels zone maps skipped.
+	// Both describe execution, not the rows, so Equal ignores them.
+	Morsels int
+	Pruned  int
 }
 
 // Rows returns the result rows sorted by group key for stable comparison
@@ -171,37 +176,22 @@ func (r *Result) Milliseconds() float64 { return r.Seconds * 1e3 }
 // Clone returns a deep copy; mutating the copy's Groups cannot affect the
 // original (used by caches that hand results to untrusted callers).
 func (r *Result) Clone() *Result {
-	out := &Result{QueryID: r.QueryID, Seconds: r.Seconds, Groups: make(map[int64]int64, len(r.Groups))}
+	out := &Result{
+		QueryID: r.QueryID,
+		Seconds: r.Seconds,
+		Morsels: r.Morsels,
+		Pruned:  r.Pruned,
+		Groups:  make(map[int64]int64, len(r.Groups)),
+	}
 	for k, v := range r.Groups {
 		out.Groups[k] = v
 	}
 	return out
 }
 
-// FactCol resolves a fact column by name.
-func FactCol(l *ssb.Lineorder, name string) []int32 {
-	switch name {
-	case "orderdate":
-		return l.OrderDate
-	case "custkey":
-		return l.CustKey
-	case "partkey":
-		return l.PartKey
-	case "suppkey":
-		return l.SuppKey
-	case "quantity":
-		return l.Quantity
-	case "discount":
-		return l.Discount
-	case "extprice":
-		return l.ExtPrice
-	case "revenue":
-		return l.Revenue
-	case "supplycost":
-		return l.SupplyCost
-	}
-	panic(fmt.Sprintf("queries: unknown fact column %q", name))
-}
+// FactCol resolves a fact column by name (ssb.Lineorder.Col re-exported at
+// the query layer; unknown names panic there).
+func FactCol(l *ssb.Lineorder, name string) []int32 { return l.Col(name) }
 
 // DimTable resolves a dimension by name.
 func DimTable(ds *ssb.Dataset, name string) *ssb.Dim {

@@ -1,6 +1,8 @@
 package queries
 
 import (
+	"sync"
+
 	"crystal/internal/ssb"
 )
 
@@ -11,11 +13,12 @@ import (
 // layer caches and shares between requests.
 //
 // A Plan is safe for concurrent use: the hash tables are only probed after
-// compilation (probes are atomic loads), and every Run* method keeps its
-// mutable state per call. Simulated times are unaffected by reuse — each
-// run re-charges the build traffic exactly as a cold execution would, so a
-// cached plan returns the same Result (rows and Seconds) as queries.Run
-// while skipping the functional build work.
+// compilation (probes are atomic loads), the morsel cache is mutex-guarded,
+// and every Run* method keeps its mutable state per call. Simulated times
+// are unaffected by reuse — each run re-charges the build traffic exactly
+// as a cold execution would, so a cached plan returns the same Result
+// (rows and Seconds) as queries.Run while skipping the functional build
+// work.
 type Plan struct {
 	// Query is the compiled query in plan order.
 	Query Query
@@ -23,6 +26,12 @@ type Plan struct {
 	// builds are the constructed join hash tables plus the build-phase
 	// traffic each engine charges on its own device clock.
 	builds []buildInfo
+
+	// partsMu guards parts, the per-partition-count morsel cache: zone maps
+	// cost one pass over the fact columns, so repeated partitioned runs of
+	// a cached plan compute them once per count.
+	partsMu sync.Mutex
+	parts   map[int][]ssb.Morsel
 }
 
 // Compile builds the join hash tables for q over ds and returns the
@@ -34,21 +43,32 @@ func Compile(ds *ssb.Dataset, q Query) *Plan {
 // Dataset returns the dataset the plan was compiled against.
 func (p *Plan) Dataset() *ssb.Dataset { return p.ds }
 
-// Run executes the compiled plan on the chosen engine.
-func (p *Plan) Run(e Engine) *Result {
-	switch e {
-	case EngineGPU:
-		return p.RunGPU()
-	case EngineCPU:
-		return p.RunCPU()
-	case EngineHyper:
-		return p.RunHyper()
-	case EngineMonet:
-		return p.RunMonet()
-	case EngineOmnisci:
-		return p.RunOmnisci()
-	case EngineCoproc:
-		return p.RunCoprocessor()
+// Morsels returns the dataset's zone-mapped morsels for the given partition
+// count, memoized on the plan. The cache lives here rather than on the
+// Dataset deliberately: Dataset values are copied by SliceFact/ClusterBy
+// (a mutex or cache field would be copied along and could serve another
+// layout's morsels), so each distinct cached plan pays one zone-map scan
+// per partition count instead.
+func (p *Plan) Morsels(n int) []ssb.Morsel {
+	if n < 1 {
+		n = 1
 	}
-	panic("queries: unknown engine " + string(e))
+	p.partsMu.Lock()
+	defer p.partsMu.Unlock()
+	if p.parts == nil {
+		p.parts = map[int][]ssb.Morsel{}
+	}
+	ms, ok := p.parts[n]
+	if !ok {
+		ms = p.ds.Partition(n)
+		p.parts[n] = ms
+	}
+	return ms
+}
+
+// Run executes the compiled plan on the chosen engine as one monolithic
+// scan (a single unmapped morsel — identical to RunPartitioned with any
+// partition count as long as zone maps prune nothing).
+func (p *Plan) Run(e Engine) *Result {
+	return p.RunPartitioned(e, RunOptions{})
 }

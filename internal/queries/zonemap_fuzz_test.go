@@ -1,0 +1,94 @@
+package queries
+
+import (
+	"sync"
+	"testing"
+
+	"crystal/internal/ssb"
+)
+
+// fuzzData lazily builds the two layouts the zone-map fuzzer scans: the
+// uniform generated layout (zones span everything, pruning is rare) and an
+// orderdate-clustered layout (narrow zones, pruning is common). Lazy so
+// plain test runs that never fuzz don't pay for the clustering sort.
+var fuzzData = struct {
+	once               sync.Once
+	uniform, clustered *ssb.Dataset
+}{}
+
+func fuzzDatasets() (*ssb.Dataset, *ssb.Dataset) {
+	fuzzData.once.Do(func() {
+		fuzzData.uniform = ssb.GenerateRows(40_000)
+		fuzzData.clustered = fuzzData.uniform.ClusterBy("orderdate")
+	})
+	return fuzzData.uniform, fuzzData.clustered
+}
+
+// FuzzZoneMap pins the one property zone-map pruning must never violate:
+// a pruned morsel contains no row matching the filters. It fuzzes filter
+// bounds over arbitrary columns and partition counts, on both the uniform
+// and a clustered layout, and cross-checks the surviving row population
+// against a full scan.
+func FuzzZoneMap(f *testing.F) {
+	f.Add(uint8(7), uint8(0), int32(19930101), int32(19931231), int32(1), int32(3), true)
+	f.Add(uint8(64), uint8(4), int32(26), int32(35), int32(0), int32(0), false)
+	f.Add(uint8(1), uint8(9), int32(-5), int32(5), int32(100), int32(50), true)
+	f.Add(uint8(33), uint8(200), int32(0), int32(0), int32(0), int32(0), false)
+
+	f.Fuzz(func(t *testing.T, parts, colPick uint8, lo1, hi1, lo2, hi2 int32, clustered bool) {
+		uniform, sorted := fuzzDatasets()
+		ds := uniform
+		if clustered {
+			ds = sorted
+		}
+		cols := ssb.FactColumns()
+		var filters []Filter
+		if lo1 > hi1 {
+			lo1, hi1 = hi1, lo1
+		}
+		filters = append(filters, Filter{Col: cols[int(colPick)%len(cols)], Lo: lo1, Hi: hi1})
+		if lo2 <= hi2 {
+			filters = append(filters, Filter{Col: cols[int(colPick/16)%len(cols)], Lo: lo2, Hi: hi2})
+		} else {
+			// Odd bounds become an IN-set filter instead of a range.
+			filters = append(filters, Filter{Col: cols[int(colPick/16)%len(cols)], In: []int32{lo2, hi2}})
+		}
+
+		morsels := ds.Partition(int(parts)%96 + 1)
+		pruned := PruneMorsels(morsels, filters)
+
+		match := func(row int) bool {
+			for i := range filters {
+				if !filters[i].Match(ds.Lineorder.Col(filters[i].Col)[row]) {
+					return false
+				}
+			}
+			return true
+		}
+		var full, kept int
+		for row := 0; row < ds.Lineorder.Rows(); row++ {
+			if match(row) {
+				full++
+			}
+		}
+		for i, m := range morsels {
+			if pruned[i] {
+				// The property under test: pruning never drops a matching row.
+				for row := m.Lo; row < m.Hi; row++ {
+					if match(row) {
+						t.Fatalf("morsel [%d,%d) pruned but row %d matches %+v", m.Lo, m.Hi, row, filters)
+					}
+				}
+				continue
+			}
+			for row := m.Lo; row < m.Hi; row++ {
+				if match(row) {
+					kept++
+				}
+			}
+		}
+		if kept != full {
+			t.Fatalf("surviving morsels hold %d matching rows, full scan finds %d", kept, full)
+		}
+	})
+}

@@ -49,6 +49,12 @@ type Request struct {
 	// join-ordered by the cost-based planner.
 	SQL    string
 	Engine queries.Engine
+	// Partitions splits the fact scan into that many zone-mapped morsels:
+	// morsels a filter cannot match are skipped, and the surviving ones fan
+	// out across the service's bounded morsel pool. 0 (the default) runs the
+	// monolithic scan. Rows are identical either way; simulated seconds are
+	// identical unless zone maps prune (then they are cheaper).
+	Partitions int
 	// NoCache bypasses the result cache for this request (the plan cache
 	// still applies); used to force fresh execution for benchmarking.
 	NoCache bool
@@ -74,7 +80,12 @@ type Response struct {
 	// result were served from cache.
 	PlanCached   bool
 	ResultCached bool
-	Err          error
+	// Morsels and Pruned report the partitioned-execution outcome: how many
+	// morsels the fact scan was split into (1 for monolithic runs) and how
+	// many of them zone maps skipped.
+	Morsels int
+	Pruned  int
+	Err     error
 }
 
 // Options configures a Service.
@@ -90,6 +101,12 @@ type Options struct {
 	BindCacheSize int
 	// QueueDepth bounds the pending-request queue (default 4x Workers).
 	QueueDepth int
+	// MorselHelpers caps the extra goroutines all in-flight requests
+	// together may spawn for intra-query parallelism (morsel scans, GPU
+	// blocks). The executing worker always makes progress without a slot,
+	// so a partitioned query can never starve other requests; helpers only
+	// soak up cores the pool isn't using. Default: GOMAXPROCS.
+	MorselHelpers int
 }
 
 func (o *Options) withDefaults() Options {
@@ -109,8 +126,27 @@ func (o *Options) withDefaults() Options {
 	if out.QueueDepth <= 0 {
 		out.QueueDepth = 4 * out.Workers
 	}
+	if out.MorselHelpers <= 0 {
+		out.MorselHelpers = runtime.GOMAXPROCS(0)
+	}
 	return out
 }
+
+// gate is the shared morsel-parallelism limiter (queries.Limiter): a
+// semaphore sized by Options.MorselHelpers that all requests draw helper
+// slots from without blocking.
+type gate chan struct{}
+
+func (g gate) TryAcquire() bool {
+	select {
+	case g <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (g gate) Release() { <-g }
 
 // planEntry is a once-guarded plan-cache slot: concurrent misses for the
 // same (version, query) compile exactly once and the rest wait on the Once.
@@ -153,6 +189,10 @@ type Service struct {
 	statsMu sync.Mutex
 	stats   statsAccum
 
+	// morsels bounds intra-query helper parallelism across every in-flight
+	// request (see Options.MorselHelpers).
+	morsels gate
+
 	jobs chan job
 	wg   sync.WaitGroup
 	// pending counts Submit calls that have passed the closed check but not
@@ -171,6 +211,7 @@ func New(ds *ssb.Dataset, version string, opts Options) *Service {
 	s.plans = newLRU(s.opts.PlanCacheSize)
 	s.results = newLRU(s.opts.ResultCacheSize)
 	s.binds = newLRU(s.opts.BindCacheSize)
+	s.morsels = make(gate, s.opts.MorselHelpers)
 	s.stats.engines = map[queries.Engine]*engineAccum{}
 	s.jobs = make(chan job, s.opts.QueueDepth)
 	s.wg.Add(s.opts.Workers)
@@ -375,6 +416,9 @@ func (s *Service) execute(req Request) Response {
 		s.recordError()
 		return Response{Request: req, Err: err}
 	}
+	if req.Partitions < 0 {
+		req.Partitions = 0
+	}
 	req.Engine = engine
 	resp := Response{Request: req, Adhoc: req.SQL != ""}
 
@@ -391,8 +435,11 @@ func (s *Service) execute(req Request) Response {
 	}
 	resp.Query = q
 
+	// The partition count is part of the result identity: rows always agree,
+	// but a pruned partitioned run reports different Seconds/Morsels/Pruned
+	// than a monolithic one, and those must replay deterministically.
 	genKey := strconv.FormatUint(gen, 10)
-	resultKey := cacheKey(genKey, canon, string(req.Engine))
+	resultKey := cacheKey(genKey, canon, string(req.Engine), strconv.Itoa(req.Partitions))
 	if !req.NoCache {
 		s.cacheMu.Lock()
 		v, ok := s.results.get(resultKey)
@@ -406,6 +453,8 @@ func (s *Service) execute(req Request) Response {
 			resp.Result = cached.Result.Clone()
 			resp.Result.QueryID = q.ID
 			resp.SimSeconds = cached.SimSeconds
+			resp.Morsels = cached.Morsels
+			resp.Pruned = cached.Pruned
 			resp.PlanCached = true
 			resp.ResultCached = true
 			resp.Wall = time.Since(start)
@@ -433,9 +482,14 @@ func (s *Service) execute(req Request) Response {
 	s.cacheMu.Unlock()
 
 	entry.once.Do(func() { entry.plan = queries.Compile(ds, q) })
-	resp.Result = entry.plan.Run(req.Engine)
+	resp.Result = entry.plan.RunPartitioned(req.Engine, queries.RunOptions{
+		Partitions: req.Partitions,
+		Limiter:    s.morsels,
+	})
 	resp.Result.QueryID = q.ID
 	resp.SimSeconds = resp.Result.Seconds
+	resp.Morsels = resp.Result.Morsels
+	resp.Pruned = resp.Result.Pruned
 	resp.Wall = time.Since(start)
 
 	// Cache only results that are still current: the dataset may have been

@@ -619,3 +619,151 @@ func TestSQLBindCacheInvalidation(t *testing.T) {
 		t.Error("post-swap ad-hoc response identical to pre-swap; stale bind suspected")
 	}
 }
+
+// TestPartitionedRequests: a partitioned request returns rows and simulated
+// seconds identical to the monolithic request (uniform data, nothing
+// prunes), reports its morsel counts, and keys the result cache separately
+// from the monolithic entry.
+func TestPartitionedRequests(t *testing.T) {
+	ds := testData()
+	s := New(ds, "v1", Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	mono, err := s.Do(ctx, Request{QueryID: "q2.1", Engine: queries.EngineCPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := s.Do(ctx, Request{QueryID: "q2.1", Engine: queries.EngineCPU, Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Result.Equal(mono.Result) {
+		t.Error("partitioned rows differ from monolithic")
+	}
+	if part.SimSeconds != mono.SimSeconds {
+		t.Errorf("partitioned %.9fs != monolithic %.9fs", part.SimSeconds, mono.SimSeconds)
+	}
+	if part.Morsels != 2 || part.Pruned != 0 {
+		t.Errorf("morsels/pruned = %d/%d, want 2/0", part.Morsels, part.Pruned)
+	}
+	if mono.Morsels != 1 {
+		t.Errorf("monolithic morsels = %d, want 1", mono.Morsels)
+	}
+	// The partitioned run shares the plan (same canonical query) but must
+	// not have been served from the monolithic result entry.
+	if !part.PlanCached {
+		t.Error("partitioned request should reuse the compiled plan")
+	}
+	if part.ResultCached {
+		t.Error("partitioned request must not hit the monolithic result entry")
+	}
+	// Repeating it hits its own cached entry, morsel stats intact.
+	again, err := s.Do(ctx, Request{QueryID: "q2.1", Engine: queries.EngineCPU, Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.ResultCached || again.Morsels != 2 {
+		t.Errorf("cached partitioned replay: cached=%v morsels=%d", again.ResultCached, again.Morsels)
+	}
+
+	st := s.Stats()
+	if st.PartitionedRequests != 2 {
+		t.Errorf("partitioned requests = %d, want 2", st.PartitionedRequests)
+	}
+	if st.Morsels != 4 || st.PrunedMorsels != 0 {
+		t.Errorf("morsel tally = %d/%d, want 4/0", st.Morsels, st.PrunedMorsels)
+	}
+}
+
+// TestPartitionedPruningServed: on a clustered dataset the service reports
+// pruned morsels and a cheaper simulated time, with identical rows.
+func TestPartitionedPruningServed(t *testing.T) {
+	clustered := testData().ClusterBy("orderdate")
+	s := New(clustered, "clustered", Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	mono, err := s.Do(ctx, Request{QueryID: "q1.1", Engine: queries.EngineGPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4096 rows = 2 tiles, so request the maximum split.
+	part, err := s.Do(ctx, Request{QueryID: "q1.1", Engine: queries.EngineGPU, Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Result.Equal(mono.Result) {
+		t.Error("pruned rows differ from monolithic")
+	}
+	if part.Pruned == 0 {
+		t.Fatalf("expected pruning on clustered layout, morsels=%d", part.Morsels)
+	}
+	if part.SimSeconds >= mono.SimSeconds {
+		t.Errorf("pruned run %.9fs not cheaper than %.9fs", part.SimSeconds, mono.SimSeconds)
+	}
+	if st := s.Stats(); st.PruneRate <= 0 {
+		t.Errorf("prune rate = %.3f, want > 0", st.PruneRate)
+	}
+}
+
+// TestPartitionedConcurrency floods a 2-worker, 2-helper service with
+// partitioned requests from many goroutines: the shared morsel gate must
+// neither deadlock nor corrupt results (run under -race in CI).
+func TestPartitionedConcurrency(t *testing.T) {
+	ds := testData()
+	s := New(ds, "v1", Options{Workers: 2, MorselHelpers: 2})
+	defer s.Close()
+	want := map[string]*queries.Result{}
+	for _, id := range []string{"q1.1", "q2.1", "q3.2"} {
+		q, _ := queries.ByID(id)
+		want[id] = queries.Run(ds, q, queries.EngineCPU)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := []string{"q1.1", "q2.1", "q3.2"}
+			for i := 0; i < 8; i++ {
+				id := ids[(g+i)%len(ids)]
+				resp, err := s.Do(context.Background(), Request{
+					QueryID:    id,
+					Engine:     queries.EngineCPU,
+					Partitions: 1 + (g+i)%3,
+					NoCache:    true,
+				})
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if !resp.Result.Equal(want[id]) || resp.SimSeconds != want[id].Seconds {
+					errs <- "partitioned response diverged for " + id
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestGateBounds exercises the morsel gate directly: capacity is strict,
+// and release restores it.
+func TestGateBounds(t *testing.T) {
+	g := make(gate, 2)
+	if !g.TryAcquire() || !g.TryAcquire() {
+		t.Fatal("gate should grant up to capacity")
+	}
+	if g.TryAcquire() {
+		t.Fatal("gate over capacity")
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+}

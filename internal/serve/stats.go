@@ -17,6 +17,9 @@ type statsAccum struct {
 	requests     int64
 	named        int64
 	adhoc        int64
+	partitioned  int64
+	morsels      int64
+	pruned       int64
 	errors       int64
 	planHits     int64
 	planMisses   int64
@@ -31,6 +34,11 @@ func (a *statsAccum) record(resp Response) {
 		a.adhoc++
 	} else {
 		a.named++
+	}
+	if resp.Request.Partitions > 0 {
+		a.partitioned++
+		a.morsels += int64(resp.Morsels)
+		a.pruned += int64(resp.Pruned)
 	}
 	if resp.PlanCached {
 		a.planHits++
@@ -75,6 +83,17 @@ type Stats struct {
 	AdhocRequests int64 `json:"adhoc_requests"`
 	Errors        int64 `json:"errors"`
 
+	// PartitionedRequests counts requests that asked for morsel-driven
+	// execution; Morsels and PrunedMorsels tally their fact-scan partitions
+	// and how many of those zone maps skipped. PruneRate is the fraction
+	// skipped — on uniform data it stays 0 (and simulated seconds match the
+	// monolithic runs exactly); on clustered data it is the scan work the
+	// service never did.
+	PartitionedRequests int64   `json:"partitioned_requests"`
+	Morsels             int64   `json:"morsels"`
+	PrunedMorsels       int64   `json:"pruned_morsels"`
+	PruneRate           float64 `json:"prune_rate"`
+
 	PlanHits      int64   `json:"plan_hits"`
 	PlanMisses    int64   `json:"plan_misses"`
 	PlanHitRate   float64 `json:"plan_hit_rate"`
@@ -102,6 +121,10 @@ func (s *Service) Stats() Stats {
 	out.Requests = s.stats.requests
 	out.NamedRequests = s.stats.named
 	out.AdhocRequests = s.stats.adhoc
+	out.PartitionedRequests = s.stats.partitioned
+	out.Morsels = s.stats.morsels
+	out.PrunedMorsels = s.stats.pruned
+	out.PruneRate = rate(s.stats.pruned, s.stats.morsels-s.stats.pruned)
 	out.Errors = s.stats.errors
 	out.PlanHits = s.stats.planHits
 	out.PlanMisses = s.stats.planMisses

@@ -111,6 +111,18 @@ func (b *Block) AtomicAdd(c *Counter, delta int64) int64 {
 // no-op but is kept so kernels read like their CUDA counterparts.
 func (b *Block) Sync() {}
 
+// Gate bounds helper parallelism for a launch or a morsel scan. TryAcquire
+// reports whether one extra worker may start (without blocking); every
+// successful acquire must be paired with a Release. A nil Gate means
+// "unbounded up to GOMAXPROCS". The serving layer shares one Gate across
+// all in-flight requests so intra-query parallelism can never starve
+// inter-query throughput: the submitting goroutine always executes, and
+// helpers beyond the gate's capacity simply don't spawn.
+type Gate interface {
+	TryAcquire() bool
+	Release()
+}
+
 // Launch is one kernel execution: a grid of blocks over an input extent.
 type Launch struct {
 	Cfg  Config
@@ -132,52 +144,82 @@ type Kernel func(b *Block)
 // The traffic record already includes the launch count and the occupancy /
 // vectorization factors implied by the tile configuration (Figure 9).
 func Run(dev *device.Spec, cfg Config, kernel Kernel) *device.Pass {
+	return RunBounded(dev, cfg, kernel, nil)
+}
+
+// RunBounded is Run with helper parallelism bounded by gate: the calling
+// goroutine always executes blocks (so a launch makes progress even when
+// the gate is exhausted), and up to GOMAXPROCS-1 additional workers spawn
+// only while gate.TryAcquire grants slots. The traffic record — and
+// therefore the simulated time — is identical for every gate; only host
+// wall-clock parallelism changes.
+func RunBounded(dev *device.Spec, cfg Config, kernel Kernel, gate Gate) *device.Pass {
 	l := &Launch{Cfg: cfg, dev: dev}
 	l.pass.Kernels = 1
 	l.pass.VectorEff = vectorEff(cfg.ItemsPerThread)
 	l.pass.OccupancyFactor = occupancyFactor(dev, cfg.Threads)
 
 	numBlocks := cfg.NumBlocks()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > numBlocks {
-		workers = numBlocks
-	}
-	if workers == 0 {
+	if numBlocks == 0 {
 		return &l.pass
 	}
 	var next int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				id := int(atomic.AddInt64(&next, 1) - 1)
-				if id >= numBlocks {
-					return
-				}
-				b := Block{
-					ID:             id,
-					Threads:        cfg.Threads,
-					ItemsPerThread: cfg.ItemsPerThread,
-					Offset:         id * cfg.TileSize(),
-					launch:         l,
-				}
-				b.TileElems = cfg.Elems - b.Offset
-				if ts := cfg.TileSize(); b.TileElems > ts {
-					b.TileElems = ts
-				}
-				kernel(&b)
-				l.mu.Lock()
-				l.pass.Add(&b.pass)
-				l.mu.Unlock()
+	worker := func() {
+		for {
+			id := int(atomic.AddInt64(&next, 1) - 1)
+			if id >= numBlocks {
+				return
 			}
-		}()
+			b := Block{
+				ID:             id,
+				Threads:        cfg.Threads,
+				ItemsPerThread: cfg.ItemsPerThread,
+				Offset:         id * cfg.TileSize(),
+				launch:         l,
+			}
+			b.TileElems = cfg.Elems - b.Offset
+			if ts := cfg.TileSize(); b.TileElems > ts {
+				b.TileElems = ts
+			}
+			kernel(&b)
+			l.mu.Lock()
+			l.pass.Add(&b.pass)
+			l.mu.Unlock()
+		}
 	}
-	wg.Wait()
+	RunWithHelpers(numBlocks, gate, worker)
 	// Add merges Kernels counts from blocks (zero) and keeps ours.
 	l.pass.Kernels = 1
 	return &l.pass
+}
+
+// RunWithHelpers executes worker on the calling goroutine and on up to
+// min(GOMAXPROCS-1, work-1) helper goroutines, each gated by gate (nil =
+// ungated). Workers must pull work items from a shared source until it is
+// exhausted. The two invariants every caller relies on live here: the
+// calling goroutine always executes (progress needs no gate slot), and
+// every successful TryAcquire is paired with exactly one Release.
+func RunWithHelpers(work int, gate Gate, worker func()) {
+	helpers := runtime.GOMAXPROCS(0) - 1
+	if helpers > work-1 {
+		helpers = work - 1
+	}
+	var wg sync.WaitGroup
+	for h := 0; h < helpers; h++ {
+		if gate != nil && !gate.TryAcquire() {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if gate != nil {
+				defer gate.Release()
+			}
+			worker()
+		}()
+	}
+	worker()
+	wg.Wait()
 }
 
 // vectorEff models the effective load bandwidth of the tile configuration:

@@ -1,0 +1,181 @@
+package ssb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MorselAlign is the row quantum morsel boundaries snap to. It equals the
+// tile size of the GPU kernels (thread block 256 x 8 items per thread) and
+// is a multiple of every DRAM line the device models use (16 rows per 64 B
+// line, 32 per 128 B line), so a morsel boundary never splits a tile or a
+// cache line. That alignment is what makes partitioned execution exact:
+// per-morsel traffic statistics sum to precisely the monolithic pass's
+// statistics, so simulated seconds are identical for every partition count
+// (until zone maps start pruning, which only makes runs cheaper).
+const MorselAlign = 2048
+
+// Zone is the inclusive [Min, Max] value range one fact column takes within
+// a morsel — the classic zone-map (small materialized aggregate) entry.
+type Zone struct {
+	Min, Max int32
+}
+
+// Contains reports whether v lies inside the zone.
+func (z Zone) Contains(v int32) bool { return z.Min <= v && v <= z.Max }
+
+// Overlaps reports whether the zone intersects the inclusive range [lo, hi].
+func (z Zone) Overlaps(lo, hi int32) bool { return lo <= z.Max && hi >= z.Min }
+
+// Morsel is one horizontal partition of the fact table: the row range
+// [Lo, Hi) plus a zone map over every fact column. A query skips the morsel
+// entirely when some filter cannot match its zone; Zones may be nil (an
+// unmapped morsel), which disables pruning for it.
+type Morsel struct {
+	Lo, Hi int
+	Zones  map[string]Zone
+}
+
+// Rows returns the number of fact rows in the morsel.
+func (m Morsel) Rows() int { return m.Hi - m.Lo }
+
+// FactColumns lists the fact-table column names in storage order.
+func FactColumns() []string {
+	return []string{
+		"orderdate", "custkey", "partkey", "suppkey",
+		"quantity", "discount", "extprice", "revenue", "supplycost",
+	}
+}
+
+// Col returns the named fact column, panicking on unknown names so
+// query-plan typos fail loudly (mirrors Dim.Col).
+func (l *Lineorder) Col(name string) []int32 {
+	switch name {
+	case "orderdate":
+		return l.OrderDate
+	case "custkey":
+		return l.CustKey
+	case "partkey":
+		return l.PartKey
+	case "suppkey":
+		return l.SuppKey
+	case "quantity":
+		return l.Quantity
+	case "discount":
+		return l.Discount
+	case "extprice":
+		return l.ExtPrice
+	case "revenue":
+		return l.Revenue
+	case "supplycost":
+		return l.SupplyCost
+	}
+	panic(fmt.Sprintf("ssb: unknown fact column %q", name))
+}
+
+// Partition splits the fact table into at most n morsels with zone maps.
+// Boundaries snap to MorselAlign, so morsels are balanced to within one
+// quantum, cover every row exactly once, and requesting more morsels than
+// aligned chunks simply yields fewer (never empty) morsels. n < 1 is
+// treated as 1.
+func (ds *Dataset) Partition(n int) []Morsel {
+	rows := ds.Lineorder.Rows()
+	if rows == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	tiles := (rows + MorselAlign - 1) / MorselAlign
+	if n > tiles {
+		n = tiles
+	}
+	out := make([]Morsel, 0, n)
+	for i := 0; i < n; i++ {
+		lo := (i * tiles / n) * MorselAlign
+		hi := ((i + 1) * tiles / n) * MorselAlign
+		if hi > rows || i == n-1 {
+			hi = rows
+		}
+		if lo >= hi {
+			continue
+		}
+		out = append(out, Morsel{Lo: lo, Hi: hi, Zones: ds.zoneMap(lo, hi)})
+	}
+	return out
+}
+
+// zoneMap computes min/max for every fact column over rows [lo, hi).
+func (ds *Dataset) zoneMap(lo, hi int) map[string]Zone {
+	zones := make(map[string]Zone, 9)
+	for _, name := range FactColumns() {
+		col := ds.Lineorder.Col(name)[lo:hi]
+		z := Zone{Min: col[0], Max: col[0]}
+		for _, v := range col[1:] {
+			if v < z.Min {
+				z.Min = v
+			}
+			if v > z.Max {
+				z.Max = v
+			}
+		}
+		zones[name] = z
+	}
+	return zones
+}
+
+// ClusterBy returns a copy of the dataset whose fact table is stably sorted
+// by the named fact column; dimension tables are shared. On a clustered
+// layout each morsel's zone for the sort column is a narrow, nearly
+// disjoint interval, which is what gives zone maps their pruning power —
+// the uniform generated layout leaves every zone spanning the full domain,
+// so nothing prunes and partitioned runs cost exactly the monolithic time.
+func (ds *Dataset) ClusterBy(col string) *Dataset {
+	l := &ds.Lineorder
+	key := l.Col(col)
+	perm := make([]int, l.Rows())
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return key[perm[a]] < key[perm[b]] })
+
+	out := *ds
+	out.Lineorder = Lineorder{}
+	for _, name := range FactColumns() {
+		src := l.Col(name)
+		dst := make([]int32, len(src))
+		for i, p := range perm {
+			dst[i] = src[p]
+		}
+		out.Lineorder.setCol(name, dst)
+	}
+	return &out
+}
+
+// setCol stores the named fact column — the write-side mirror of Col, with
+// the same panic on unknown names so a column added to FactColumns but
+// missed here fails loudly instead of silently dropping data.
+func (l *Lineorder) setCol(name string, col []int32) {
+	switch name {
+	case "orderdate":
+		l.OrderDate = col
+	case "custkey":
+		l.CustKey = col
+	case "partkey":
+		l.PartKey = col
+	case "suppkey":
+		l.SuppKey = col
+	case "quantity":
+		l.Quantity = col
+	case "discount":
+		l.Discount = col
+	case "extprice":
+		l.ExtPrice = col
+	case "revenue":
+		l.Revenue = col
+	case "supplycost":
+		l.SupplyCost = col
+	default:
+		panic(fmt.Sprintf("ssb: unknown fact column %q", name))
+	}
+}
