@@ -1,0 +1,89 @@
+// Command docscheck is the docs gate of `make docs`: it verifies that every
+// relative link in the given markdown files points at a file or directory
+// that actually exists in the repo. External links (http, https, mailto),
+// pure in-page anchors, and links that resolve outside the working
+// directory (site-relative GitHub links such as a CI badge's
+// ../../actions/... path) are skipped — CI has no network, and anchor
+// validity is an editorial concern — so the gate catches exactly the class
+// of rot that creeps in as files move: README and docs/ referencing paths
+// that no longer exist.
+//
+//	docscheck README.md docs/ARCHITECTURE.md
+//
+// Exit status is non-zero if any link is broken, with one line per finding.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links [text](target) and
+// [text](target "title"); images are the same shape with a leading bang
+// and are checked identically.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck file.md [file.md ...]")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, file := range os.Args[1:] {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			broken++
+			continue
+		}
+		inFence := false
+		for _, line := range strings.Split(string(data), "\n") {
+			// Fenced code blocks hold shell snippets and diagrams, not
+			// links; `](x)` sequences inside them are false positives.
+			if trimmed := strings.TrimSpace(line); strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skipLink(target) {
+					continue
+				}
+				// Strip an in-page fragment from a file link.
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(file), target)
+				if resolved == ".." || strings.HasPrefix(resolved, ".."+string(filepath.Separator)) {
+					continue // escapes the repo: a site-relative GitHub link
+				}
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Fprintf(os.Stderr, "docscheck: %s: broken link %q (%s does not exist)\n", file, m[1], resolved)
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// skipLink reports whether the target is external or a pure anchor, neither
+// of which the filesystem can validate.
+func skipLink(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

@@ -12,6 +12,13 @@
 // and /stats), and the surviving morsels fan out across the service's
 // bounded helper pool.
 //
+// Both also accept &packed=1 to scan the bit-packed fact encoding (built
+// once per dataset): rows are identical, simulated seconds reflect the
+// compression asymmetry, and coprocessor requests ship compressed bytes
+// over PCIe — or none at all for columns the device residency cache holds
+// (see resident_cols in the response and the device cache line in /stats).
+// -devicecache sizes that cache; -devicecache -1 disables it.
+//
 // The service schedules requests across a bounded worker pool and caches
 // SQL bindings, compiled plans and recent results, so repeated queries are
 // served from memory while simulated engine times stay identical to a cold
@@ -49,11 +56,12 @@ import (
 )
 
 var (
-	flagAddr    = flag.String("addr", ":8080", "listen address")
-	flagSF      = flag.Int("sf", 1, "scale factor to generate")
-	flagRows    = flag.Int("rows", 0, "generate exactly this many fact rows instead of -sf")
-	flagWorkers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-	flagData    = flag.String("data", "", "load a dataset written by datagen instead of generating")
+	flagAddr     = flag.String("addr", ":8080", "listen address")
+	flagSF       = flag.Int("sf", 1, "scale factor to generate")
+	flagRows     = flag.Int("rows", 0, "generate exactly this many fact rows instead of -sf")
+	flagWorkers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flagData     = flag.String("data", "", "load a dataset written by datagen instead of generating")
+	flagDevCache = flag.Int64("devicecache", 0, "device residency cache capacity in bytes for packed columns (0 = the V100's 32 GB, negative = disabled)")
 )
 
 func main() {
@@ -78,7 +86,7 @@ func main() {
 	}
 	log.Printf("dataset %s: %d fact rows, %.2f GB", version, ds.Lineorder.Rows(), float64(ds.Bytes())/1e9)
 
-	svc := serve.New(ds, version, serve.Options{Workers: *flagWorkers})
+	svc := serve.New(ds, version, serve.Options{Workers: *flagWorkers, DeviceCacheBytes: *flagDevCache})
 	log.Printf("serving on %s with %d workers", *flagAddr, svc.Workers())
 
 	mux := http.NewServeMux()
@@ -129,6 +137,12 @@ type queryResponse struct {
 	Partitions    int `json:"partitions,omitempty"`
 	Morsels       int `json:"morsels"`
 	PrunedMorsels int `json:"pruned_morsels"`
+	// Packed reports whether the bit-packed fact encoding was scanned;
+	// TransferBytes is the PCIe traffic a coprocessor run shipped and
+	// ResidentCols the column transfers the device cache elided.
+	Packed        bool  `json:"packed,omitempty"`
+	TransferBytes int64 `json:"transfer_bytes,omitempty"`
+	ResidentCols  int   `json:"resident_cols,omitempty"`
 }
 
 func handleQuery(svc *serve.Service) http.HandlerFunc {
@@ -193,6 +207,14 @@ func serveRequest(svc *serve.Service, w http.ResponseWriter, r *http.Request, re
 		}
 		req.Partitions = n
 	}
+	if v := r.URL.Query().Get("packed"); v != "" {
+		packed, err := strconv.ParseBool(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad packed value %q: want a boolean", v))
+			return
+		}
+		req.Packed = packed
+	}
 	resp, err := svc.Do(r.Context(), req)
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -217,6 +239,9 @@ func serveRequest(svc *serve.Service, w http.ResponseWriter, r *http.Request, re
 		Partitions:    resp.Request.Partitions,
 		Morsels:       resp.Morsels,
 		PrunedMorsels: resp.Pruned,
+		Packed:        resp.Packed,
+		TransferBytes: resp.TransferBytes,
+		ResidentCols:  resp.ResidentCols,
 	}
 	writeJSON(w, out)
 }
@@ -262,8 +287,17 @@ func handleStats(svc *serve.Service) http.HandlerFunc {
 				st.PlanHitRate*100, st.CachedPlans)
 			fmt.Fprintf(w, "result cache: %.0f%% hit rate, %d entries\n",
 				st.ResultHitRate*100, st.CachedResults)
-			fmt.Fprintf(w, "partitioned:  %d requests, %d/%d morsels pruned (%.0f%%)\n\n",
+			fmt.Fprintf(w, "partitioned:  %d requests, %d/%d morsels pruned (%.0f%%)\n",
 				st.PartitionedRequests, st.PrunedMorsels, st.Morsels, st.PruneRate*100)
+			fmt.Fprintf(w, "packed:       %d requests, %.2f MB shipped over PCIe, %d column transfers elided\n",
+				st.PackedRequests, float64(st.TransferBytes)/1e6, st.ResidentCols)
+			if st.DeviceCacheCapBytes > 0 {
+				fmt.Fprintf(w, "device cache: %d columns, %.2f/%.2f GB pinned, %.0f%% hit rate, %d evictions\n\n",
+					st.DeviceCacheCols, float64(st.DeviceCacheUsedBytes)/1e9,
+					float64(st.DeviceCacheCapBytes)/1e9, st.ResidencyHitRate*100, st.ResidentEvictions)
+			} else {
+				fmt.Fprintf(w, "device cache: disabled\n\n")
+			}
 			st.Table().Fprint(w)
 			return
 		}

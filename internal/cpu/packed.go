@@ -12,7 +12,9 @@ import (
 // traffic but pays the unpack arithmetic per element; with only ~1 Tflop
 // against 53 GBps this can tip the scan from bandwidth bound to compute
 // bound — the asymmetry the paper predicts makes packing more attractive
-// on GPUs than CPUs.
+// on GPUs than CPUs. The full-query path charges the same asymmetry
+// through queries.RunOptions.Packed; this operator is its isolated
+// kernel-level form (BenchmarkAblation_PackedScan).
 func SelectPacked(clk *device.Clock, col *pack.Column, pred func(int32) bool) []int32 {
 	n := col.Len()
 	numChunks := (n + VectorSize - 1) / VectorSize

@@ -18,6 +18,7 @@ package crystal
 
 import (
 	"crystal/internal/device"
+	"crystal/internal/pack"
 	"crystal/internal/sim"
 )
 
@@ -87,6 +88,57 @@ func BlockLoadSel[T Value](b *sim.Block, col []T, bitmap []uint8, items []T) int
 		}
 	}
 	b.Pass().BytesRead += int64(lines) * int64(perLine) * elemBytes
+	return n
+}
+
+// BlockLoadPacked is BlockLoad over a bit-packed column (the Section 5.5
+// compression extension): the block reads its tile's packed frames from
+// global memory — width/32 of the plain traffic — and unpacks into the
+// register array. Unpacking is register arithmetic the GPU's compute
+// headroom absorbs (the asymmetry the paper predicts), so only the packed
+// bytes are charged. The frame size equals the tile size in this repo, so a
+// tile's traffic is exactly its frame's footprint and per-block charges
+// merge exactly for any grid.
+func BlockLoadPacked(b *sim.Block, col *pack.Frames, items []int32) int {
+	n := b.TileElems
+	if rem := col.Len() - b.Offset; n > rem {
+		n = rem
+	}
+	if n <= 0 {
+		return 0
+	}
+	col.UnpackRange(b.Offset, b.Offset+n, items)
+	b.Pass().BytesRead += col.BytesRange(b.Offset, b.Offset+n)
+	return n
+}
+
+// BlockLoadSelPacked is BlockLoadSel over a bit-packed column: only tile
+// elements with a set bitmap entry are unpacked, and the traffic charged is
+// the distinct DRAM lines of the packed layout actually touched. Packed
+// lines hold 32/width times more values than plain ones, so selective loads
+// keep their min(4|L|/C, |L|sigma) shape with the packed |L|.
+func BlockLoadSelPacked(b *sim.Block, col *pack.Frames, bitmap []uint8, items []int32) int {
+	n := b.TileElems
+	if rem := col.Len() - b.Offset; n > rem {
+		n = rem
+	}
+	if n <= 0 {
+		return 0
+	}
+	lineBytes := b.LineSize()
+	lines := int64(0)
+	lastLine := int64(-1)
+	for i := 0; i < n; i++ {
+		if bitmap[i] == 0 {
+			continue
+		}
+		items[i] = col.Get(b.Offset + i)
+		if line := col.LineOf(b.Offset+i, lineBytes); line >= 0 && line != lastLine {
+			lines++
+			lastLine = line
+		}
+	}
+	b.Pass().BytesRead += lines * lineBytes
 	return n
 }
 

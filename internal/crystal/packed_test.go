@@ -1,0 +1,106 @@
+package crystal
+
+import (
+	"math/rand"
+	"testing"
+
+	"crystal/internal/pack"
+)
+
+// TestBlockLoadPackedValuesAndTraffic: the packed tile load decodes exactly
+// the plain values and charges the tile's packed bytes — width/32 of the
+// plain traffic.
+func TestBlockLoadPackedValuesAndTraffic(t *testing.T) {
+	const n = 2048
+	vals := make([]int32, n)
+	rng := rand.New(rand.NewSource(9))
+	for i := range vals {
+		vals[i] = rng.Int31n(1 << 10) // 10-bit frame
+	}
+	col := pack.NewFrames(vals, n)
+	b := testBlock(t, n)
+	items := make([]int32, n)
+	if m := BlockLoadPacked(b, col, items); m != n {
+		t.Fatalf("loaded %d of %d", m, n)
+	}
+	for i := range vals {
+		if items[i] != vals[i] {
+			t.Fatalf("decoded value %d wrong", i)
+		}
+	}
+	wantBytes := col.Bytes()
+	if got := b.Pass().BytesRead; got != wantBytes {
+		t.Errorf("packed load charged %d bytes, want %d", got, wantBytes)
+	}
+	if plain := int64(n) * 4; wantBytes*3 > plain {
+		t.Errorf("10-bit frame should read under a third of plain: %d vs %d", wantBytes, plain)
+	}
+}
+
+// TestBlockLoadSelPackedTraffic: the selective packed load charges only the
+// distinct packed lines touched, which for a sparse bitmap is far below the
+// full frame, and never exceeds it for a dense one.
+func TestBlockLoadSelPackedTraffic(t *testing.T) {
+	const n = 2048
+	vals := make([]int32, n)
+	rng := rand.New(rand.NewSource(10))
+	for i := range vals {
+		vals[i] = rng.Int31n(1 << 10)
+	}
+	col := pack.NewFrames(vals, n)
+
+	// Sparse: one element in 256.
+	b := testBlock(t, n)
+	bitmap := make([]uint8, n)
+	for i := 0; i < n; i += 256 {
+		bitmap[i] = 1
+	}
+	items := make([]int32, n)
+	BlockLoadSelPacked(b, col, bitmap, items)
+	sparse := b.Pass().BytesRead
+	for i := 0; i < n; i += 256 {
+		if items[i] != vals[i] {
+			t.Fatalf("selective decode wrong at %d", i)
+		}
+	}
+	if full := col.Bytes(); sparse >= full {
+		t.Errorf("sparse selective load read %d bytes, full frame is %d", sparse, full)
+	}
+
+	// Dense: every element — the line count caps at the frame's lines.
+	b2 := testBlock(t, n)
+	for i := range bitmap {
+		bitmap[i] = 1
+	}
+	BlockLoadSelPacked(b2, col, bitmap, items)
+	if dense, full := b2.Pass().BytesRead, col.Bytes(); dense > full+b2.LineSize() {
+		t.Errorf("dense selective load read %d bytes, frame is %d", dense, full)
+	}
+}
+
+// TestBlockLoadPackedConstantFrame: a width-0 frame decodes its constant
+// and charges nothing — the value is metadata, not storage.
+func TestBlockLoadPackedConstantFrame(t *testing.T) {
+	const n = 512
+	vals := make([]int32, n)
+	for i := range vals {
+		vals[i] = 77
+	}
+	col := pack.NewFrames(vals, n)
+	b := testBlock(t, n)
+	items := make([]int32, n)
+	BlockLoadPacked(b, col, items)
+	if items[0] != 77 || items[n-1] != 77 {
+		t.Error("constant frame decoded wrong")
+	}
+	if b.Pass().BytesRead != 0 {
+		t.Errorf("constant frame charged %d bytes", b.Pass().BytesRead)
+	}
+	bitmap := make([]uint8, n)
+	bitmap[5] = 1
+	b2 := testBlock(t, n)
+	BlockLoadSelPacked(b2, col, bitmap, items)
+	if b2.Pass().BytesRead != 0 {
+		t.Errorf("selective constant frame charged %d bytes", b2.Pass().BytesRead)
+	}
+}

@@ -118,6 +118,7 @@ func (p *Pass) AddProbes(ps ProbeSet) {
 // Reset clears the pass for reuse.
 func (p *Pass) Reset() { *p = Pass{Label: p.Label} }
 
+// String renders the pass's traffic record for debugging and reports.
 func (p *Pass) String() string {
 	return fmt.Sprintf("pass %q: read %d, write %d, randw %d, probes %d sets, atomics %d",
 		p.Label, p.BytesRead, p.BytesWritten, p.RandomWrites, len(p.Probes), p.AtomicOps)

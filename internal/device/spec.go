@@ -48,6 +48,11 @@ type Spec struct {
 	ReadBandwidth  float64
 	WriteBandwidth float64
 
+	// MemoryBytes is the device memory capacity (HBM on the GPU, DRAM on
+	// the CPU). It bounds what a coprocessor deployment can keep resident:
+	// the serving layer's device column cache sizes itself to it.
+	MemoryBytes int64
+
 	// LineSize is the DRAM transaction granularity for random accesses that
 	// miss every cache (64 B on the CPU, 128 B on the V100, Section 4.3).
 	LineSize int64
@@ -109,6 +114,7 @@ func (s *Spec) BandwidthRatio(other *Spec) float64 {
 	return s.ReadBandwidth / other.ReadBandwidth
 }
 
+// String renders the device's headline figures (bandwidths and cores).
 func (s *Spec) String() string {
 	return fmt.Sprintf("%s (read %.0f GBps, write %.0f GBps, %d cores)",
 		s.Name, s.ReadBandwidth/1e9, s.WriteBandwidth/1e9, s.Cores)
@@ -129,6 +135,7 @@ func V100() *Spec {
 		SIMDLanes:      1, // warp width folded into per-element costs
 		ReadBandwidth:  880e9,
 		WriteBandwidth: 880e9,
+		MemoryBytes:    32 << 30, // 32 GB HBM2 (Table 2)
 		LineSize:       128,
 		// L1 is per-SM (a shared structure is re-cached by every SM that
 		// probes it, so aggregate capacity does not apply); L2 is shared.
@@ -155,6 +162,7 @@ func I76900() *Spec {
 		SIMDLanes:      8, // AVX2: 8 x 32-bit lanes
 		ReadBandwidth:  53e9,
 		WriteBandwidth: 55e9,
+		MemoryBytes:    64 << 30, // 64 GB host DRAM (Table 2)
 		LineSize:       64,
 		// L1/L2 are per-core (private; every core probing a shared structure
 		// keeps its own copy, so the join-performance steps in Figure 13

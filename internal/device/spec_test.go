@@ -19,6 +19,17 @@ func TestBandwidthRatio(t *testing.T) {
 	}
 }
 
+// TestMemoryBytes pins the Table 2 device-memory capacities the serving
+// layer's residency cache sizes itself to.
+func TestMemoryBytes(t *testing.T) {
+	if got := V100().MemoryBytes; got != 32<<30 {
+		t.Errorf("V100 memory = %d, want 32 GB", got)
+	}
+	if got := I76900().MemoryBytes; got <= V100().MemoryBytes {
+		t.Errorf("host memory (%d) should exceed device memory", got)
+	}
+}
+
 func TestLastLevelCache(t *testing.T) {
 	if got := V100().LastLevelCache().Size; got != 6<<20 {
 		t.Errorf("V100 LLC = %d, want 6 MB", got)

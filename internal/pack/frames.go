@@ -1,0 +1,179 @@
+package pack
+
+import "fmt"
+
+// Frames is a bit-packed int32 column split into fixed-size frames of
+// FrameRows values, each independently frame-of-reference encoded with its
+// own reference and bit width. Per-frame widths are what let the packed
+// encoding coexist with the partitioned execution machinery: a clustered
+// column whose values are locally narrow packs far below its global span,
+// and because ssb.MorselAlign is a multiple of the frame size, every morsel
+// covers whole frames — zone maps, Partition(n) and tile-aligned chunking
+// all keep working on the packed layout.
+//
+// Storage is laid out as one contiguous stream: frame f's words follow
+// frame f-1's. A full frame of n values at width w occupies exactly n*w/8
+// bytes; with the frame sizes this repo uses (multiples of 1024 values)
+// that is a multiple of every DRAM line the device models know (64 B and
+// 128 B), so frames never share a line and distinct-line traffic counts
+// merge exactly across any frame-aligned partitioning — the property that
+// keeps packed partitioned runs simulated-second-identical to monolithic
+// packed runs.
+type Frames struct {
+	frameRows int
+	n         int
+	frames    []*Column
+	// offsets[f] is the byte offset of frame f's first word in the packed
+	// stream; offsets[len(frames)] is the total footprint.
+	offsets []int64
+}
+
+// NewFrames packs vals into frames of frameRows values each. frameRows must
+// be positive; the line-exactness guarantees documented on Frames
+// additionally require it to be a multiple of 1024 (256 B of packed storage
+// per width bit), which ssb.MorselAlign satisfies.
+func NewFrames(vals []int32, frameRows int) *Frames {
+	if frameRows <= 0 {
+		panic(fmt.Sprintf("pack: frame size %d must be positive", frameRows))
+	}
+	f := &Frames{frameRows: frameRows, n: len(vals)}
+	numFrames := (len(vals) + frameRows - 1) / frameRows
+	f.frames = make([]*Column, numFrames)
+	f.offsets = make([]int64, numFrames+1)
+	for i := 0; i < numFrames; i++ {
+		lo := i * frameRows
+		hi := lo + frameRows
+		if hi > len(vals) {
+			hi = len(vals)
+		}
+		f.frames[i] = New(vals[lo:hi])
+		f.offsets[i+1] = f.offsets[i] + f.frames[i].Bytes()
+	}
+	return f
+}
+
+// Len returns the number of values.
+func (f *Frames) Len() int { return f.n }
+
+// FrameRows returns the frame size in values.
+func (f *Frames) FrameRows() int { return f.frameRows }
+
+// NumFrames returns the number of frames.
+func (f *Frames) NumFrames() int { return len(f.frames) }
+
+// Frame returns the i-th frame's packed column.
+func (f *Frames) Frame(i int) *Column { return f.frames[i] }
+
+// Get returns the i-th value.
+func (f *Frames) Get(i int) int32 {
+	fi := i / f.frameRows
+	return f.frames[fi].Get(i - fi*f.frameRows)
+}
+
+// UnpackRange decodes [lo, hi) into dst (len >= hi-lo) and returns hi-lo;
+// hi is clamped to Len.
+func (f *Frames) UnpackRange(lo, hi int, dst []int32) int {
+	if hi > f.n {
+		hi = f.n
+	}
+	if lo < 0 || lo > hi {
+		panic(fmt.Sprintf("pack: bad range [%d,%d)", lo, hi))
+	}
+	for at := lo; at < hi; {
+		fi := at / f.frameRows
+		base := fi * f.frameRows
+		end := hi
+		if fe := base + f.frameRows; end > fe {
+			end = fe
+		}
+		f.frames[fi].UnpackRange(at-base, end-base, dst[at-lo:])
+		at = end
+	}
+	return hi - lo
+}
+
+// Unpack decodes the whole column into a fresh slice.
+func (f *Frames) Unpack() []int32 {
+	out := make([]int32, f.n)
+	f.UnpackRange(0, f.n, out)
+	return out
+}
+
+// Bytes returns the packed storage footprint.
+func (f *Frames) Bytes() int64 { return f.offsets[len(f.frames)] }
+
+// PlainBytes returns the footprint of the equivalent 4-byte column.
+func (f *Frames) PlainBytes() int64 { return int64(f.n) * 4 }
+
+// Ratio returns the compression ratio (plain/packed), reported against one
+// word minimum so constant columns stay finite.
+func (f *Frames) Ratio() float64 {
+	b := f.Bytes()
+	if b == 0 {
+		b = 8
+	}
+	return float64(f.PlainBytes()) / float64(b)
+}
+
+// BytesRange returns the packed bytes of the frames overlapping the value
+// range [lo, hi) — the traffic a scan of those rows reads, and the PCIe
+// bytes a coprocessor ships for them. Because frames never straddle a
+// frame-aligned boundary, BytesRange is exactly additive over any
+// frame-aligned partitioning of the column.
+func (f *Frames) BytesRange(lo, hi int) int64 {
+	if hi > f.n {
+		hi = f.n
+	}
+	if lo < 0 || lo > hi {
+		panic(fmt.Sprintf("pack: bad range [%d,%d)", lo, hi))
+	}
+	if lo == hi {
+		return 0
+	}
+	first := lo / f.frameRows
+	last := (hi - 1) / f.frameRows
+	return f.offsets[last+1] - f.offsets[first]
+}
+
+// WidthRange returns the minimum and maximum per-frame bit widths over the
+// value range [lo, hi) (compression reports; the planner's packed scan
+// costing).
+func (f *Frames) WidthRange(lo, hi int) (min, max uint) {
+	if hi > f.n {
+		hi = f.n
+	}
+	if lo < 0 || lo > hi {
+		panic(fmt.Sprintf("pack: bad range [%d,%d)", lo, hi))
+	}
+	if lo == hi {
+		return 0, 0
+	}
+	first := lo / f.frameRows
+	last := (hi - 1) / f.frameRows
+	min, max = f.frames[first].Width(), f.frames[first].Width()
+	for i := first + 1; i <= last; i++ {
+		w := f.frames[i].Width()
+		if w < min {
+			min = w
+		}
+		if w > max {
+			max = w
+		}
+	}
+	return min, max
+}
+
+// LineOf returns the index of the DRAM line (of lineBytes bytes) holding
+// value i's first packed bit, or -1 when the value occupies no storage (a
+// width-0 constant frame, whose value is metadata). Device models use it to
+// count the distinct lines a selective scan of the packed layout touches,
+// exactly as they count plain-column lines.
+func (f *Frames) LineOf(i int, lineBytes int64) int64 {
+	fi := i / f.frameRows
+	c := f.frames[fi]
+	if c.Width() == 0 {
+		return -1
+	}
+	bit := uint64(i-fi*f.frameRows) * uint64(c.Width())
+	return (f.offsets[fi] + int64(bit/8)) / lineBytes
+}

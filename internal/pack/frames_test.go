@@ -1,0 +1,183 @@
+package pack
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFramesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]int32, 10_000) // not a multiple of the frame size
+	for i := range vals {
+		vals[i] = rng.Int31n(1 << 14)
+	}
+	f := NewFrames(vals, 2048)
+	if f.Len() != len(vals) || f.NumFrames() != 5 || f.FrameRows() != 2048 {
+		t.Fatalf("shape: len %d frames %d", f.Len(), f.NumFrames())
+	}
+	for i, want := range vals {
+		if got := f.Get(i); got != want {
+			t.Fatalf("Get(%d) = %d, want %d", i, got, want)
+		}
+	}
+	got := f.Unpack()
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatal("Unpack mismatch")
+		}
+	}
+	// UnpackRange across frame boundaries.
+	dst := make([]int32, 5000)
+	f.UnpackRange(1000, 6000, dst)
+	for i := range dst {
+		if dst[i] != vals[1000+i] {
+			t.Fatalf("UnpackRange mismatch at %d", i)
+		}
+	}
+}
+
+// TestFramesPerFrameWidths pins the point of per-frame encoding: a column
+// whose values are locally narrow but globally wide packs to the local
+// width, not the global span.
+func TestFramesPerFrameWidths(t *testing.T) {
+	vals := make([]int32, 4096)
+	for i := range vals {
+		base := int32(0)
+		if i >= 2048 {
+			base = 1 << 30 // second frame lives in a distant range
+		}
+		vals[i] = base + int32(i%16)
+	}
+	f := NewFrames(vals, 2048)
+	lo, hi := f.WidthRange(0, len(vals))
+	if lo != 4 || hi != 4 {
+		t.Errorf("per-frame widths = %d..%d, want 4..4 (global span would need 31)", lo, hi)
+	}
+	if g := New(vals); g.Width() < 30 {
+		t.Errorf("sanity: global packing width = %d, expected ~31", g.Width())
+	}
+	for i, want := range vals {
+		if f.Get(i) != want {
+			t.Fatalf("round trip broken at %d", i)
+		}
+	}
+}
+
+// TestFramesBytesRangeAdditive pins the invariance the partitioned cost
+// model relies on: BytesRange sums exactly over any frame-aligned split.
+func TestFramesBytesRangeAdditive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]int32, 20_000)
+	for i := range vals {
+		vals[i] = rng.Int31n(1 << uint(1+i/2048)) // widths vary per frame
+	}
+	f := NewFrames(vals, 2048)
+	total := f.BytesRange(0, len(vals))
+	if total != f.Bytes() {
+		t.Fatalf("BytesRange(full) = %d, Bytes = %d", total, f.Bytes())
+	}
+	for _, cuts := range [][]int{{8192}, {2048, 4096, 16384}, {2048, 4096, 6144, 8192, 10240, 12288, 14336, 16384, 18432}} {
+		var sum int64
+		lo := 0
+		for _, hi := range append(cuts, len(vals)) {
+			sum += f.BytesRange(lo, hi)
+			lo = hi
+		}
+		if sum != total {
+			t.Errorf("split %v: sum %d != total %d", cuts, sum, total)
+		}
+	}
+	if f.BytesRange(5, 5) != 0 {
+		t.Error("empty range should be zero bytes")
+	}
+}
+
+// TestFramesLineAlignment pins the storage property the exact line counts
+// depend on: with 2048-row frames, every frame starts on a 64 B and 128 B
+// line boundary, so two frames never share a line.
+func TestFramesLineAlignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]int32, 16_384)
+	for i := range vals {
+		vals[i] = rng.Int31n(1 << uint(1+i/2048*3)) // widths 1,4,7,...
+	}
+	f := NewFrames(vals, 2048)
+	for fi := 0; fi < f.NumFrames(); fi++ {
+		if off := f.offsets[fi]; off%128 != 0 {
+			t.Errorf("frame %d starts at byte %d, not 128 B aligned", fi, off)
+		}
+	}
+	// LineOf is monotone within a column and distinct across frames.
+	for _, lineBytes := range []int64{64, 128} {
+		last := int64(-1)
+		for i := 0; i < f.Len(); i++ {
+			l := f.LineOf(i, lineBytes)
+			if l < last {
+				t.Fatalf("LineOf not monotone at %d (line size %d)", i, lineBytes)
+			}
+			last = l
+		}
+	}
+}
+
+// TestFramesConstant: width-0 frames occupy no storage and report no line.
+func TestFramesConstant(t *testing.T) {
+	vals := make([]int32, 5000)
+	for i := range vals {
+		vals[i] = -7
+	}
+	f := NewFrames(vals, 2048)
+	if f.Bytes() != 0 {
+		t.Errorf("constant column packed to %d bytes", f.Bytes())
+	}
+	if f.LineOf(3000, 64) != -1 {
+		t.Error("width-0 frame reported a storage line")
+	}
+	if f.Get(4999) != -7 {
+		t.Error("constant value lost")
+	}
+	if lo, hi := f.WidthRange(0, len(vals)); lo != 0 || hi != 0 {
+		t.Errorf("constant widths = %d..%d", lo, hi)
+	}
+}
+
+func TestFramesEmptyAndBadArgs(t *testing.T) {
+	f := NewFrames(nil, 2048)
+	if f.Len() != 0 || f.Bytes() != 0 || f.NumFrames() != 0 {
+		t.Error("empty frames")
+	}
+	if f.BytesRange(0, 0) != 0 {
+		t.Error("empty BytesRange")
+	}
+	mustPanic(t, "zero frame size", func() { NewFrames([]int32{1}, 0) })
+	g := NewFrames([]int32{1, 2, 3}, 2)
+	mustPanic(t, "negative lo", func() { g.UnpackRange(-1, 2, make([]int32, 4)) })
+	mustPanic(t, "inverted range", func() { g.BytesRange(2, 1) })
+	mustPanic(t, "inverted width range", func() { g.WidthRange(2, 1) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+// TestFramesNegativeFrameOfReference: frames whose reference is negative —
+// including a full-span frame where max-min overflows int32 — round-trip
+// through the modular frame-of-reference arithmetic.
+func TestFramesNegativeFrameOfReference(t *testing.T) {
+	vals := []int32{-2147483648, 2147483647, -1, 0, 1, -1000000, 1000000}
+	f := NewFrames(vals, 4) // first frame spans the full int32 range
+	for i, want := range vals {
+		if got := f.Get(i); got != want {
+			t.Fatalf("Get(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if _, hi := f.WidthRange(0, len(vals)); hi != 32 {
+		t.Errorf("full-span frame width = %d, want 32", hi)
+	}
+}

@@ -1,0 +1,47 @@
+package pack
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzPackRoundTrip asserts the invariant every packed execution path rests
+// on: for any int32 column, pack → unpack equals the plain column — for
+// both the single-frame Column and the framed encoding (with a small frame
+// size so multi-frame paths and partial final frames are exercised), and
+// the framed footprint bookkeeping stays consistent.
+func FuzzPackRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4})
+	f.Add(binary.LittleEndian.AppendUint32(
+		binary.LittleEndian.AppendUint32(nil, 0x80000000), 0x7fffffff))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := make([]int32, len(data)/4)
+		for i := range vals {
+			vals[i] = int32(binary.LittleEndian.Uint32(data[i*4:]))
+		}
+		c := New(vals)
+		if c.Len() != len(vals) {
+			t.Fatalf("Column.Len = %d, want %d", c.Len(), len(vals))
+		}
+		for i, want := range vals {
+			if got := c.Get(i); got != want {
+				t.Fatalf("Column.Get(%d) = %d, want %d (width %d, ref %d)", i, got, want, c.Width(), c.Ref())
+			}
+		}
+		fr := NewFrames(vals, 8)
+		got := fr.Unpack()
+		for i, want := range vals {
+			if got[i] != want {
+				t.Fatalf("Frames.Get(%d) = %d, want %d", i, got[i], want)
+			}
+		}
+		if fr.Bytes() != fr.BytesRange(0, fr.Len()) {
+			t.Fatalf("Frames bytes %d != full BytesRange %d", fr.Bytes(), fr.BytesRange(0, fr.Len()))
+		}
+		if fr.Bytes() > 0 && c.Width() > 0 && fr.Bytes() > c.PlainBytes()+8*int64(fr.NumFrames()) {
+			t.Fatalf("framed footprint %d exceeds plain %d beyond word rounding", fr.Bytes(), c.PlainBytes())
+		}
+	})
+}

@@ -1,16 +1,24 @@
 // Package pack implements bit-packed integer columns — the compression
-// extension the paper's Section 5.5 singles out as future work: "GPUs have
-// higher compute to bandwidth ratio than CPUs which could allow use of
-// non-byte addressable packing schemes."
+// extension the paper's Section 5.5 singles out: "GPUs have higher compute
+// to bandwidth ratio than CPUs which could allow use of non-byte
+// addressable packing schemes."
 //
-// A packed column stores each value in the minimum number of bits (after
+// A packed Column stores each value in the minimum number of bits (after
 // subtracting a frame-of-reference minimum), laid out contiguously across
-// 64-bit words. Scanning it reads width/32 of the plain column's bytes but
-// pays an unpacking cost per element; on the GPU (14 Tflops against
-// 880 GBps) the scan stays bandwidth bound and the traffic saving is a real
-// speedup, while on the CPU the same scan can tip into compute bound —
-// which is exactly the asymmetry the paper predicts. The ablation benchmark
-// BenchmarkAblation_PackedScan quantifies it.
+// 64-bit words; Frames splits a column into fixed-size frames with
+// independent references and widths, which is the form the execution
+// engines scan (ssb.Dataset.Pack builds one per fact column). Scanning
+// packed data reads width/32 of the plain column's bytes but pays an
+// unpacking cost per element; on the GPU (14 Tflops against 880 GBps) the
+// scan stays bandwidth bound and the traffic saving is a real speedup,
+// while on the CPU the same scan can tip into compute bound — exactly the
+// asymmetry the paper predicts.
+//
+// Packing is wired through the full stack: queries.RunOptions.Packed runs
+// any engine over the encoding (row-identical to plain by construction),
+// the coprocessor ships packed bytes over PCIe, internal/serve keeps hot
+// packed columns resident in device memory, and the ablation benchmark
+// BenchmarkAblation_PackedScan isolates the kernel-level effect.
 package pack
 
 import "fmt"

@@ -132,9 +132,31 @@ func TestWordBoundarySpans(t *testing.T) {
 func TestFullWidthValues(t *testing.T) {
 	vals := []int32{-2147483648, 2147483647, 0, -1, 1}
 	c := New(vals)
+	if c.Width() != 32 {
+		t.Fatalf("full-span width = %d, want 32", c.Width())
+	}
 	for i, want := range vals {
 		if got := c.Get(i); got != want {
 			t.Fatalf("full-width Get(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestNegativeFrameOfReference pins the reference handling for columns that
+// live entirely below zero: the reference is the (negative) minimum and the
+// width covers only the span, not the absolute magnitudes.
+func TestNegativeFrameOfReference(t *testing.T) {
+	vals := []int32{-1000, -993, -999, -1000, -994}
+	c := New(vals)
+	if c.Ref() != -1000 {
+		t.Errorf("ref = %d, want -1000", c.Ref())
+	}
+	if c.Width() != 3 { // span 7 needs 3 bits
+		t.Errorf("width = %d, want 3", c.Width())
+	}
+	for i, want := range vals {
+		if got := c.Get(i); got != want {
+			t.Fatalf("Get(%d) = %d, want %d", i, got, want)
 		}
 	}
 }

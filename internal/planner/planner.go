@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"crystal/internal/device"
+	"crystal/internal/pack"
 	"crystal/internal/queries"
 	"crystal/internal/ssb"
 )
@@ -111,6 +112,40 @@ func ScanCost(dev *device.Spec, factRows int64, filterCols int) float64 {
 	}
 	pass := &device.Pass{Label: "fact scan", BytesRead: factRows * 4 * int64(filterCols)}
 	return dev.PassTime(pass)
+}
+
+// ScanCostPacked prices the same fact-filter scan over the bit-packed
+// encoding: each column streams its packed bytes (scaled to the scanned
+// fraction of the table) and, on CPU devices, pays the per-element unpack
+// arithmetic the paper's Section 5.5 warns can tip the scan compute bound.
+// GPUs absorb the unpacking in their compute headroom, so for them packed
+// is always at most the plain ScanCost — a scheduler compares the two
+// numbers to decide whether packed execution wins on a given device.
+func ScanCostPacked(dev *device.Spec, pf *ssb.PackedFact, factRows int64, filterCols []string) float64 {
+	if len(filterCols) == 0 || factRows == 0 {
+		return 0
+	}
+	frac := float64(factRows) / float64(pf.Rows())
+	pass := &device.Pass{Label: "fact scan (packed)"}
+	for _, c := range filterCols {
+		pass.BytesRead += int64(float64(pf.Col(c).Bytes()) * frac)
+	}
+	if !dev.IsGPU() {
+		pass.ComputeCycles = pack.UnpackCyclesPerElem * float64(factRows) * float64(len(filterCols))
+	}
+	return dev.PassTime(pass)
+}
+
+// TransferCost prices the coprocessor's PCIe shipment of a column working
+// set of which residentBytes are already pinned in device memory: the
+// resident portion costs nothing (the whole point of the residency cache),
+// the remainder crosses the link at PCIe bandwidth. residentBytes clamps to
+// totalBytes, so a fully resident working set is free.
+func TransferCost(totalBytes, residentBytes int64) float64 {
+	if residentBytes > totalBytes {
+		residentBytes = totalBytes
+	}
+	return device.TransferTime(totalBytes - residentBytes)
 }
 
 // Plan is one costed join order.

@@ -10,6 +10,54 @@ import (
 
 var ds = ssb.GenerateRows(100_000)
 
+// TestScanCostPackedAsymmetry pins the scheduler-facing verdict of Section
+// 5.5: the packed filter scan is strictly cheaper than plain on the GPU
+// (bandwidth bound, traffic shrinks) and strictly more expensive on this
+// CPU (the per-element unpack arithmetic tips it compute bound).
+func TestScanCostPackedAsymmetry(t *testing.T) {
+	pf := ds.Pack()
+	rows := int64(ds.Lineorder.Rows())
+	cols := []string{"orderdate", "discount", "quantity"} // q1.1's filters
+	gpuPlain := ScanCost(device.V100(), rows, len(cols))
+	gpuPacked := ScanCostPacked(device.V100(), pf, rows, cols)
+	if gpuPacked >= gpuPlain {
+		t.Errorf("GPU packed scan not cheaper: %.9f >= %.9f", gpuPacked, gpuPlain)
+	}
+	cpuPlain := ScanCost(device.I76900(), rows, len(cols))
+	cpuPacked := ScanCostPacked(device.I76900(), pf, rows, cols)
+	if cpuPacked <= cpuPlain {
+		t.Errorf("CPU packed scan should tip compute bound: %.9f <= %.9f", cpuPacked, cpuPlain)
+	}
+	// Degenerate inputs cost nothing.
+	if ScanCostPacked(device.V100(), pf, 0, cols) != 0 || ScanCostPacked(device.V100(), pf, rows, nil) != 0 {
+		t.Error("degenerate packed scans should be free")
+	}
+	// Fewer scanned rows (zone pruning) can only get cheaper.
+	if half := ScanCostPacked(device.V100(), pf, rows/2, cols); half >= gpuPacked {
+		t.Errorf("pruned packed scan not cheaper: %.9f >= %.9f", half, gpuPacked)
+	}
+}
+
+// TestTransferCost pins the resident-vs-cold pricing: residency only ever
+// shrinks the PCIe term, a fully resident working set is free, and
+// residentBytes clamps so the cost never goes negative.
+func TestTransferCost(t *testing.T) {
+	cold := TransferCost(1<<30, 0)
+	if cold != device.TransferTime(1<<30) {
+		t.Errorf("cold transfer = %.9f, want raw PCIe time", cold)
+	}
+	warm := TransferCost(1<<30, 1<<29)
+	if warm >= cold || warm <= 0 {
+		t.Errorf("half-resident transfer = %.9f, cold %.9f", warm, cold)
+	}
+	if TransferCost(1<<30, 1<<30) != 0 {
+		t.Error("fully resident transfer should be free")
+	}
+	if got := TransferCost(100, 200); got != 0 {
+		t.Errorf("over-resident transfer = %.9f, want clamped 0", got)
+	}
+}
+
 func TestStatsSelectivities(t *testing.T) {
 	q, err := queries.ByID("q2.1")
 	if err != nil {

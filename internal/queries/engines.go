@@ -1,7 +1,10 @@
 package queries
 
 import (
+	"sort"
+
 	"crystal/internal/device"
+	"crystal/internal/pack"
 	"crystal/internal/ssb"
 )
 
@@ -78,8 +81,8 @@ func (p *Plan) RunCPU() *Result { return p.runCPU(p.morselRun(RunOptions{})) }
 func (p *Plan) runCPU(ms *morselRun) *Result {
 	clk := device.NewClock(device.I76900())
 	chargeBuilds(clk, p.builds)
-	res, st := runPipelineMorsels(p.ds, p.Query, p.builds, ms.live, ms.lim)
-	clk.Charge(cpuProbePass(st, p.builds, p.Query, cpuFilterCycles, cpuProbeCycles, cpuAggCycles, true))
+	res, st := runPipelineMorsels(p.ds, p.Query, p.builds, ms)
+	clk.Charge(cpuProbePass(st, p.builds, p.Query, cpuFilterCycles, cpuProbeCycles, cpuAggCycles))
 	res.Seconds = clk.Seconds()
 	ms.stamp(res)
 	return res
@@ -95,8 +98,8 @@ func (p *Plan) RunHyper() *Result { return p.runHyper(p.morselRun(RunOptions{}))
 func (p *Plan) runHyper(ms *morselRun) *Result {
 	clk := device.NewClock(device.I76900())
 	chargeBuilds(clk, p.builds)
-	res, st := runPipelineMorsels(p.ds, p.Query, p.builds, ms.live, ms.lim)
-	pass := cpuProbePass(st, p.builds, p.Query, hyperFilterCycles, hyperProbeCycles, hyperAggCycles, true)
+	res, st := runPipelineMorsels(p.ds, p.Query, p.builds, ms)
+	pass := cpuProbePass(st, p.builds, p.Query, hyperFilterCycles, hyperProbeCycles, hyperAggCycles)
 	for i := range pass.Probes {
 		pass.Probes[i].Count = int64(float64(pass.Probes[i].Count) * hyperProbeFactor)
 	}
@@ -106,10 +109,15 @@ func (p *Plan) runHyper(ms *morselRun) *Result {
 }
 
 // cpuProbePass derives the CPU probe-phase traffic from the pipeline
-// statistics: column reads are the 64 B lines actually touched, hash
-// probes are random accesses into each table's footprint, and probes of
-// multi-join pipelines are dependent (Section 5.3 latency wall).
-func cpuProbePass(st *pipeStats, builds []buildInfo, q Query, filterCyc, probeCyc, aggCyc float64, skipLines bool) *device.Pass {
+// statistics: column reads are the 64 B lines actually touched (of the
+// packed layout when the run scanned the compressed encoding), hash probes
+// are random accesses into each table's footprint, and probes of multi-join
+// pipelines are dependent (Section 5.3 latency wall). Packed runs
+// additionally pay pack.UnpackCyclesPerElem of register arithmetic per
+// decoded value — with only ~25 Gcycles/s against 53 GBps this is what can
+// tip a CPU scan from bandwidth bound to compute bound, the asymmetry that
+// makes packing a clear win only on the GPU (Section 5.5).
+func cpuProbePass(st *pipeStats, builds []buildInfo, q Query, filterCyc, probeCyc, aggCyc float64) *device.Pass {
 	pass := &device.Pass{Label: "probe pipeline (cpu)"}
 	seen := map[string]bool{}
 	for _, col := range st.colOrder {
@@ -117,11 +125,7 @@ func cpuProbePass(st *pipeStats, builds []buildInfo, q Query, filterCyc, probeCy
 			continue
 		}
 		seen[col] = true
-		if skipLines {
-			pass.BytesRead += st.lines64[col] * 64
-		} else {
-			pass.BytesRead += st.rows * 4
-		}
+		pass.BytesRead += st.lines64[col] * 64
 	}
 	dependent := len(q.Joins) >= 2
 	for ji := range builds {
@@ -141,6 +145,9 @@ func cpuProbePass(st *pipeStats, builds []buildInfo, q Query, filterCyc, probeCy
 		cycles += probeCyc * float64(p)
 	}
 	cycles += aggCyc * float64(st.out)
+	if st.packed {
+		cycles += pack.UnpackCyclesPerElem * float64(st.decoded(q))
+	}
 	pass.ComputeCycles = cycles
 	// One global-cursor style atomic per vector of 1024 entries.
 	pass.AtomicOps = st.rows / 1024
@@ -165,18 +172,24 @@ func (pl *Plan) runMonet(ms *morselRun) *Result {
 	q, builds := pl.Query, pl.builds
 	clk := device.NewClock(device.I76900())
 	chargeBuilds(clk, builds)
-	res, st := runPipelineMorsels(pl.ds, q, builds, ms.live, ms.lim)
+	res, st := runPipelineMorsels(pl.ds, q, builds, ms)
 
-	// scanBytes is what a full-column operator scan reads (surviving morsels
-	// only); factBytes is the column's resident footprint, which prices the
-	// data-dependent gathers below.
-	scanBytes := st.rows * 4
-	factBytes := st.totalRows * 4
+	// Per column, colScanBytes is what a full-column operator scan reads
+	// (surviving morsels only; packed bytes on the compressed encoding) and
+	// colFootprint the resident footprint that prices the data-dependent
+	// gathers below. A packed operator decodes each value it materializes,
+	// which on this CPU costs pack.UnpackCyclesPerElem on top of the
+	// interpreter's per-element work; intermediates (candidate lists,
+	// payloads) stay plain 4-byte columns.
+	unpack := 0.0
+	if st.packed {
+		unpack = pack.UnpackCyclesPerElem
+	}
 	in := st.rows
 	stage := 0
 	for i := range q.FactFilters {
 		p := &device.Pass{Label: "monet select " + q.FactFilters[i].Col}
-		p.BytesRead = scanBytes // full column scan, no short-circuit
+		p.BytesRead = st.colScanBytes(q.FactFilters[i].Col) // full column scan, no short-circuit
 		if i > 0 {
 			p.BytesRead += in * 4 // read previous candidate list
 			// Gather through the candidate list instead of scanning when it
@@ -184,7 +197,7 @@ func (pl *Plan) runMonet(ms *morselRun) *Result {
 		}
 		out := st.alive[stage]
 		p.BytesWritten = out * 4 // materialize candidate list
-		p.ComputeCycles = monetOpCycles * float64(st.rows)
+		p.ComputeCycles = (monetOpCycles + unpack) * float64(st.rows)
 		clk.Charge(p)
 		in = out
 		stage++
@@ -196,22 +209,22 @@ func (pl *Plan) runMonet(ms *morselRun) *Result {
 		// the hash probe both chase data-dependent addresses; MonetDB's
 		// interpreter does not software-pipeline or prefetch them, so they
 		// hit the same latency wall as the pipelined engine's probes.
-		p.AddProbes(device.ProbeSet{Count: in, StructBytes: factBytes, Dependent: true})
+		p.AddProbes(device.ProbeSet{Count: in, StructBytes: st.colFootprint(q.Joins[ji].FactFK), Dependent: true})
 		p.AddProbes(device.ProbeSet{Count: st.probes[ji], StructBytes: builds[ji].ht.Bytes(), Dependent: true})
 		out := st.alive[stage]
 		p.BytesWritten = out * 8 // candidate list + payload column
-		p.ComputeCycles = monetOpCycles * float64(in)
+		p.ComputeCycles = (monetOpCycles + unpack) * float64(in)
 		clk.Charge(p)
 		in = out
 		stage++
 	}
 	agg := &device.Pass{Label: "monet aggregate"}
 	agg.BytesRead = in * int64(4+4*len(q.GroupPayloads()))
-	for range q.Agg.Columns() {
-		agg.AddProbes(device.ProbeSet{Count: in, StructBytes: factBytes, Dependent: true})
+	for _, c := range q.Agg.Columns() {
+		agg.AddProbes(device.ProbeSet{Count: in, StructBytes: st.colFootprint(c), Dependent: true})
 	}
 	agg.AddProbes(device.ProbeSet{Count: in, StructBytes: int64(aggEstimate(q)) * 16, Dependent: true})
-	agg.ComputeCycles = monetOpCycles * float64(in)
+	agg.ComputeCycles = (monetOpCycles + unpack*float64(len(q.Agg.Columns()))) * float64(in)
 	agg.BytesWritten = int64(aggEstimate(q)) * 16
 	clk.Charge(agg)
 
@@ -241,16 +254,17 @@ func (pl *Plan) runOmnisci(ms *morselRun) *Result {
 		pass.AddProbes(device.ProbeSet{Count: b.inserted, StructBytes: b.ht.Bytes(), Writes: true})
 		clk.Charge(pass)
 	}
-	res, st := runPipelineMorsels(pl.ds, q, builds, ms.live, ms.lim)
+	res, st := runPipelineMorsels(pl.ds, q, builds, ms)
 
-	scanBytes := st.rows * 4
-	factBytes := st.totalRows * 4
+	// Packed runs shrink every operator's column scan and gather footprint;
+	// the unpack arithmetic is absorbed by the GPU's compute headroom, as in
+	// the standalone engine.
 	in := st.rows
 	stage := 0
 	for i := range q.FactFilters {
 		out := st.alive[stage]
 		p := &device.Pass{Label: "omnisci select " + q.FactFilters[i].Col, Kernels: 3}
-		p.BytesRead = 2 * scanBytes // count pass + write pass (Figure 4a)
+		p.BytesRead = 2 * st.colScanBytes(q.FactFilters[i].Col) // count pass + write pass (Figure 4a)
 		if i > 0 {
 			p.BytesRead += 2 * in * 4
 		}
@@ -264,7 +278,7 @@ func (pl *Plan) runOmnisci(ms *morselRun) *Result {
 		out := st.alive[stage]
 		p := &device.Pass{Label: "omnisci join " + q.Joins[ji].Dim, Kernels: 2}
 		p.BytesRead = in * 4
-		p.AddProbes(device.ProbeSet{Count: in, StructBytes: factBytes}) // gather FK
+		p.AddProbes(device.ProbeSet{Count: in, StructBytes: st.colFootprint(q.Joins[ji].FactFK)}) // gather FK
 		p.AddProbes(device.ProbeSet{Count: st.probes[ji], StructBytes: builds[ji].ht.Bytes()})
 		p.RandomWrites = out * 2 // row ids + payload, uncoalesced
 		p.AtomicOps = out
@@ -274,8 +288,8 @@ func (pl *Plan) runOmnisci(ms *morselRun) *Result {
 	}
 	agg := &device.Pass{Label: "omnisci aggregate", Kernels: 1}
 	agg.BytesRead = in * int64(4+4*len(q.GroupPayloads()))
-	for range q.Agg.Columns() {
-		agg.AddProbes(device.ProbeSet{Count: in, StructBytes: factBytes})
+	for _, c := range q.Agg.Columns() {
+		agg.AddProbes(device.ProbeSet{Count: in, StructBytes: st.colFootprint(c)})
 	}
 	agg.AddProbes(device.ProbeSet{Count: in, StructBytes: int64(aggEstimate(q)) * 16})
 	agg.AtomicOps = in // one global atomic per aggregated row
@@ -292,6 +306,9 @@ func (pl *Plan) runOmnisci(ms *morselRun) *Result {
 // runtime is the maximum of the two, and since PCIe bandwidth is far below
 // the GPU's memory bandwidth, the transfer dominates — which is why the
 // coprocessor model cannot beat a decent CPU implementation (Figure 3).
+// Packed runs ship compressed bytes instead of plain ones, and a Residency
+// cache lets repeated queries skip the transfer of device-resident packed
+// columns entirely — the two levers that make the coprocessor competitive.
 func RunCoprocessor(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunCoprocessor() }
 
 // RunCoprocessor executes the compiled plan in the coprocessor architecture.
@@ -300,23 +317,69 @@ func (pl *Plan) RunCoprocessor() *Result { return pl.runCoprocessor(pl.morselRun
 func (pl *Plan) runCoprocessor(ms *morselRun) *Result {
 	q := pl.Query
 	res := pl.runGPU(ms)
-	cols := map[string]bool{}
+	// Distinct referenced fact columns, sorted so a residency cache sees a
+	// deterministic acquisition order.
+	seen := map[string]bool{}
+	var cols []string
+	add := func(c string) {
+		if !seen[c] {
+			seen[c] = true
+			cols = append(cols, c)
+		}
+	}
 	for _, f := range q.FactFilters {
-		cols[f.Col] = true
+		add(f.Col)
 	}
 	for _, j := range q.Joins {
-		cols[j.FactFK] = true
+		add(j.FactFK)
 	}
 	for _, c := range q.Agg.Columns() {
-		cols[c] = true
+		add(c)
 	}
+	sort.Strings(cols)
+
 	// Zone maps live on the host, so pruned morsels are never shipped: only
 	// surviving fact rows cross PCIe (plus the replicated dimensions).
-	bytes := int64(len(cols)) * ms.scanned * 4
+	// Packed runs ship the surviving frames' packed bytes instead; with a
+	// residency cache, an admitted miss ships (and pins) the whole packed
+	// column so that a resident column is always fully resident, a hit
+	// ships nothing, and a refused admission (column larger than the
+	// device, cache gone stale) degrades to the ordinary cold transfer.
+	var bytes int64
+	resident := 0
+	for _, c := range cols {
+		if ms.packed == nil {
+			bytes += ms.scanned * 4
+			continue
+		}
+		fr := ms.packed.Col(c)
+		liveBytes := func() int64 {
+			var b int64
+			for _, m := range ms.live {
+				b += fr.BytesRange(m.Lo, m.Hi)
+			}
+			return b
+		}
+		if ms.residency != nil {
+			full := fr.Bytes()
+			switch hit, admitted := ms.residency.Acquire(c, full); {
+			case hit:
+				resident++
+			case admitted:
+				bytes += full
+			default:
+				bytes += liveBytes()
+			}
+			continue
+		}
+		bytes += liveBytes()
+	}
 	for _, j := range q.Joins {
 		d := DimTable(pl.ds, j.Dim)
 		bytes += int64(d.Rows()) * int64(1+len(j.Filters)+btoi(j.Payload != "")) * 4
 	}
+	res.TransferBytes = bytes
+	res.ResidentCols = resident
 	transfer := device.TransferTime(bytes)
 	exec := res.Seconds
 	if transfer > exec {

@@ -1,6 +1,8 @@
 package queries
 
 import (
+	"fmt"
+
 	"crystal/internal/crystal"
 	"crystal/internal/device"
 	"crystal/internal/sim"
@@ -71,16 +73,23 @@ func (pl *Plan) runGPU(ms *morselRun) *Result {
 
 	n := ds.Lineorder.Rows()
 	cfg := gpuConfig(n)
-	skips := blockSkips(ms, cfg.TileSize())
-	filterCols := make([][]int32, len(q.FactFilters))
-	for i := range q.FactFilters {
-		filterCols[i] = FactCol(&ds.Lineorder, q.FactFilters[i].Col)
+	if ms.packed != nil && cfg.TileSize()%ms.packed.FrameRows() != 0 {
+		// BlockLoadPacked charges each tile the packed bytes of the frames
+		// it overlaps; a tile smaller than a frame would double-charge the
+		// frame across tiles. Fail loudly if the two quanta ever diverge.
+		panic(fmt.Sprintf("queries: GPU tile size %d is not a multiple of the packed frame size %d",
+			cfg.TileSize(), ms.packed.FrameRows()))
 	}
-	fkCols := make([][]int32, len(q.Joins))
+	skips := blockSkips(ms, cfg.TileSize())
+	filterCols := make([]colReader, len(q.FactFilters))
+	for i := range q.FactFilters {
+		filterCols[i] = ms.factReader(&ds.Lineorder, q.FactFilters[i].Col)
+	}
+	fkCols := make([]colReader, len(q.Joins))
 	payloadIdx := make([]int, len(q.Joins)) // index into payload registers, -1 = none
 	numPayloads := 0
 	for i, j := range q.Joins {
-		fkCols[i] = FactCol(&ds.Lineorder, j.FactFK)
+		fkCols[i] = ms.factReader(&ds.Lineorder, j.FactFK)
 		if j.Payload != "" {
 			payloadIdx[i] = numPayloads
 			numPayloads++
@@ -89,9 +98,9 @@ func (pl *Plan) runGPU(ms *morselRun) *Result {
 		}
 	}
 	aggCols := q.Agg.Columns()
-	aggSlices := make([][]int32, len(aggCols))
+	aggSlices := make([]colReader, len(aggCols))
 	for i, c := range aggCols {
-		aggSlices[i] = FactCol(&ds.Lineorder, c)
+		aggSlices[i] = ms.factReader(&ds.Lineorder, c)
 	}
 
 	aggTable := crystal.NewAggTable(aggEstimate(q))
@@ -111,13 +120,23 @@ func (pl *Plan) runGPU(ms *morselRun) *Result {
 
 		nn := b.TileElems
 		first := true
-		loadCol := func(col []int32) int {
+		// The first column load reads the full tile; later ones load
+		// selectively through the bitmap. On the packed encoding the same
+		// pair of primitives reads the tile's frames instead — a tile is
+		// exactly one frame (MorselAlign = tile size), so per-block packed
+		// traffic merges exactly for any partitioning.
+		loadCol := func(cr colReader) int {
 			if first {
 				first = false
-				m := crystal.BlockLoad(b, col, items)
-				return m
+				if cr.packed != nil {
+					return crystal.BlockLoadPacked(b, cr.packed, items)
+				}
+				return crystal.BlockLoad(b, cr.plain, items)
 			}
-			return crystal.BlockLoadSel(b, col, bitmap, items)
+			if cr.packed != nil {
+				return crystal.BlockLoadSelPacked(b, cr.packed, bitmap, items)
+			}
+			return crystal.BlockLoadSel(b, cr.plain, bitmap, items)
 		}
 
 		// Selections on the fact table.

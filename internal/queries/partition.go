@@ -1,6 +1,8 @@
 package queries
 
 import (
+	"fmt"
+
 	"crystal/internal/sim"
 	"crystal/internal/ssb"
 )
@@ -13,6 +15,21 @@ import (
 // behavior.
 type Limiter = sim.Gate
 
+// Residency models a device-memory cache of packed fact columns for the
+// coprocessor architecture: keeping hot compressed columns resident on the
+// GPU, instead of re-shipping them over PCIe per query, is what makes the
+// coprocessor competitive at scale. Acquire looks up the named fact column
+// (bytes of packed storage): hit means it is already device-resident and
+// the engine skips its PCIe transfer entirely; otherwise admitted reports
+// whether the cache accepted the column — if so, the engine ships it whole
+// (the transfer is what populates device memory), and if not (the column
+// exceeds the cache, or the cache has moved on), the engine falls back to
+// the ordinary cold transfer. Implementations must be safe for concurrent
+// use; internal/serve provides the capacity-bounded LRU.
+type Residency interface {
+	Acquire(col string, bytes int64) (hit, admitted bool)
+}
+
 // RunOptions configures one partitioned execution of a compiled plan.
 type RunOptions struct {
 	// Partitions is the number of morsels the fact table is split into.
@@ -23,6 +40,19 @@ type RunOptions struct {
 	Partitions int
 	// Limiter bounds helper parallelism; nil means up to GOMAXPROCS.
 	Limiter Limiter
+	// Packed scans the bit-packed fact encoding instead of the plain
+	// columns. Rows are identical by construction — the engines decode
+	// values through the encoding at scan time — while simulated seconds
+	// reflect the paper's Section 5.5 asymmetry: smaller streaming reads on
+	// every engine, per-element unpack arithmetic on the CPU engines (which
+	// can tip a scan compute bound), and compressed PCIe transfers on the
+	// coprocessor. The encoding must have been built from this plan's
+	// dataset (ssb.Dataset.Pack on the same fact layout).
+	Packed *ssb.PackedFact
+	// Residency, set together with Packed, lets the coprocessor skip PCIe
+	// transfers of device-resident packed columns. Ignored by the on-device
+	// engines and by plain runs.
+	Residency Residency
 }
 
 // MatchesZone reports whether the filter could match any value in the zone:
@@ -79,6 +109,19 @@ type morselRun struct {
 	live    []ssb.Morsel
 	scanned int64 // fact rows in surviving morsels
 	lim     Limiter
+	// packed is the fact encoding the scan reads (nil = plain columns);
+	// residency is the coprocessor's device-memory column cache.
+	packed    *ssb.PackedFact
+	residency Residency
+}
+
+// factReader resolves one fact column against the run's encoding: the plain
+// slice, or the packed frames the engines decode through.
+func (ms *morselRun) factReader(l *ssb.Lineorder, name string) colReader {
+	if ms.packed != nil {
+		return colReader{packed: ms.packed.Col(name)}
+	}
+	return colReader{plain: l.Col(name)}
 }
 
 func (ms *morselRun) prunedCount() int {
@@ -91,10 +134,11 @@ func (ms *morselRun) prunedCount() int {
 	return n
 }
 
-// stamp records the partitioning outcome on a result.
+// stamp records the partitioning and encoding outcome on a result.
 func (ms *morselRun) stamp(res *Result) {
 	res.Morsels = len(ms.morsels)
 	res.Pruned = ms.prunedCount()
+	res.Packed = ms.packed != nil
 }
 
 // morselRun resolves opts against the plan: the monolithic path uses a
@@ -102,21 +146,29 @@ func (ms *morselRun) stamp(res *Result) {
 // path fetches the plan's cached morsels and applies zone-map pruning to
 // the query's fact filters.
 func (p *Plan) morselRun(opts RunOptions) *morselRun {
+	if opts.Packed != nil && opts.Packed.Rows() != p.ds.Lineorder.Rows() {
+		panic(fmt.Sprintf("queries: packed encoding built for %d fact rows, dataset has %d",
+			opts.Packed.Rows(), p.ds.Lineorder.Rows()))
+	}
 	if opts.Partitions < 1 {
 		all := []ssb.Morsel{{Lo: 0, Hi: p.ds.Lineorder.Rows()}}
 		return &morselRun{
-			morsels: all,
-			pruned:  []bool{false},
-			live:    all,
-			scanned: int64(p.ds.Lineorder.Rows()),
-			lim:     opts.Limiter,
+			morsels:   all,
+			pruned:    []bool{false},
+			live:      all,
+			scanned:   int64(p.ds.Lineorder.Rows()),
+			lim:       opts.Limiter,
+			packed:    opts.Packed,
+			residency: opts.Residency,
 		}
 	}
 	morsels := p.Morsels(opts.Partitions)
 	ms := &morselRun{
-		morsels: morsels,
-		pruned:  PruneMorsels(morsels, p.Query.FactFilters),
-		lim:     opts.Limiter,
+		morsels:   morsels,
+		pruned:    PruneMorsels(morsels, p.Query.FactFilters),
+		lim:       opts.Limiter,
+		packed:    opts.Packed,
+		residency: opts.Residency,
 	}
 	ms.live = make([]ssb.Morsel, 0, len(morsels))
 	for i, m := range morsels {

@@ -5,9 +5,27 @@ import (
 	"sync/atomic"
 
 	"crystal/internal/crystal"
+	"crystal/internal/pack"
 	"crystal/internal/sim"
 	"crystal/internal/ssb"
 )
+
+// colReader reads one fact column from either the plain slice or the
+// bit-packed frames. Packed runs decode every value they touch through the
+// encoding, which is what makes packed results row-identical to plain ones
+// by construction rather than by coincidence.
+type colReader struct {
+	plain  []int32
+	packed *pack.Frames
+}
+
+// at returns the row-th value of the column.
+func (c colReader) at(row int) int32 {
+	if c.packed != nil {
+		return c.packed.Get(row)
+	}
+	return c.plain[row]
+}
 
 // dimFill sizes dimension hash tables like the paper's (Section 5.3:
 // "the size of the part hash table (with perfect hashing) is 2x4x1M =
@@ -97,6 +115,14 @@ type pipeStats struct {
 	// partition counts.
 	lines64  map[string]int64
 	lines128 map[string]int64
+	// packed reports whether the scan read the bit-packed fact encoding.
+	// lines64/lines128 then count lines of the packed layout (frames are
+	// line-aligned, so the counts stay exactly additive across partitions),
+	// and scanBytes/footBytes hold per fact column the packed bytes of the
+	// surviving morsels' frames and the full column's packed footprint.
+	packed    bool
+	scanBytes map[string]int64
+	footBytes map[string]int64
 	// evals[i] is the number of rows evaluated by fact filter i.
 	evals []int64
 	// probes[j] is the number of probes into join j's hash table.
@@ -106,6 +132,40 @@ type pipeStats struct {
 	alive []int64
 	// out is the number of rows reaching the aggregate.
 	out int64
+}
+
+// colScanBytes returns the streaming bytes of one full-column operator scan
+// over the surviving morsels (the materializing engines' per-operator read).
+func (st *pipeStats) colScanBytes(col string) int64 {
+	if st.packed {
+		return st.scanBytes[col]
+	}
+	return st.rows * 4
+}
+
+// colFootprint returns the resident footprint data-dependent gathers into
+// the column address — the packed footprint shrinks it, improving cache
+// residency exactly as smaller hash tables do.
+func (st *pipeStats) colFootprint(col string) int64 {
+	if st.packed {
+		return st.footBytes[col]
+	}
+	return st.totalRows * 4
+}
+
+// decoded returns the number of values the pipeline decoded from packed
+// frames: every filter evaluation, probed foreign key and aggregate input
+// reads one. CPU devices charge pack.UnpackCyclesPerElem of register
+// arithmetic per decode; GPUs absorb it (the Section 5.5 asymmetry).
+func (st *pipeStats) decoded(q Query) int64 {
+	var n int64
+	for _, e := range st.evals {
+		n += e
+	}
+	for _, p := range st.probes {
+		n += p
+	}
+	return n + st.out*int64(len(q.Agg.Columns()))
 }
 
 // aggEstimate caps the aggregation-table sizing.
@@ -171,7 +231,9 @@ type wstat struct {
 // as a single unmapped morsel — the monolithic path every engine's plain
 // Run* method uses.
 func runPipeline(ds *ssb.Dataset, q Query, builds []buildInfo) (*Result, *pipeStats) {
-	return runPipelineMorsels(ds, q, builds, []ssb.Morsel{{Lo: 0, Hi: ds.Lineorder.Rows()}}, nil)
+	all := []ssb.Morsel{{Lo: 0, Hi: ds.Lineorder.Rows()}}
+	ms := &morselRun{morsels: all, pruned: []bool{false}, live: all, scanned: int64(ds.Lineorder.Rows())}
+	return runPipelineMorsels(ds, q, builds, ms)
 }
 
 // runPipelineMorsels executes the query's probe pipeline functionally over
@@ -181,9 +243,11 @@ func runPipeline(ds *ssb.Dataset, q Query, builds []buildInfo) (*Result, *pipeSt
 // calling goroutine always works, helpers are bounded by lim — and the
 // per-chunk statistics merge exactly (tile alignment) into the returned
 // access statistics.
-func runPipelineMorsels(ds *ssb.Dataset, q Query, builds []buildInfo, live []ssb.Morsel, lim Limiter) (*Result, *pipeStats) {
+func runPipelineMorsels(ds *ssb.Dataset, q Query, builds []buildInfo, ms *morselRun) (*Result, *pipeStats) {
+	live, lim := ms.live, ms.lim
 	st := &pipeStats{
 		totalRows: int64(ds.Lineorder.Rows()),
+		packed:    ms.packed != nil,
 		lines64:   map[string]int64{},
 		lines128:  map[string]int64{},
 		evals:     make([]int64, len(q.FactFilters)),
@@ -194,23 +258,44 @@ func runPipelineMorsels(ds *ssb.Dataset, q Query, builds []buildInfo, live []ssb
 		st.rows += int64(m.Rows())
 	}
 
-	filterCols := make([][]int32, len(q.FactFilters))
+	filterCols := make([]colReader, len(q.FactFilters))
 	for i := range q.FactFilters {
-		filterCols[i] = FactCol(&ds.Lineorder, q.FactFilters[i].Col)
+		filterCols[i] = ms.factReader(&ds.Lineorder, q.FactFilters[i].Col)
 		st.colOrder = append(st.colOrder, q.FactFilters[i].Col)
 	}
-	fkCols := make([][]int32, len(q.Joins))
+	fkCols := make([]colReader, len(q.Joins))
 	for i := range q.Joins {
-		fkCols[i] = FactCol(&ds.Lineorder, q.Joins[i].FactFK)
+		fkCols[i] = ms.factReader(&ds.Lineorder, q.Joins[i].FactFK)
 		st.colOrder = append(st.colOrder, q.Joins[i].FactFK)
 	}
 	aggCols := q.Agg.Columns()
-	aggSlices := make([][]int32, len(aggCols))
+	aggSlices := make([]colReader, len(aggCols))
 	for i, c := range aggCols {
-		aggSlices[i] = FactCol(&ds.Lineorder, c)
+		aggSlices[i] = ms.factReader(&ds.Lineorder, c)
 		st.colOrder = append(st.colOrder, c)
 	}
 	numPayloads := len(q.GroupPayloads())
+
+	if st.packed {
+		// Per-column packed extents: scan bytes over the surviving morsels
+		// (exactly additive — morsels cover whole frames) and the full
+		// column footprint gathers address. Host-side metadata, no device
+		// time.
+		st.scanBytes = map[string]int64{}
+		st.footBytes = map[string]int64{}
+		for _, col := range st.colOrder {
+			if _, ok := st.footBytes[col]; ok {
+				continue
+			}
+			fr := ms.packed.Col(col)
+			st.footBytes[col] = fr.Bytes()
+			var b int64
+			for _, m := range live {
+				b += fr.BytesRange(m.Lo, m.Hi)
+			}
+			st.scanBytes[col] = b
+		}
+	}
 
 	res := &Result{QueryID: q.ID, Groups: map[int64]int64{}}
 	chunks := chunkMorsels(live)
@@ -226,14 +311,30 @@ func runPipelineMorsels(ds *ssb.Dataset, q Query, builds []buildInfo, live []ssb
 				alive:    make([]int64, len(st.alive)),
 				groups:   map[int64]int64{},
 			}
-			last64 := map[string]int{}
-			last128 := map[string]int{}
-			touch := func(col string, row int) {
-				if l := row >> 4; last64[col] != l+1 {
+			last64 := map[string]int64{}
+			last128 := map[string]int64{}
+			// touch takes the column's resolved reader alongside its name so
+			// the packed branch never re-resolves frames inside the row loop.
+			touch := func(col string, cr colReader, row int) {
+				if cr.packed != nil {
+					// Packed lines hold 32/width times more rows than plain
+					// ones; width-0 frames occupy no storage and touch none.
+					fr := cr.packed
+					if l := fr.LineOf(row, 64); l >= 0 && last64[col] != l+1 {
+						last64[col] = l + 1
+						ws.lines64[col]++
+					}
+					if l := fr.LineOf(row, 128); l >= 0 && last128[col] != l+1 {
+						last128[col] = l + 1
+						ws.lines128[col]++
+					}
+					return
+				}
+				if l := int64(row >> 4); last64[col] != l+1 {
 					last64[col] = l + 1
 					ws.lines64[col]++
 				}
-				if l := row >> 5; last128[col] != l+1 {
+				if l := int64(row >> 5); last128[col] != l+1 {
 					last128[col] = l + 1
 					ws.lines128[col]++
 				}
@@ -249,8 +350,8 @@ func runPipelineMorsels(ds *ssb.Dataset, q Query, builds []buildInfo, live []ssb
 				for row := chunks[ci].lo; row < chunks[ci].hi; row++ {
 					for i := range q.FactFilters {
 						ws.evals[i]++
-						touch(q.FactFilters[i].Col, row)
-						if !q.FactFilters[i].Match(filterCols[i][row]) {
+						touch(q.FactFilters[i].Col, filterCols[i], row)
+						if !q.FactFilters[i].Match(filterCols[i].at(row)) {
 							continue rows
 						}
 						ws.alive[i]++
@@ -258,8 +359,8 @@ func runPipelineMorsels(ds *ssb.Dataset, q Query, builds []buildInfo, live []ssb
 					payloads = payloads[:0]
 					for ji := range q.Joins {
 						ws.probes[ji]++
-						touch(q.Joins[ji].FactFK, row)
-						v, ok := builds[ji].ht.Get(fkCols[ji][row])
+						touch(q.Joins[ji].FactFK, fkCols[ji], row)
+						v, ok := builds[ji].ht.Get(fkCols[ji].at(row))
 						if !ok {
 							continue rows
 						}
@@ -269,8 +370,8 @@ func runPipelineMorsels(ds *ssb.Dataset, q Query, builds []buildInfo, live []ssb
 						}
 					}
 					for i := range vals {
-						touch(aggCols[i], row)
-						vals[i] = aggSlices[i][row]
+						touch(aggCols[i], aggSlices[i], row)
+						vals[i] = aggSlices[i].at(row)
 					}
 					ws.out++
 					ws.groups[PackGroup(payloads)] += q.Agg.Eval(vals)

@@ -144,6 +144,14 @@ type Result struct {
 	// Both describe execution, not the rows, so Equal ignores them.
 	Morsels int
 	Pruned  int
+	// Packed reports whether the run scanned the bit-packed fact encoding.
+	// TransferBytes is the PCIe traffic a coprocessor run actually shipped
+	// (0 for on-device engines) and ResidentCols the referenced fact
+	// columns a device-residency cache served without any transfer. Like
+	// Morsels/Pruned they describe execution, not rows: Equal ignores them.
+	Packed        bool
+	TransferBytes int64
+	ResidentCols  int
 }
 
 // Rows returns the result rows sorted by group key for stable comparison
@@ -177,11 +185,14 @@ func (r *Result) Milliseconds() float64 { return r.Seconds * 1e3 }
 // original (used by caches that hand results to untrusted callers).
 func (r *Result) Clone() *Result {
 	out := &Result{
-		QueryID: r.QueryID,
-		Seconds: r.Seconds,
-		Morsels: r.Morsels,
-		Pruned:  r.Pruned,
-		Groups:  make(map[int64]int64, len(r.Groups)),
+		QueryID:       r.QueryID,
+		Seconds:       r.Seconds,
+		Morsels:       r.Morsels,
+		Pruned:        r.Pruned,
+		Packed:        r.Packed,
+		TransferBytes: r.TransferBytes,
+		ResidentCols:  r.ResidentCols,
+		Groups:        make(map[int64]int64, len(r.Groups)),
 	}
 	for k, v := range r.Groups {
 		out.Groups[k] = v

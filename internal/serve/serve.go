@@ -12,12 +12,23 @@
 // plan. Every key embeds the dataset generation, so swapping in a new
 // dataset invalidates everything at once.
 //
+// The service also owns the compressed-execution machinery: Request.Packed
+// scans the dataset's bit-packed fact encoding (built lazily, once per
+// generation), and a capacity-bounded LRU of packed columns pinned in
+// simulated device memory (Options.DeviceCacheBytes, defaulting to the
+// V100's capacity) lets repeated coprocessor requests skip their PCIe
+// transfers entirely — the residency argument for making a GPU coprocessor
+// practical at scale.
+//
 // The simulated engine times are unaffected by serving: a cache-hit plan
 // re-charges its build traffic exactly as a cold run would, so a served
 // Result is row-for-row and second-for-second identical to sequential
 // queries.Run. What serving changes is the wall clock — the host executes
 // the functional work once and fans requests out across cores — which is
-// the Stats split of simulated vs. wall-clock latency per engine.
+// the Stats split of simulated vs. wall-clock latency per engine. The one
+// deliberate exception is the packed coprocessor path with residency
+// caching: its seconds legitimately depend on device-cache state, so those
+// responses bypass the result cache instead of replaying a stale transfer.
 package serve
 
 import (
@@ -55,6 +66,12 @@ type Request struct {
 	// monolithic scan. Rows are identical either way; simulated seconds are
 	// identical unless zone maps prune (then they are cheaper).
 	Partitions int
+	// Packed scans the bit-packed fact encoding (built lazily, once per
+	// dataset generation) instead of the plain columns. Rows are identical;
+	// simulated seconds reflect the Section 5.5 compression asymmetry, and
+	// coprocessor requests ship compressed bytes over PCIe — skipping the
+	// transfer entirely for columns the device residency cache holds.
+	Packed bool
 	// NoCache bypasses the result cache for this request (the plan cache
 	// still applies); used to force fresh execution for benchmarking.
 	NoCache bool
@@ -85,7 +102,14 @@ type Response struct {
 	// many of them zone maps skipped.
 	Morsels int
 	Pruned  int
-	Err     error
+	// Packed reports whether the request scanned the bit-packed fact
+	// encoding. TransferBytes is the PCIe traffic a coprocessor request
+	// actually shipped, and ResidentCols the referenced fact columns the
+	// device residency cache served without any transfer.
+	Packed        bool
+	TransferBytes int64
+	ResidentCols  int
+	Err           error
 }
 
 // Options configures a Service.
@@ -107,6 +131,11 @@ type Options struct {
 	// so a partitioned query can never starve other requests; helpers only
 	// soak up cores the pool isn't using. Default: GOMAXPROCS.
 	MorselHelpers int
+	// DeviceCacheBytes caps the device-memory residency cache of packed
+	// columns the coprocessor engine consults. 0 sizes it to the GPU's
+	// memory (device.V100().MemoryBytes); negative disables residency
+	// caching (every packed coprocessor request pays its full transfer).
+	DeviceCacheBytes int64
 }
 
 func (o *Options) withDefaults() Options {
@@ -129,6 +158,9 @@ func (o *Options) withDefaults() Options {
 	if out.MorselHelpers <= 0 {
 		out.MorselHelpers = runtime.GOMAXPROCS(0)
 	}
+	if out.DeviceCacheBytes == 0 {
+		out.DeviceCacheBytes = device.V100().MemoryBytes
+	}
 	return out
 }
 
@@ -137,6 +169,7 @@ func (o *Options) withDefaults() Options {
 // slots from without blocking.
 type gate chan struct{}
 
+// TryAcquire grants a helper slot if one is free, without blocking.
 func (g gate) TryAcquire() bool {
 	select {
 	case g <- struct{}{}:
@@ -146,6 +179,7 @@ func (g gate) TryAcquire() bool {
 	}
 }
 
+// Release returns a helper slot taken by TryAcquire.
 func (g gate) Release() { <-g }
 
 // planEntry is a once-guarded plan-cache slot: concurrent misses for the
@@ -189,6 +223,19 @@ type Service struct {
 	statsMu sync.Mutex
 	stats   statsAccum
 
+	// packedMu guards the lazily built packed fact encoding: one per
+	// dataset generation, shared by every packed request and plan. The
+	// first packed request of a generation pays the one-pass packing cost;
+	// concurrent firsts serialize on the mutex.
+	packedMu  sync.Mutex
+	packed    *ssb.PackedFact
+	packedGen uint64
+
+	// devCache is the simulated GPU's device-memory residency cache of
+	// packed columns (nil when disabled); the coprocessor engine consults
+	// it through queries.Residency.
+	devCache *deviceCache
+
 	// morsels bounds intra-query helper parallelism across every in-flight
 	// request (see Options.MorselHelpers).
 	morsels gate
@@ -211,6 +258,9 @@ func New(ds *ssb.Dataset, version string, opts Options) *Service {
 	s.plans = newLRU(s.opts.PlanCacheSize)
 	s.results = newLRU(s.opts.ResultCacheSize)
 	s.binds = newLRU(s.opts.BindCacheSize)
+	if s.opts.DeviceCacheBytes > 0 {
+		s.devCache = newDeviceCache(s.opts.DeviceCacheBytes, s.gen)
+	}
 	s.morsels = make(gate, s.opts.MorselHelpers)
 	s.stats.engines = map[queries.Engine]*engineAccum{}
 	s.jobs = make(chan job, s.opts.QueueDepth)
@@ -244,12 +294,38 @@ func (s *Service) SetDataset(version string, ds *ssb.Dataset) {
 	s.ds = ds
 	s.version = version
 	s.gen++
+	gen := s.gen
 	s.mu.Unlock()
 	s.cacheMu.Lock()
 	s.plans.purge()
 	s.results.purge()
 	s.binds.purge()
 	s.cacheMu.Unlock()
+	s.packedMu.Lock()
+	s.packed = nil
+	s.packedMu.Unlock()
+	if s.devCache != nil {
+		s.devCache.purge(gen)
+	}
+}
+
+// packedFact returns the packed fact encoding for the generation's dataset,
+// building it on first use and rebuilding after a dataset swap. A stale
+// in-flight request (its generation raced past by SetDataset) gets a
+// transient packing instead of evicting the live one — otherwise
+// interleaved old/new requests would re-pack the fact table per request.
+func (s *Service) packedFact(gen uint64, ds *ssb.Dataset) *ssb.PackedFact {
+	s.packedMu.Lock()
+	defer s.packedMu.Unlock()
+	if s.packed != nil && s.packedGen == gen {
+		return s.packed
+	}
+	pf := ds.Pack()
+	if s.generation() == gen {
+		s.packed = pf
+		s.packedGen = gen
+	}
+	return pf
 }
 
 // Close drains the worker pool. In-flight requests finish; subsequent
@@ -420,7 +496,7 @@ func (s *Service) execute(req Request) Response {
 		req.Partitions = 0
 	}
 	req.Engine = engine
-	resp := Response{Request: req, Adhoc: req.SQL != ""}
+	resp := Response{Request: req, Adhoc: req.SQL != "", Packed: req.Packed}
 
 	s.mu.RLock()
 	ds, version, gen := s.ds, s.version, s.gen
@@ -435,12 +511,18 @@ func (s *Service) execute(req Request) Response {
 	}
 	resp.Query = q
 
-	// The partition count is part of the result identity: rows always agree,
-	// but a pruned partitioned run reports different Seconds/Morsels/Pruned
-	// than a monolithic one, and those must replay deterministically.
+	// The partition count and encoding are part of the result identity:
+	// rows always agree, but a pruned partitioned run or a packed run
+	// reports different Seconds/Morsels/Pruned/TransferBytes than a plain
+	// monolithic one, and those must replay deterministically. Packed
+	// coprocessor requests with residency caching are the one exception:
+	// their seconds depend on device-cache state (cold vs warm transfer),
+	// so they bypass the result cache entirely rather than replay a stale
+	// transfer time.
+	residency := req.Packed && req.Engine == queries.EngineCoproc && s.devCache != nil
 	genKey := strconv.FormatUint(gen, 10)
-	resultKey := cacheKey(genKey, canon, string(req.Engine), strconv.Itoa(req.Partitions))
-	if !req.NoCache {
+	resultKey := cacheKey(genKey, canon, string(req.Engine), strconv.Itoa(req.Partitions), packedKey(req.Packed))
+	if !req.NoCache && !residency {
 		s.cacheMu.Lock()
 		v, ok := s.results.get(resultKey)
 		s.cacheMu.Unlock()
@@ -455,6 +537,8 @@ func (s *Service) execute(req Request) Response {
 			resp.SimSeconds = cached.SimSeconds
 			resp.Morsels = cached.Morsels
 			resp.Pruned = cached.Pruned
+			resp.TransferBytes = cached.TransferBytes
+			resp.ResidentCols = cached.ResidentCols
 			resp.PlanCached = true
 			resp.ResultCached = true
 			resp.Wall = time.Since(start)
@@ -482,21 +566,31 @@ func (s *Service) execute(req Request) Response {
 	s.cacheMu.Unlock()
 
 	entry.once.Do(func() { entry.plan = queries.Compile(ds, q) })
-	resp.Result = entry.plan.RunPartitioned(req.Engine, queries.RunOptions{
+	opts := queries.RunOptions{
 		Partitions: req.Partitions,
 		Limiter:    s.morsels,
-	})
+	}
+	if req.Packed {
+		opts.Packed = s.packedFact(gen, ds)
+		if residency {
+			opts.Residency = boundResidency{cache: s.devCache, gen: gen}
+		}
+	}
+	resp.Result = entry.plan.RunPartitioned(req.Engine, opts)
 	resp.Result.QueryID = q.ID
 	resp.SimSeconds = resp.Result.Seconds
 	resp.Morsels = resp.Result.Morsels
 	resp.Pruned = resp.Result.Pruned
+	resp.TransferBytes = resp.Result.TransferBytes
+	resp.ResidentCols = resp.Result.ResidentCols
 	resp.Wall = time.Since(start)
 
 	// Cache only results that are still current: the dataset may have been
 	// swapped while this request executed. (A swap between the check and the
 	// put is benign — the entry is keyed by the old generation, which no
-	// lookup uses anymore.)
-	if s.generation() == gen {
+	// lookup uses anymore.) Residency-dependent responses are never cached;
+	// see the result-cache comment above.
+	if s.generation() == gen && !residency {
 		// The cache keeps its own copy for the same reason the hit path
 		// clones: the caller owns the returned Result.
 		cached := resp
@@ -531,6 +625,14 @@ func (s *Service) recordError() {
 // cacheKey joins key parts with NUL, which cannot appear in query ids,
 // engine names or versions.
 func cacheKey(parts ...string) string { return strings.Join(parts, "\x00") }
+
+// packedKey renders the encoding choice for cache keys.
+func packedKey(packed bool) string {
+	if packed {
+		return "packed"
+	}
+	return "plain"
+}
 
 // engineAliases maps short names (CLI/HTTP friendly) to engines.
 var engineAliases = map[string]queries.Engine{

@@ -14,18 +14,21 @@ type engineAccum struct {
 
 // statsAccum is the service-internal running tally.
 type statsAccum struct {
-	requests     int64
-	named        int64
-	adhoc        int64
-	partitioned  int64
-	morsels      int64
-	pruned       int64
-	errors       int64
-	planHits     int64
-	planMisses   int64
-	resultHits   int64
-	resultMisses int64
-	engines      map[queries.Engine]*engineAccum
+	requests      int64
+	named         int64
+	adhoc         int64
+	partitioned   int64
+	morsels       int64
+	pruned        int64
+	packed        int64
+	transferBytes int64
+	residentCols  int64
+	errors        int64
+	planHits      int64
+	planMisses    int64
+	resultHits    int64
+	resultMisses  int64
+	engines       map[queries.Engine]*engineAccum
 }
 
 func (a *statsAccum) record(resp Response) {
@@ -39,6 +42,11 @@ func (a *statsAccum) record(resp Response) {
 		a.partitioned++
 		a.morsels += int64(resp.Morsels)
 		a.pruned += int64(resp.Pruned)
+	}
+	if resp.Packed {
+		a.packed++
+		a.transferBytes += resp.TransferBytes
+		a.residentCols += int64(resp.ResidentCols)
 	}
 	if resp.PlanCached {
 		a.planHits++
@@ -94,6 +102,25 @@ type Stats struct {
 	PrunedMorsels       int64   `json:"pruned_morsels"`
 	PruneRate           float64 `json:"prune_rate"`
 
+	// PackedRequests counts requests that scanned the bit-packed fact
+	// encoding; TransferBytes tallies the PCIe traffic their coprocessor
+	// runs actually shipped and ResidentCols the column transfers the
+	// device residency cache elided.
+	PackedRequests int64 `json:"packed_requests"`
+	TransferBytes  int64 `json:"transfer_bytes"`
+	ResidentCols   int64 `json:"resident_cols"`
+
+	// Device residency cache: capacity and occupancy of the simulated GPU
+	// memory pinning packed columns, plus its hit/miss/eviction counters.
+	// All zero when the cache is disabled.
+	DeviceCacheCapBytes  int64   `json:"device_cache_cap_bytes"`
+	DeviceCacheUsedBytes int64   `json:"device_cache_used_bytes"`
+	DeviceCacheCols      int     `json:"device_cache_cols"`
+	ResidentHits         int64   `json:"resident_hits"`
+	ResidentMisses       int64   `json:"resident_misses"`
+	ResidentEvictions    int64   `json:"resident_evictions"`
+	ResidencyHitRate     float64 `json:"residency_hit_rate"`
+
 	PlanHits      int64   `json:"plan_hits"`
 	PlanMisses    int64   `json:"plan_misses"`
 	PlanHitRate   float64 `json:"plan_hit_rate"`
@@ -125,6 +152,19 @@ func (s *Service) Stats() Stats {
 	out.Morsels = s.stats.morsels
 	out.PrunedMorsels = s.stats.pruned
 	out.PruneRate = rate(s.stats.pruned, s.stats.morsels-s.stats.pruned)
+	out.PackedRequests = s.stats.packed
+	out.TransferBytes = s.stats.transferBytes
+	out.ResidentCols = s.stats.residentCols
+	if s.devCache != nil {
+		dc := s.devCache.snapshot()
+		out.DeviceCacheCapBytes = dc.capacity
+		out.DeviceCacheUsedBytes = dc.used
+		out.DeviceCacheCols = dc.cols
+		out.ResidentHits = dc.hits
+		out.ResidentMisses = dc.misses
+		out.ResidentEvictions = dc.evictions
+		out.ResidencyHitRate = rate(dc.hits, dc.misses)
+	}
 	out.Errors = s.stats.errors
 	out.PlanHits = s.stats.planHits
 	out.PlanMisses = s.stats.planMisses

@@ -1,0 +1,59 @@
+package ssb
+
+import "testing"
+
+// TestPackRoundTripsEveryFactColumn: the packed encoding decodes every fact
+// column value-for-value, uses MorselAlign frames, and actually compresses
+// the generated data.
+func TestPackRoundTripsEveryFactColumn(t *testing.T) {
+	ds := GenerateRows(50_000)
+	pf := ds.Pack()
+	if pf.Rows() != ds.Lineorder.Rows() {
+		t.Fatalf("packed rows = %d, want %d", pf.Rows(), ds.Lineorder.Rows())
+	}
+	for _, name := range FactColumns() {
+		plain := ds.Lineorder.Col(name)
+		fr := pf.Col(name)
+		if fr.FrameRows() != MorselAlign {
+			t.Fatalf("%s: frame size %d, want MorselAlign %d", name, fr.FrameRows(), MorselAlign)
+		}
+		for i, want := range plain {
+			if got := fr.Get(i); got != want {
+				t.Fatalf("%s: packed Get(%d) = %d, want %d", name, i, got, want)
+			}
+		}
+		if fr.Bytes() >= fr.PlainBytes() {
+			t.Errorf("%s: packed %d bytes >= plain %d", name, fr.Bytes(), fr.PlainBytes())
+		}
+	}
+	if pf.Ratio() <= 1.5 {
+		t.Errorf("fact-table compression ratio = %.2f, expected well above 1.5x", pf.Ratio())
+	}
+	if pf.PlainBytes() != int64(ds.Lineorder.Rows())*9*4 {
+		t.Errorf("plain footprint bookkeeping wrong: %d", pf.PlainBytes())
+	}
+}
+
+// TestPackUnknownColumnPanics mirrors the Lineorder.Col contract.
+func TestPackUnknownColumnPanics(t *testing.T) {
+	pf := GenerateRows(100).Pack()
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown column did not panic")
+		}
+	}()
+	pf.Col("bogus")
+}
+
+// TestPackClusteredShrinksSortColumn: after ClusterBy, the sort column's
+// frames span narrow local ranges, so per-frame frame-of-reference packing
+// compresses it harder than the uniform layout — the per-morsel-width
+// payoff that a single global width could not deliver.
+func TestPackClusteredShrinksSortColumn(t *testing.T) {
+	ds := GenerateRows(100_000)
+	uniform := ds.Pack().Col("orderdate").Bytes()
+	clustered := ds.ClusterBy("orderdate").Pack().Col("orderdate").Bytes()
+	if clustered >= uniform {
+		t.Errorf("clustered orderdate packed to %d bytes, uniform %d", clustered, uniform)
+	}
+}
