@@ -6,15 +6,16 @@ GO ?= go
 # Coverage floors for the packages the differential/invariance harness
 # guards; set to the measured pre-harness baselines so the new tests stay
 # load-bearing. Raise them if coverage improves, never lower them.
-COVER_FLOOR_QUERIES ?= 98.0
+COVER_FLOOR_QUERIES ?= 98.5
 COVER_FLOOR_SSB     ?= 88.0
+COVER_FLOOR_FLEET   ?= 90.0
 
-.PHONY: all build test lint fuzz cover docs bench-smoke serve ci
+.PHONY: all build test lint fuzz cover docs bench-smoke bench-baseline bench-check serve ci
 
 # Markdown files the docs gate link-checks, and the packages whose godoc
 # must render (a missing or syntactically broken doc comment fails go doc).
 DOCS_MD   = README.md docs/ARCHITECTURE.md
-DOC_PKGS  = ./internal/pack ./internal/device ./internal/serve
+DOC_PKGS  = ./internal/pack ./internal/device ./internal/serve ./internal/fleet
 
 all: build test
 
@@ -30,12 +31,15 @@ test:
 # Each fuzz target runs its corpus plus ~20s of new inputs: the dataset
 # decoder, the SQL frontend (parse -> canonical print fixed point, bind
 # never panics), zone-map pruning (a pruned morsel never contains a
-# matching row), and bit packing (pack -> unpack equals the plain column).
+# matching row), bit packing (pack -> unpack equals the plain column), and
+# fleet shard assignment (no morsel lost, duplicated, or resident beyond
+# device capacity after spill accounting).
 fuzz:
 	$(GO) test ./internal/ssb -run='^$$' -fuzz=FuzzRead -fuzztime=20s
 	$(GO) test ./internal/sql -run='^$$' -fuzz=FuzzParse -fuzztime=20s
 	$(GO) test ./internal/queries -run='^$$' -fuzz=FuzzZoneMap -fuzztime=20s
 	$(GO) test ./internal/pack -run='^$$' -fuzz=FuzzPackRoundTrip -fuzztime=20s
+	$(GO) test ./internal/fleet -run='^$$' -fuzz=FuzzShardAssignment -fuzztime=20s
 
 # Docs gate: every relative link in README/docs resolves, and godoc
 # renders non-empty for the packages above.
@@ -55,7 +59,8 @@ cover:
 		awk "BEGIN { exit !($$pct >= $$2) }" || { echo "coverage of $$1 fell below $$2%"; exit 1; }; \
 	}; \
 	check ./internal/queries $(COVER_FLOOR_QUERIES); \
-	check ./internal/ssb $(COVER_FLOOR_SSB)
+	check ./internal/ssb $(COVER_FLOOR_SSB); \
+	check ./internal/fleet $(COVER_FLOOR_FLEET)
 
 lint:
 	$(GO) vet ./...
@@ -66,7 +71,18 @@ lint:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
+# Fleet benchmark gate: bench-baseline records the q1.x flight's simulated
+# seconds and scaling efficiency at 1/2/4/8 GPUs into BENCH_fleet.json;
+# bench-check fails when the flight regresses by more than 5% on any fleet
+# size (simulated seconds are deterministic, so the tolerance only absorbs
+# intentional model changes).
+bench-baseline:
+	$(GO) run ./cmd/benchgate -write
+
+bench-check:
+	$(GO) run ./cmd/benchgate -check
+
 serve:
 	$(GO) run ./cmd/ssbserve
 
-ci: build lint test cover fuzz docs bench-smoke
+ci: build lint test cover fuzz docs bench-smoke bench-check

@@ -1,0 +1,173 @@
+// Command benchgate is the fleet benchmark-regression gate: it measures
+// the q1.x flight's simulated seconds and scaling efficiency on NVLink
+// fleets of 1/2/4/8 GPUs over a fixed generated dataset, and either writes
+// the result as the checked-in baseline (-write, `make bench-baseline`) or
+// compares against it and fails on regression (-check, `make bench-check`,
+// wired into CI).
+//
+// Simulated seconds are deterministic — the device model prices integer
+// traffic counts — so the gate is exact up to floating-point platform
+// differences; the 5% tolerance exists to absorb intentional model tweaks,
+// not measurement noise. A >5% simulated-seconds regression on any fleet
+// size fails the check; improvements pass with a reminder to re-baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"crystal/internal/fleet"
+	"crystal/internal/queries"
+	"crystal/internal/ssb"
+)
+
+var (
+	flagFile  = flag.String("file", "BENCH_fleet.json", "baseline file")
+	flagRows  = flag.Int("rows", 1<<21, "fact rows of the fixed benchmark dataset")
+	flagWrite = flag.Bool("write", false, "write the baseline")
+	flagCheck = flag.Bool("check", false, "check against the baseline")
+)
+
+// tolerance is the allowed relative simulated-seconds regression.
+const tolerance = 0.05
+
+// gateEntry is one fleet size's measurement.
+type gateEntry struct {
+	GPUs int `json:"gpus"`
+	// FlightSeconds is the q1.x flight's total simulated seconds.
+	FlightSeconds float64 `json:"flight_seconds"`
+	// Speedup is vs the 1-GPU fleet; Efficiency is Speedup/GPUs.
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+// gateBaseline is the checked-in baseline document.
+type gateBaseline struct {
+	Rows         int         `json:"rows"`
+	Interconnect string      `json:"interconnect"`
+	TolerancePct float64     `json:"tolerance_pct"`
+	Fleet        []gateEntry `json:"fleet"`
+}
+
+func measure(rows int) (gateBaseline, error) {
+	ds := ssb.GenerateRows(rows)
+	out := gateBaseline{Rows: rows, Interconnect: "nvlink", TolerancePct: tolerance * 100}
+	flightIDs := []string{"q1.1", "q1.2", "q1.3"}
+	plans := make([]*queries.Plan, len(flightIDs))
+	for i, id := range flightIDs {
+		q, err := queries.ByID(id)
+		if err != nil {
+			return out, err
+		}
+		plans[i] = queries.Compile(ds, q)
+	}
+	var base float64
+	for _, gpus := range []int{1, 2, 4, 8} {
+		var flight float64
+		for _, plan := range plans {
+			fr, err := plan.RunFleet(fleet.Spec{GPUs: gpus, Link: fleet.NVLink()}, queries.RunOptions{})
+			if err != nil {
+				return out, err
+			}
+			flight += fr.Result.Seconds
+		}
+		if gpus == 1 {
+			base = flight
+		}
+		speedup := base / flight
+		out.Fleet = append(out.Fleet, gateEntry{
+			GPUs:          gpus,
+			FlightSeconds: flight,
+			Speedup:       speedup,
+			Efficiency:    speedup / float64(gpus),
+		})
+	}
+	return out, nil
+}
+
+func main() {
+	flag.Parse()
+	if *flagWrite == *flagCheck {
+		fmt.Fprintln(os.Stderr, "benchgate: pass exactly one of -write or -check")
+		os.Exit(2)
+	}
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *flagCheck {
+		return check()
+	}
+	cur, err := measure(*flagRows)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(cur, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*flagFile, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows, %s):\n", *flagFile, cur.Rows, cur.Interconnect)
+	printEntries(cur.Fleet)
+	return nil
+}
+
+func check() error {
+	data, err := os.ReadFile(*flagFile)
+	if err != nil {
+		return fmt.Errorf("reading baseline (run `make bench-baseline` first): %w", err)
+	}
+	var base gateBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", *flagFile, err)
+	}
+	cur, err := measure(base.Rows)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checking against %s (%d rows, %s, %.0f%% tolerance):\n",
+		*flagFile, base.Rows, base.Interconnect, base.TolerancePct)
+	printEntries(cur.Fleet)
+	if len(cur.Fleet) != len(base.Fleet) {
+		return fmt.Errorf("fleet sizes changed (%d vs %d entries); re-baseline", len(cur.Fleet), len(base.Fleet))
+	}
+	failed := false
+	improved := false
+	for i, b := range base.Fleet {
+		c := cur.Fleet[i]
+		if c.GPUs != b.GPUs {
+			return fmt.Errorf("fleet entry %d is %d GPUs, baseline has %d; re-baseline", i, c.GPUs, b.GPUs)
+		}
+		rel := (c.FlightSeconds - b.FlightSeconds) / b.FlightSeconds
+		switch {
+		case rel > tolerance:
+			fmt.Printf("  REGRESSION at %d GPU(s): %.6fs vs baseline %.6fs (+%.1f%%)\n",
+				c.GPUs, c.FlightSeconds, b.FlightSeconds, rel*100)
+			failed = true
+		case rel < -tolerance:
+			improved = true
+		}
+	}
+	if failed {
+		return fmt.Errorf("q1.x flight regressed more than %.0f%% — investigate, or re-run `make bench-baseline` for an intentional model change", tolerance*100)
+	}
+	if improved {
+		fmt.Println("improved more than 5% on some fleet size: consider `make bench-baseline` to lock it in")
+	}
+	fmt.Println("bench gate passed")
+	return nil
+}
+
+func printEntries(es []gateEntry) {
+	for _, e := range es {
+		fmt.Printf("  %2d GPU(s): flight %.6fs  %5.2fx speedup  %3.0f%% efficiency\n",
+			e.GPUs, e.FlightSeconds, e.Speedup, e.Efficiency*100)
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	"crystal/internal/bench"
 	"crystal/internal/device"
+	"crystal/internal/fleet"
 	"crystal/internal/model"
 	"crystal/internal/planner"
 	"crystal/internal/queries"
@@ -55,6 +56,8 @@ var (
 	parts   = flag.Int("partitions", 0, "split each fact scan into this many zone-mapped morsels (0 = monolithic)")
 	cluster = flag.String("cluster", "", "sort the fact table by this column first (clustered layouts give zone maps pruning power)")
 	packed  = flag.Bool("packed", false, "scan the bit-packed fact encoding (Section 5.5 compressed execution)")
+	gpus    = flag.Int("gpus", 0, "sweep fleet execution from 1 up to N GPUs and report scaling efficiency")
+	link    = flag.String("interconnect", "nvlink", "fleet interconnect for -gpus (pcie or nvlink)")
 )
 
 // packedFact is the shared packed encoding when -packed is set (built once,
@@ -65,8 +68,16 @@ const paperSF = 20
 
 func main() {
 	flag.Parse()
-	if !(*fig3 || *fig16 || *case21 || *cost || *multi || *plans || *sqlStmt != "") {
+	if !(*fig3 || *fig16 || *case21 || *cost || *multi || *plans || *gpus > 0 || *sqlStmt != "") {
 		*all = true
+	}
+	if *gpus > 0 {
+		// Fail fast on a bad -interconnect, before minutes of dataset
+		// generation and benchmark sections run for nothing.
+		if _, err := fleet.ParseInterconnect(*link); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	var ds *ssb.Dataset
@@ -141,6 +152,12 @@ func main() {
 	}
 	if *all || *multi {
 		runMultiGPU(ds)
+	}
+	if *gpus > 0 {
+		if err := runFleetSweep(ds, *gpus, *link); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if *all || *plans {
 		runPlans(ds)
@@ -226,6 +243,66 @@ func runPlans(ds *ssb.Dataset) {
 	fmt.Println("on the CPU it prefers the most selective join (part) first, because dependent")
 	fmt.Println("probes are latency bound and shrinking them early pays more than cache fit")
 	fmt.Println()
+}
+
+// runFleetSweep runs every catalog query on fleets of 1..n GPUs (powers of
+// two, plus n itself) over the chosen interconnect and reports per-query
+// simulated milliseconds at SF 20, then the q1.x flight's speedup and
+// scaling efficiency per fleet size. The -partitions and -packed flags
+// apply; shards always fit the V100's 32 GB here, so no spill term shows.
+func runFleetSweep(ds *ssb.Dataset, n int, linkName string) error {
+	ic, err := fleet.ParseInterconnect(linkName)
+	if err != nil {
+		return err
+	}
+	var counts []int
+	for k := 1; k < n; k *= 2 {
+		counts = append(counts, k)
+	}
+	counts = append(counts, n)
+
+	bench.Banner(os.Stdout, fmt.Sprintf("multi-GPU fleet sweep over %s, extrapolated to SF 20 (ms)", ic))
+	scaleTo := int64(paperSF) * ssb.LineorderPerSF
+	scale := func(sec float64) float64 {
+		return bench.MS(bench.Scale(sec, int64(ds.Lineorder.Rows()), scaleTo))
+	}
+	tb := &bench.Table{Title: "fleet times (ms)"}
+	for _, k := range counts {
+		tb.Columns = append(tb.Columns, fmt.Sprintf("%d GPU(s)", k))
+	}
+	// flight[k] accumulates the q1.x flight's simulated seconds per count.
+	flight := map[int]float64{}
+	for _, q := range queries.All() {
+		plan := queries.Compile(ds, q)
+		var vals []float64
+		for _, k := range counts {
+			fr, err := plan.RunFleet(fleet.Spec{GPUs: k, Link: ic}, queries.RunOptions{
+				Partitions: *parts,
+				Packed:     packedFact,
+			})
+			if err != nil {
+				return err
+			}
+			vals = append(vals, scale(fr.Result.Seconds))
+			if strings.HasPrefix(q.ID, "q1.") {
+				flight[k] += fr.Result.Seconds
+			}
+		}
+		tb.AddRow(q.ID, vals...)
+	}
+	tb.Fprint(os.Stdout)
+
+	fmt.Println("q1.x flight (scan bound — the purest scaling signal):")
+	base := flight[counts[0]]
+	for _, k := range counts {
+		speedup := base / flight[k]
+		fmt.Printf("  %2d GPU(s): %8.3f ms  %5.2fx speedup  %3.0f%% scaling efficiency\n",
+			k, scale(flight[k]), speedup, speedup/float64(k)*100)
+	}
+	fmt.Println("merge and launch overheads bound the tail: each device pays its kernel")
+	fmt.Println("launch and ships its partial aggregates, so efficiency falls with the fleet")
+	fmt.Println()
+	return nil
 }
 
 // runMultiGPU prints the Section 5.5 "Distributed+Hybrid" extension: q2.1

@@ -19,6 +19,14 @@
 // (see resident_cols in the response and the device cache line in /stats).
 // -devicecache sizes that cache; -devicecache -1 disables it.
 //
+// Both accept &gpus=N (&interconnect=pcie|nvlink) to run on the modeled
+// multi-GPU fleet: the fact scan is range-sharded across N V100s, the
+// partial aggregates merge over the chosen interconnect, and the response
+// carries per-device telemetry (devices, merge_bytes). Fleet requests must
+// use engine=gpu; rows are identical to single-device execution at any
+// fleet size. -fleetmem constrains each fleet device's memory so shards
+// spill (the graceful-degradation experiment).
+//
 // The service schedules requests across a bounded worker pool and caches
 // SQL bindings, compiled plans and recent results, so repeated queries are
 // served from memory while simulated engine times stay identical to a cold
@@ -50,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"crystal/internal/fleet"
 	"crystal/internal/queries"
 	"crystal/internal/serve"
 	"crystal/internal/ssb"
@@ -62,10 +71,14 @@ var (
 	flagWorkers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flagData     = flag.String("data", "", "load a dataset written by datagen instead of generating")
 	flagDevCache = flag.Int64("devicecache", 0, "device residency cache capacity in bytes for packed columns (0 = the V100's 32 GB, negative = disabled)")
+	flagFleetMem = flag.Int64("fleetmem", 0, "per-fleet-device memory capacity in bytes for &gpus=N requests (0 = the V100's 32 GB; small values make shards spill)")
 )
 
 func main() {
 	flag.Parse()
+	if *flagFleetMem < 0 {
+		log.Fatal("-fleetmem must be >= 0 (0 = the V100's 32 GB; unlike -devicecache, negative does not mean disabled)")
+	}
 
 	var ds *ssb.Dataset
 	var version string
@@ -86,7 +99,11 @@ func main() {
 	}
 	log.Printf("dataset %s: %d fact rows, %.2f GB", version, ds.Lineorder.Rows(), float64(ds.Bytes())/1e9)
 
-	svc := serve.New(ds, version, serve.Options{Workers: *flagWorkers, DeviceCacheBytes: *flagDevCache})
+	svc := serve.New(ds, version, serve.Options{
+		Workers:                *flagWorkers,
+		DeviceCacheBytes:       *flagDevCache,
+		FleetDeviceMemoryBytes: *flagFleetMem,
+	})
 	log.Printf("serving on %s with %d workers", *flagAddr, svc.Workers())
 
 	mux := http.NewServeMux()
@@ -138,11 +155,19 @@ type queryResponse struct {
 	Morsels       int `json:"morsels"`
 	PrunedMorsels int `json:"pruned_morsels"`
 	// Packed reports whether the bit-packed fact encoding was scanned;
-	// TransferBytes is the PCIe traffic a coprocessor run shipped and
-	// ResidentCols the column transfers the device cache elided.
+	// TransferBytes is the PCIe traffic a coprocessor run shipped (or, for
+	// fleet runs, the spilled-shard interconnect traffic) and ResidentCols
+	// the column transfers residency caches elided.
 	Packed        bool  `json:"packed,omitempty"`
 	TransferBytes int64 `json:"transfer_bytes,omitempty"`
 	ResidentCols  int   `json:"resident_cols,omitempty"`
+	// GPUs/Interconnect echo the fleet shape of a &gpus=N request; Devices
+	// carries its per-device telemetry and MergeBytes the partial-aggregate
+	// traffic that crossed the interconnect.
+	GPUs         int                   `json:"gpus,omitempty"`
+	Interconnect string                `json:"interconnect,omitempty"`
+	Devices      []queries.FleetDevice `json:"devices,omitempty"`
+	MergeBytes   int64                 `json:"merge_bytes,omitempty"`
 }
 
 func handleQuery(svc *serve.Service) http.HandlerFunc {
@@ -215,6 +240,27 @@ func serveRequest(svc *serve.Service, w http.ResponseWriter, r *http.Request, re
 		}
 		req.Packed = packed
 	}
+	if v := r.URL.Query().Get("gpus"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad gpus value %q: want a non-negative integer", v))
+			return
+		}
+		req.GPUs = n
+	}
+	if v := r.URL.Query().Get("interconnect"); v != "" {
+		// Validate eagerly, like every other parameter — and refuse the
+		// combination that would otherwise silently run on one device.
+		if _, err := fleet.ParseInterconnect(v); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.GPUs == 0 {
+			httpError(w, http.StatusBadRequest, errors.New("interconnect requires a fleet: pass gpus=N as well"))
+			return
+		}
+		req.Interconnect = v
+	}
 	resp, err := svc.Do(r.Context(), req)
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -242,6 +288,10 @@ func serveRequest(svc *serve.Service, w http.ResponseWriter, r *http.Request, re
 		Packed:        resp.Packed,
 		TransferBytes: resp.TransferBytes,
 		ResidentCols:  resp.ResidentCols,
+		GPUs:          resp.GPUs,
+		Interconnect:  resp.Interconnect,
+		Devices:       resp.Devices,
+		MergeBytes:    resp.MergeBytes,
 	}
 	writeJSON(w, out)
 }
@@ -291,6 +341,13 @@ func handleStats(svc *serve.Service) http.HandlerFunc {
 				st.PartitionedRequests, st.PrunedMorsels, st.Morsels, st.PruneRate*100)
 			fmt.Fprintf(w, "packed:       %d requests, %.2f MB shipped over PCIe, %d column transfers elided\n",
 				st.PackedRequests, float64(st.TransferBytes)/1e6, st.ResidentCols)
+			fmt.Fprintf(w, "fleet:        %d requests, %d morsels (%d pruned), %.2f MB spilled, %d spill transfers elided, %.2f MB merged\n",
+				st.FleetRequests, st.FleetMorsels, st.FleetPruned,
+				float64(st.FleetSpillBytes)/1e6, st.FleetResidentCols, float64(st.FleetMergeBytes)/1e6)
+			for _, d := range st.FleetDevices {
+				fmt.Fprintf(w, "  gpu %-2d      %d requests, %d morsels, %d rows, %.3f sim ms, %.2f MB spilled\n",
+					d.Device, d.Requests, d.Morsels, d.Rows, d.SimSeconds*1e3, float64(d.SpillBytes)/1e6)
+			}
 			if st.DeviceCacheCapBytes > 0 {
 				fmt.Fprintf(w, "device cache: %d columns, %.2f/%.2f GB pinned, %.0f%% hit rate, %d evictions\n\n",
 					st.DeviceCacheCols, float64(st.DeviceCacheUsedBytes)/1e9,

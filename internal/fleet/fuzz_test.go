@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"testing"
+
+	"crystal/internal/ssb"
+)
+
+// FuzzShardAssignment fuzzes morsel counts, fleet sizes, device capacities
+// and morsel weights, and asserts the scheduler's safety contract: no
+// morsel is lost, duplicated, or resident on a device whose capacity it
+// exceeds after spill accounting, and spilled morsels are exactly the
+// owned-minus-resident remainder.
+func FuzzShardAssignment(f *testing.F) {
+	f.Add(uint8(8), uint8(2), int64(1<<30), uint16(1))
+	f.Add(uint8(64), uint8(8), int64(0), uint16(3))
+	f.Add(uint8(1), uint8(64), int64(100), uint16(37))
+	f.Add(uint8(13), uint8(5), int64(1), uint16(9))
+	f.Fuzz(func(t *testing.T, nMorsels, gpus uint8, capacity int64, weight uint16) {
+		n := int(nMorsels)
+		morsels := make([]ssb.Morsel, n)
+		for i := range morsels {
+			morsels[i] = ssb.Morsel{Lo: i * ssb.MorselAlign, Hi: (i + 1) * ssb.MorselAlign}
+		}
+		// Morsel weight varies with the index so devices see uneven bytes.
+		bytes := func(m ssb.Morsel) int64 {
+			return int64(m.Lo/ssb.MorselAlign%7+1) * int64(weight)
+		}
+		shards := Assign(morsels, int(gpus), capacity, bytes)
+
+		wantShards := int(gpus)
+		if wantShards < 1 {
+			wantShards = 1
+		}
+		if len(shards) != wantShards {
+			t.Fatalf("%d shards for %d gpus", len(shards), gpus)
+		}
+		seen := make([]bool, n)
+		for d, sh := range shards {
+			if sh.Device != d {
+				t.Fatalf("shard %d labeled %d", d, sh.Device)
+			}
+			var resident, spilled int64
+			spillSet := map[int]bool{}
+			for _, mi := range sh.Spilled {
+				spillSet[mi] = true
+				spilled += bytes(morsels[mi])
+			}
+			var rows int64
+			prev := -1
+			for _, mi := range sh.Morsels {
+				if mi < 0 || mi >= n {
+					t.Fatalf("device %d owns out-of-range morsel %d", d, mi)
+				}
+				if seen[mi] {
+					t.Fatalf("morsel %d assigned twice", mi)
+				}
+				if mi <= prev {
+					t.Fatalf("device %d morsels not ascending", d)
+				}
+				prev = mi
+				seen[mi] = true
+				rows += int64(morsels[mi].Rows())
+				if !spillSet[mi] {
+					resident += bytes(morsels[mi])
+				}
+			}
+			for mi := range spillSet {
+				if !contains(sh.Morsels, mi) {
+					t.Fatalf("device %d spilled morsel %d it does not own", d, mi)
+				}
+			}
+			if capacity >= 0 && resident > capacity {
+				t.Fatalf("device %d resident %d bytes exceeds capacity %d", d, resident, capacity)
+			}
+			if resident != sh.ResidentBytes || spilled != sh.SpillBytes {
+				t.Fatalf("device %d byte accounting drifted: %d/%d vs %d/%d",
+					d, resident, spilled, sh.ResidentBytes, sh.SpillBytes)
+			}
+			if rows != sh.Rows {
+				t.Fatalf("device %d rows drifted", d)
+			}
+			if sh.Resident() != len(sh.Morsels)-len(sh.Spilled) {
+				t.Fatalf("device %d Resident() inconsistent", d)
+			}
+		}
+		for mi, ok := range seen {
+			if !ok {
+				t.Fatalf("morsel %d lost", mi)
+			}
+		}
+	})
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"crystal/internal/device"
+	"crystal/internal/fleet"
 	"crystal/internal/pack"
 	"crystal/internal/queries"
 	"crystal/internal/ssb"
@@ -146,6 +147,111 @@ func TransferCost(totalBytes, residentBytes int64) float64 {
 		residentBytes = totalBytes
 	}
 	return device.TransferTime(totalBytes - residentBytes)
+}
+
+// FleetEstimate is the cost model's price of one query on a multi-GPU
+// fleet: the per-device execution estimates (the makespan is their max),
+// the spilled-shard interconnect traffic, and the cross-device
+// partial-aggregate merge. It is the scheduler's side of the bargain
+// queries.RunFleet executes: both consume the same fleet.Assign shard map,
+// so the model and the engine can never disagree about placement.
+type FleetEstimate struct {
+	// GPUs is the fleet size the estimate prices.
+	GPUs int
+	// Seconds is the fleet estimate: max per-device seconds plus the merge.
+	Seconds float64
+	// DeviceSeconds is each device's estimated time (shard scan and probe
+	// pipeline, overlapped with its spill shipment).
+	DeviceSeconds []float64
+	// SpillBytes is the total referenced-column traffic of shards exceeding
+	// device memory; it is priced per device, overlapped with execution,
+	// inside DeviceSeconds.
+	SpillBytes int64
+	// MergeBytes is the partial-aggregate traffic (16 bytes per estimated
+	// group per active device) and MergeSeconds its interconnect time.
+	MergeBytes   int64
+	MergeSeconds float64
+}
+
+// FleetCost prices one query across a fleet of devices holding the given
+// morsels: range-shard the morsels (fleet.Assign, the same scheduler the
+// executor uses), price each device's shard — zone-pruned morsels charge
+// nothing, spilled morsels additionally cross the interconnect like a
+// coprocessor transfer — and add the partial-aggregate merge, sized by the
+// query's group estimate. packed, when non-nil, prices the run over the
+// bit-packed encoding: shards place (and spill) by their packed storage
+// and the scan term pays ScanCostPacked, exactly as queries.RunFleet
+// executes it — passing the executor's encoding keeps the model and the
+// engine agreeing about placement on packed runs too. The returned
+// estimate follows the same bandwidth model the engines meter, so its
+// scaling shape (near-linear on scan-bound queries, merge-bound on
+// high-cardinality group-bys, interconnect-bound once shards spill)
+// matches queries.RunFleet's simulated seconds.
+func FleetCost(fl fleet.Spec, ds *ssb.Dataset, q queries.Query, morsels []ssb.Morsel, packed *ssb.PackedFact) (FleetEstimate, error) {
+	fl, err := fl.Normalized()
+	if err != nil {
+		return FleetEstimate{}, err
+	}
+	stats := Stats(ds, q)
+	refCols := q.ReferencedFactColumns()
+	var filterCols []string
+	for _, f := range q.FactFilters {
+		filterCols = append(filterCols, f.Col)
+	}
+	// Footprints come from the same shared helpers queries.RunFleet prices
+	// placement with — agreement by shared code, not by parallel copies.
+	shardBytes := func(m ssb.Morsel) int64 { return ssb.MorselStorageBytes(packed, m) }
+	spillCost := func(m ssb.Morsel) int64 {
+		var b int64
+		for _, c := range refCols {
+			b += ssb.MorselColumnBytes(packed, m, c)
+		}
+		return b
+	}
+	shards := fleet.Assign(morsels, fl.GPUs, fl.Device.MemoryBytes, shardBytes)
+
+	est := FleetEstimate{GPUs: fl.GPUs}
+	pruned := queries.PruneMorsels(morsels, q.FactFilters)
+	var makespan float64
+	for _, sh := range shards {
+		if len(sh.Morsels) == 0 {
+			est.DeviceSeconds = append(est.DeviceSeconds, 0)
+			continue
+		}
+		spilled := make(map[int]bool, len(sh.Spilled))
+		for _, mi := range sh.Spilled {
+			spilled[mi] = true
+		}
+		var rows, spillBytes int64
+		for _, mi := range sh.Morsels {
+			if pruned[mi] {
+				continue // host-side zone check: neither scanned nor shipped
+			}
+			rows += int64(morsels[mi].Rows())
+			if spilled[mi] {
+				spillBytes += spillCost(morsels[mi])
+			}
+		}
+		var scan float64
+		if packed != nil {
+			scan = ScanCostPacked(fl.Device, packed, rows, filterCols)
+		} else {
+			scan = ScanCost(fl.Device, rows, len(filterCols))
+		}
+		sec := scan + Cost(fl.Device, rows, stats)
+		est.SpillBytes += spillBytes
+		if t := fl.Link.TransferTime(spillBytes); t > sec {
+			sec = t // spill overlaps execution, coprocessor style
+		}
+		est.DeviceSeconds = append(est.DeviceSeconds, sec)
+		if sec > makespan {
+			makespan = sec
+		}
+		est.MergeBytes += int64(q.GroupEstimate()) * 16
+	}
+	est.MergeSeconds = fl.Link.TransferTime(est.MergeBytes)
+	est.Seconds = makespan + est.MergeSeconds
+	return est, nil
 }
 
 // Plan is one costed join order.

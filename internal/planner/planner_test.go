@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"crystal/internal/device"
+	"crystal/internal/fleet"
 	"crystal/internal/queries"
 	"crystal/internal/ssb"
 )
@@ -239,5 +240,152 @@ func TestPruneEstimateAndPartitionedCost(t *testing.T) {
 	part := ChoosePartitioned(device.V100(), clustered, q11, morsels)[0].Seconds
 	if part >= mono {
 		t.Errorf("pruned plan cost %.9f not below monolithic %.9f", part, mono)
+	}
+}
+
+// TestFleetCostScaling pins the fleet model's shape: more devices price
+// cheaper on a scan-bound query (near-linear until overheads dominate),
+// and the estimate carries per-device entries for the whole fleet.
+func TestFleetCostScaling(t *testing.T) {
+	q, err := queries.ByID("q1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	morsels := ds.Partition(32)
+	prev := 0.0
+	for _, gpus := range []int{1, 2, 4, 8} {
+		est, err := FleetCost(fleet.Spec{GPUs: gpus, Link: fleet.NVLink()}, ds, q, morsels, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(est.DeviceSeconds) != gpus {
+			t.Fatalf("%d GPUs: %d device estimates", gpus, len(est.DeviceSeconds))
+		}
+		if est.Seconds <= 0 {
+			t.Fatalf("%d GPUs: non-positive estimate", gpus)
+		}
+		if prev != 0 && est.Seconds >= prev {
+			t.Errorf("%d GPUs (%.9fs) not cheaper than fewer (%.9fs)", gpus, est.Seconds, prev)
+		}
+		prev = est.Seconds
+	}
+	if _, err := FleetCost(fleet.Spec{GPUs: 0}, ds, q, morsels, nil); err == nil {
+		t.Error("0-GPU fleet accepted")
+	}
+}
+
+// TestFleetCostMergeAndSpill pins the two interconnect terms: the merge
+// grows with group cardinality and prices higher on the slower link, and
+// shards that exceed device memory add spill traffic that degrades (but
+// never corrupts) the estimate.
+func TestFleetCostMergeAndSpill(t *testing.T) {
+	grouped, err := queries.ByID("q2.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := queries.ByID("q1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	morsels := ds.Partition(32)
+
+	nv, err := FleetCost(fleet.Spec{GPUs: 4, Link: fleet.NVLink()}, ds, grouped, morsels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcie, err := FleetCost(fleet.Spec{GPUs: 4, Link: fleet.PCIe()}, ds, grouped, morsels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv.MergeBytes != pcie.MergeBytes {
+		t.Errorf("link changed merge bytes: %d vs %d", nv.MergeBytes, pcie.MergeBytes)
+	}
+	if pcie.MergeSeconds <= nv.MergeSeconds {
+		t.Errorf("PCIe merge (%.12fs) not pricier than NVLink (%.12fs)", pcie.MergeSeconds, nv.MergeSeconds)
+	}
+	scanEst, err := FleetCost(fleet.Spec{GPUs: 4, Link: fleet.NVLink()}, ds, scan, morsels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanEst.MergeBytes >= nv.MergeBytes {
+		t.Errorf("global aggregate merge (%d bytes) should be below the grouped merge (%d)",
+			scanEst.MergeBytes, nv.MergeBytes)
+	}
+
+	// Zero-memory devices spill everything; the estimate degrades but stays
+	// finite and keeps per-device entries.
+	tinyDev := device.V100()
+	tinyDev.MemoryBytes = 0
+	spilled, err := FleetCost(fleet.Spec{GPUs: 4, Device: tinyDev, Link: fleet.PCIe()}, ds, scan, morsels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spilled.SpillBytes == 0 {
+		t.Fatal("zero-memory fleet reported no spill")
+	}
+	fits, err := FleetCost(fleet.Spec{GPUs: 4, Link: fleet.PCIe()}, ds, scan, morsels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fits.SpillBytes != 0 {
+		t.Fatal("32 GB fleet spilled at test scale")
+	}
+	if spilled.Seconds <= fits.Seconds {
+		t.Errorf("spilled estimate (%.9fs) not above resident estimate (%.9fs)", spilled.Seconds, fits.Seconds)
+	}
+}
+
+// TestFleetCostPackedPlacement pins the scheduler/executor agreement on
+// packed runs: with device memory sized between the packed and the plain
+// shard footprint, the plain estimate spills while the packed one places
+// everything resident — matching what queries.RunFleet executes — and the
+// packed scan term follows ScanCostPacked (cheaper on the GPU device).
+func TestFleetCostPackedPlacement(t *testing.T) {
+	q, err := queries.ByID("q1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := ds.Pack()
+	morsels := ds.Partition(16)
+
+	// Plain shard bytes per device at 2 GPUs ~ rows/2 * 36; packed is
+	// smaller by the compression ratio. Pick a capacity in between.
+	plainShard := int64(ds.Lineorder.Rows()) / 2 * 36
+	dev := device.V100()
+	dev.MemoryBytes = plainShard / 2
+	fl := fleet.Spec{GPUs: 2, Device: dev, Link: fleet.PCIe()}
+
+	plain, err := FleetCost(fl, ds, q, morsels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := FleetCost(fl, ds, q, morsels, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.SpillBytes == 0 {
+		t.Fatal("plain estimate should spill at half-shard capacity")
+	}
+	if packed.SpillBytes >= plain.SpillBytes {
+		t.Errorf("packed estimate spills %d bytes, plain %d — packing should shrink or clear the spill",
+			packed.SpillBytes, plain.SpillBytes)
+	}
+
+	// The executor must agree with the model about whether packing spills.
+	fr, err := queries.RunFleet(ds, q, fl, queries.RunOptions{Partitions: 16, Packed: pf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (packed.SpillBytes > 0) != (fr.Result.TransferBytes > 0) {
+		t.Errorf("model and executor disagree about packed spill: estimate %d bytes, engine shipped %d",
+			packed.SpillBytes, fr.Result.TransferBytes)
+	}
+	plainRun, err := queries.RunFleet(ds, q, fl, queries.RunOptions{Partitions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (plain.SpillBytes > 0) != (plainRun.Result.TransferBytes > 0) {
+		t.Errorf("model and executor disagree about plain spill: estimate %d bytes, engine shipped %d",
+			plain.SpillBytes, plainRun.Result.TransferBytes)
 	}
 }

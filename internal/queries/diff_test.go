@@ -1,9 +1,12 @@
 package queries
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"crystal/internal/fleet"
+	"crystal/internal/queries/queriestest"
 	"crystal/internal/ssb"
 )
 
@@ -12,10 +15,17 @@ import (
 // 200 queries x 6 engines stay fast under the race detector on one core.
 var diffDS = ssb.GenerateRows(32_768)
 
+// diffPacked is diffDS's bit-packed fact encoding, shared by the packed
+// fleet arms of the differential harness.
+var diffPacked = diffDS.Pack()
+
 // TestDifferentialEnginesAgree is the cross-engine differential harness:
 // 200 seeded random queries over the SSB schema, every engine checked
 // row-for-row against the map-based reference oracle — the first
 // systematic agreement check beyond the 13 hand-written golden queries.
+// Every query additionally runs on a seeded-random fleet shape ({1,2,4,8}
+// GPUs × {PCIe, NVLink} × {plain, packed}) that must be row-identical to
+// the monolithic single-GPU result.
 func TestDifferentialEnginesAgree(t *testing.T) {
 	const numQueries = 200
 	r := rand.New(rand.NewSource(20260726))
@@ -30,8 +40,12 @@ func TestDifferentialEnginesAgree(t *testing.T) {
 			nonEmpty++
 		}
 		plan := Compile(diffDS, q)
+		var gpuRun *Result
 		for _, e := range Engines() {
 			got := plan.Run(e)
+			if e == EngineGPU {
+				gpuRun = got
+			}
 			if !got.Equal(want) {
 				t.Errorf("%s disagrees with reference on %s (%d vs %d groups)\n%s",
 					e, q.ID, len(got.Groups), len(want.Groups), q.Describe())
@@ -46,6 +60,21 @@ func TestDifferentialEnginesAgree(t *testing.T) {
 		if got := plan.RunPartitioned(EngineCPU, RunOptions{Partitions: parts}); !got.Equal(want) {
 			t.Errorf("partitioned CPU (%d morsels) disagrees with reference on %s", parts, q.ID)
 		}
+		// Fleet execution on a seeded-random shape: row-identical to the
+		// monolithic single-GPU run (and therefore to the oracle).
+		gpus := []int{1, 2, 4, 8}[r.Intn(4)]
+		link := fleet.Interconnects()[r.Intn(2)]
+		opts := RunOptions{Partitions: parts}
+		if r.Intn(2) == 1 {
+			opts.Packed = diffPacked
+		}
+		fr, err := plan.RunFleet(fleet.Spec{GPUs: gpus, Link: link}, opts)
+		if err != nil {
+			t.Fatalf("fleet run failed on %s: %v", q.ID, err)
+		}
+		label := fmt.Sprintf("fleet %dx%s packed=%v on %s", gpus, link.Name, opts.Packed != nil, q.ID)
+		queriestest.SameRows(t, label, fr.Result, gpuRun)
+		queriestest.SameRows(t, label+" (oracle)", fr.Result, want)
 	}
 	// The harness is only load-bearing if the generator produces real work:
 	// most queries must return at least one non-trivial row.

@@ -1,8 +1,6 @@
 package queries
 
 import (
-	"sort"
-
 	"crystal/internal/device"
 	"crystal/internal/pack"
 	"crystal/internal/ssb"
@@ -317,26 +315,7 @@ func (pl *Plan) RunCoprocessor() *Result { return pl.runCoprocessor(pl.morselRun
 func (pl *Plan) runCoprocessor(ms *morselRun) *Result {
 	q := pl.Query
 	res := pl.runGPU(ms)
-	// Distinct referenced fact columns, sorted so a residency cache sees a
-	// deterministic acquisition order.
-	seen := map[string]bool{}
-	var cols []string
-	add := func(c string) {
-		if !seen[c] {
-			seen[c] = true
-			cols = append(cols, c)
-		}
-	}
-	for _, f := range q.FactFilters {
-		add(f.Col)
-	}
-	for _, j := range q.Joins {
-		add(j.FactFK)
-	}
-	for _, c := range q.Agg.Columns() {
-		add(c)
-	}
-	sort.Strings(cols)
+	cols := q.ReferencedFactColumns()
 
 	// Zone maps live on the host, so pruned morsels are never shipped: only
 	// surviving fact rows cross PCIe (plus the replicated dimensions).

@@ -1,0 +1,218 @@
+package queries
+
+import (
+	"crystal/internal/fleet"
+	"crystal/internal/ssb"
+)
+
+// FleetDevice is one device's share of a fleet execution: what it was
+// assigned, what it scanned, and what its slice of the simulated time and
+// interconnect traffic looked like.
+type FleetDevice struct {
+	// Device is the device index in [0, GPUs).
+	Device int `json:"device"`
+	// Morsels is the number of morsels sharded onto the device; Pruned
+	// counts those its zone maps skipped, and Rows the fact rows it
+	// actually scanned.
+	Morsels int   `json:"morsels"`
+	Pruned  int   `json:"pruned"`
+	Rows    int64 `json:"rows"`
+	// Seconds is the device's simulated time: its kernel launch over the
+	// shard (replicated dimension builds included), overlapped with the
+	// interconnect shipment of its spilled morsels, coprocessor style.
+	Seconds float64 `json:"seconds"`
+	// SpillBytes is the interconnect traffic the device's spilled morsels
+	// cost this query (0 when the shard fits in device memory), and
+	// ResidentCols the spilled columns a residency cache served without
+	// shipping anything.
+	SpillBytes   int64 `json:"spill_bytes"`
+	ResidentCols int   `json:"resident_cols"`
+	// Groups is the size of the device's partial aggregate table — the
+	// rows it contributes to the cross-device merge.
+	Groups int `json:"groups"`
+}
+
+// FleetResult is the outcome of one fleet execution: the merged result
+// (row-identical to a single-device run by construction — partial
+// aggregates are integer sums) plus the per-device telemetry and the
+// merge-phase pricing.
+type FleetResult struct {
+	// Result is the merged result. Seconds is the fleet makespan: the
+	// slowest device plus the partial-aggregate merge; TransferBytes is
+	// the total spilled-shard traffic and ResidentCols the spill transfers
+	// residency caches elided.
+	Result *Result
+	// GPUs and Interconnect echo the normalized fleet shape.
+	GPUs         int
+	Interconnect string
+	// Devices has one entry per fleet device, idle devices included.
+	Devices []FleetDevice
+	// MergeBytes is the partial-aggregate traffic that crossed the
+	// interconnect (16 bytes per group per active device) and MergeSeconds
+	// its transfer time — the term that surfaces on high-cardinality
+	// group-bys and vanishes on scan-bound flights.
+	MergeBytes   int64
+	MergeSeconds float64
+}
+
+// RunFleet compiles and executes q across a modeled multi-GPU fleet (a
+// convenience for one-shot callers; serving layers should Compile once and
+// call Plan.RunFleet).
+func RunFleet(ds *ssb.Dataset, q Query, fl fleet.Spec, opts RunOptions) (*FleetResult, error) {
+	return Compile(ds, q).RunFleet(fl, opts)
+}
+
+// RunFleet executes the compiled plan across fl: the fact table's
+// zone-mapped morsels are range-sharded over the fleet's devices
+// (fleet.Assign, spill accounting against each device's MemoryBytes), each
+// device runs the tile-based GPU kernel over its own shard concurrently —
+// one launch per device, every foreign tile skipped, so a device charges
+// exactly its shard's traffic — and the partial aggregates merge on the
+// host across the interconnect.
+//
+// Rows are identical to a single-device run at any shard count: partial
+// aggregates are integer sums, so the merge is exact. Simulated seconds
+// follow the bandwidth model — near-linear scaling on scan-bound queries
+// until the per-device launch and replicated dimension builds dominate,
+// with the merge term growing with group cardinality and shrinking with
+// interconnect bandwidth. Shards that exceed device memory degrade
+// gracefully: the spilled morsels stay host-resident and their referenced
+// columns cross the interconnect, priced like a coprocessor transfer
+// (overlapped with execution, packed runs shipping packed bytes, and
+// opts.FleetResidency able to elide them entirely).
+//
+// opts.Partitions below fl.GPUs is raised to fl.GPUs so every device gets
+// a shard where the morsel count allows one.
+func (p *Plan) RunFleet(fl fleet.Spec, opts RunOptions) (*FleetResult, error) {
+	fl, err := fl.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Partitions < fl.GPUs {
+		opts.Partitions = fl.GPUs
+	}
+	opts.Residency = nil // single-device coprocessor knob; fleet uses FleetResidency
+	ms := p.morselRun(opts)
+	q := p.Query
+	refCols := q.ReferencedFactColumns()
+
+	// A shard's storage footprint is its full fact rows — every column,
+	// because the device must serve any query against its shard — in
+	// whichever encoding this run scans. The footprint function is shared
+	// with planner.FleetCost, so the model can never place shards
+	// differently than this executor does.
+	shardBytes := func(m ssb.Morsel) int64 { return ssb.MorselStorageBytes(ms.packed, m) }
+	shards := fleet.Assign(ms.morsels, fl.GPUs, fl.Device.MemoryBytes, shardBytes)
+
+	out := &FleetResult{GPUs: fl.GPUs, Interconnect: fl.Link.Name}
+	merged := &Result{QueryID: q.ID, Groups: map[int64]int64{}}
+	var makespan float64
+	for d := range shards {
+		sh := &shards[d]
+		fd := FleetDevice{Device: d, Morsels: len(sh.Morsels)}
+		if len(sh.Morsels) == 0 {
+			out.Devices = append(out.Devices, fd) // idle device: no launch, no time
+			continue
+		}
+		spilled := make(map[int]bool, len(sh.Spilled))
+		for _, mi := range sh.Spilled {
+			spilled[mi] = true
+		}
+		// The device's launch skips every tile outside its shard (and its
+		// zone-pruned morsels), so its pass meters exactly the shard's
+		// traffic.
+		prunedD := make([]bool, len(ms.morsels))
+		for i := range prunedD {
+			prunedD[i] = true
+		}
+		var res Residency
+		if ms.packed != nil && d < len(opts.FleetResidency) {
+			res = opts.FleetResidency[d]
+		}
+		// Per referenced column, liveSpill is what this query's cold run
+		// ships (spilled morsels its zone maps did not prune) and fullSpill
+		// the device's whole spilled range — what an admitted residency
+		// miss ships and pins, so that a resident column is always fully
+		// resident regardless of which query populated it (the same rule
+		// the coprocessor's residency cache follows). fullSpill is only
+		// consulted through a residency cache, so cacheless runs skip it.
+		var live []ssb.Morsel
+		liveSpill := map[string]int64{}
+		fullSpill := map[string]int64{}
+		for _, mi := range sh.Morsels {
+			m := ms.morsels[mi]
+			if spilled[mi] && res != nil {
+				for _, c := range refCols {
+					fullSpill[c] += ssb.MorselColumnBytes(ms.packed, m, c)
+				}
+			}
+			if ms.pruned[mi] {
+				fd.Pruned++
+				continue // zone maps are host-side: pruned morsels neither scan nor ship
+			}
+			prunedD[mi] = false
+			live = append(live, m)
+			fd.Rows += int64(m.Rows())
+			if spilled[mi] {
+				for _, c := range refCols {
+					liveSpill[c] += ssb.MorselColumnBytes(ms.packed, m, c)
+				}
+			}
+		}
+		msD := &morselRun{
+			morsels: ms.morsels,
+			pruned:  prunedD,
+			live:    live,
+			scanned: fd.Rows,
+			lim:     ms.lim,
+			packed:  ms.packed,
+		}
+		resD := p.runGPUOn(fl.Device, msD)
+
+		for _, c := range refCols {
+			if res == nil {
+				fd.SpillBytes += liveSpill[c]
+				continue
+			}
+			if fullSpill[c] == 0 {
+				continue
+			}
+			switch hit, admitted := res.Acquire(c, fullSpill[c]); {
+			case hit:
+				fd.ResidentCols++
+			case admitted:
+				fd.SpillBytes += fullSpill[c] // populate the whole spilled range
+			default:
+				fd.SpillBytes += liveSpill[c] // ordinary cold transfer
+			}
+		}
+
+		// Spill shipment overlaps with execution, coprocessor style: the
+		// slower of the two bounds the device.
+		fd.Seconds = resD.Seconds
+		if t := fl.Link.TransferTime(fd.SpillBytes); t > fd.Seconds {
+			fd.Seconds = t
+		}
+		fd.Groups = len(resD.Groups)
+		for k, v := range resD.Groups {
+			merged.Groups[k] += v
+		}
+		out.MergeBytes += int64(len(resD.Groups)) * 16
+		if fd.Seconds > makespan {
+			makespan = fd.Seconds
+		}
+		merged.TransferBytes += fd.SpillBytes
+		merged.ResidentCols += fd.ResidentCols
+		out.Devices = append(out.Devices, fd)
+	}
+	if len(q.GroupPayloads()) == 0 {
+		if _, ok := merged.Groups[0]; !ok {
+			merged.Groups[0] = 0 // a global aggregate always yields one row
+		}
+	}
+	out.MergeSeconds = fl.Link.TransferTime(out.MergeBytes)
+	merged.Seconds = makespan + out.MergeSeconds
+	ms.stamp(merged)
+	out.Result = merged
+	return out, nil
+}

@@ -62,8 +62,16 @@ func blockSkips(ms *morselRun, tileSize int) []bool {
 // time. With nothing pruned the launch is bit-identical to the monolithic
 // one, which is what keeps partitioned simulated seconds exact.
 func (pl *Plan) runGPU(ms *morselRun) *Result {
+	return pl.runGPUOn(device.V100(), ms)
+}
+
+// runGPUOn is runGPU priced on an explicit device spec: the fleet executor
+// runs one launch per fleet device, each covering only that device's shard
+// (every other tile is skipped, so a shard charges exactly its own traffic
+// plus the one launch — the property multi-device scaling hangs on).
+func (pl *Plan) runGPUOn(dev *device.Spec, ms *morselRun) *Result {
 	ds, q, builds := pl.ds, pl.Query, pl.builds
-	clk := device.NewClock(device.V100())
+	clk := device.NewClock(dev)
 	for i := range builds {
 		b := &builds[i]
 		pass := &device.Pass{Label: "gpu build " + b.spec.Dim, BytesRead: b.bytesRead, Kernels: 1}

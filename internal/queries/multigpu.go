@@ -1,58 +1,25 @@
 package queries
 
 import (
-	"fmt"
-
-	"crystal/internal/device"
+	"crystal/internal/fleet"
 	"crystal/internal/ssb"
 )
 
-// RunMultiGPU executes the query on numGPUs V100s — the Section 5.5
-// "Distributed+Hybrid" extension: the fact table is range-sharded across
-// the devices, the (small) dimension hash tables are replicated, each GPU
-// runs the tile-based kernel over its shard in parallel, and the partial
-// aggregates cross PCIe to be merged on the host.
+// RunMultiGPU executes the query on numGPUs V100s hanging off the host's
+// PCIe fabric — the Section 5.5 "Distributed+Hybrid" extension. It is the
+// historical single-call face of the fleet executor: the fact table is
+// range-sharded across the devices as zone-mapped morsels, the (small)
+// dimension hash tables are replicated, each GPU runs the tile-based
+// kernel over its shard in parallel, and the partial aggregates cross the
+// interconnect to be merged on the host.
 //
-// Simulated time = max over shards (devices run concurrently) + the
-// partial-aggregate transfer; dimension builds are replicated and charged
-// on every device. SSB aggregates are tiny, so scaling is near linear in
-// the number of GPUs until the replicated build and launch overheads
-// dominate (see BenchmarkAblation_MultiGPUScaling).
+// Callers who want to pick the interconnect, read per-device telemetry, or
+// combine the fleet with packed scans and residency caches should use
+// Plan.RunFleet directly; this wrapper pins the PCIe default.
 func RunMultiGPU(ds *ssb.Dataset, q Query, numGPUs int) (*Result, error) {
-	if numGPUs < 1 {
-		return nil, fmt.Errorf("queries: need at least 1 GPU, got %d", numGPUs)
+	fr, err := RunFleet(ds, q, fleet.Spec{GPUs: numGPUs, Link: fleet.PCIe()}, RunOptions{})
+	if err != nil {
+		return nil, err
 	}
-	n := ds.Lineorder.Rows()
-	merged := &Result{QueryID: q.ID, Groups: map[int64]int64{}}
-	var slowest float64
-	chunk := (n + numGPUs - 1) / numGPUs
-	shards := 0
-	for g := 0; g < numGPUs; g++ {
-		lo, hi := g*chunk, (g+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		shards++
-		res := RunGPU(ds.SliceFact(lo, hi), q)
-		if res.Seconds > slowest {
-			slowest = res.Seconds
-		}
-		for k, v := range res.Groups {
-			merged.Groups[k] += v
-		}
-	}
-	if len(q.GroupPayloads()) == 0 {
-		// Shards each contribute the global-sum row; collapse is already a
-		// sum. (Present even when empty.)
-		if _, ok := merged.Groups[0]; !ok {
-			merged.Groups[0] = 0
-		}
-	}
-	// Each device ships its partial aggregate table to the host.
-	aggBytes := int64(len(merged.Groups)) * 16 * int64(shards)
-	merged.Seconds = slowest + device.TransferTime(aggBytes)
-	return merged, nil
+	return fr.Result, nil
 }

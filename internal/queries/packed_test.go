@@ -1,8 +1,10 @@
 package queries
 
 import (
+	"fmt"
 	"testing"
 
+	"crystal/internal/queries/queriestest"
 	"crystal/internal/ssb"
 )
 
@@ -20,9 +22,7 @@ func TestPackedRowIdentityCatalog(t *testing.T) {
 		for _, e := range Engines() {
 			plain := plan.Run(e)
 			packed := plan.RunPartitioned(e, RunOptions{Packed: testPacked})
-			if !packed.Equal(plain) {
-				t.Errorf("%s/%s: packed rows differ from plain", e, q.ID)
-			}
+			queriestest.SameRows(t, fmt.Sprintf("%s/%s packed", e, q.ID), packed, plain)
 			if !packed.Packed {
 				t.Errorf("%s/%s: result not marked packed", e, q.ID)
 			}
@@ -45,13 +45,7 @@ func TestPartitionInvariancePacked(t *testing.T) {
 			base := plan.RunPartitioned(e, RunOptions{Packed: testPacked})
 			for _, n := range partitionCounts {
 				res := plan.RunPartitioned(e, RunOptions{Partitions: n, Packed: testPacked})
-				if !res.Equal(base) {
-					t.Errorf("%s/%s: packed rows differ at %d partitions", e, q.ID, n)
-				}
-				if res.Seconds != base.Seconds {
-					t.Errorf("%s/%s: packed seconds differ at %d partitions: %.12f vs %.12f",
-						e, q.ID, n, res.Seconds, base.Seconds)
-				}
+				queriestest.SameRun(t, fmt.Sprintf("%s/%s packed at %d partitions", e, q.ID, n), res, base)
 				if res.Pruned != 0 {
 					t.Errorf("%s/%s: pruned %d morsels on uniform data", e, q.ID, res.Pruned)
 				}

@@ -53,6 +53,17 @@ type RunOptions struct {
 	// transfers of device-resident packed columns. Ignored by the on-device
 	// engines and by plain runs.
 	Residency Residency
+	// FleetResidency, consulted only by RunFleet on packed runs, provides
+	// one device-memory residency cache per fleet device (index = device).
+	// The semantics mirror the coprocessor's Residency: a hit elides the
+	// interconnect shipment of the device's spilled range of the column
+	// entirely, an admitted miss ships (and pins) that whole range — so a
+	// resident column is always fully resident, regardless of which
+	// query's zone maps pruned what — and a refused admission degrades to
+	// the ordinary cold transfer of the query's unpruned spilled morsels.
+	// nil entries (or a short slice) disable caching for the remaining
+	// devices. Ignored by single-device runs.
+	FleetResidency []Residency
 }
 
 // MatchesZone reports whether the filter could match any value in the zone:

@@ -1,9 +1,11 @@
 package queries
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"crystal/internal/queries/queriestest"
 	"crystal/internal/ssb"
 )
 
@@ -25,13 +27,7 @@ func TestPartitionInvarianceCatalog(t *testing.T) {
 			base := plan.Run(e)
 			for _, n := range partitionCounts {
 				res := plan.RunPartitioned(e, RunOptions{Partitions: n})
-				if !res.Equal(base) {
-					t.Errorf("%s/%s: rows differ at %d partitions", e, q.ID, n)
-				}
-				if res.Seconds != base.Seconds {
-					t.Errorf("%s/%s: seconds differ at %d partitions: %.12f vs %.12f",
-						e, q.ID, n, res.Seconds, base.Seconds)
-				}
+				queriestest.SameRun(t, fmt.Sprintf("%s/%s at %d partitions", e, q.ID, n), res, base)
 				if res.Pruned != 0 {
 					t.Errorf("%s/%s: pruned %d morsels on uniform data", e, q.ID, res.Pruned)
 				}
@@ -61,12 +57,7 @@ func TestPartitionInvarianceGenerated(t *testing.T) {
 				if res.Pruned != 0 {
 					t.Fatalf("%s/%s: wide filters should never prune, got %d", e, q.ID, res.Pruned)
 				}
-				if !res.Equal(base) {
-					t.Errorf("%s/%s: rows differ at %d partitions", e, q.ID, n)
-				}
-				if res.Seconds != base.Seconds {
-					t.Errorf("%s/%s: seconds differ at %d partitions", e, q.ID, n)
-				}
+				queriestest.SameRun(t, fmt.Sprintf("%s/%s at %d partitions", e, q.ID, n), res, base)
 			}
 		}
 	}
@@ -86,12 +77,7 @@ func TestZonePruningSkipsMorsels(t *testing.T) {
 		if res.Pruned == 0 {
 			t.Fatalf("%s: no morsels pruned on clustered layout", e)
 		}
-		if !res.Equal(base) {
-			t.Errorf("%s: pruning changed the rows", e)
-		}
-		if res.Seconds >= base.Seconds {
-			t.Errorf("%s: pruning did not get cheaper: %.9f >= %.9f", e, res.Seconds, base.Seconds)
-		}
+		queriestest.Cheaper(t, fmt.Sprintf("%s pruned run", e), res, base)
 	}
 	// The zone-mapped rows that do get scanned cost the same as in the
 	// monolithic run, so pruning most of the table must save most of the

@@ -98,6 +98,37 @@ type Query struct {
 	Agg         AggKind
 }
 
+// ReferencedFactColumns returns the distinct fact columns the query reads
+// (filter columns, probed foreign keys, aggregate inputs), sorted so that
+// transfer pricing and residency caches see a deterministic order. It is
+// the column working set a coprocessor or a fleet spill must move.
+func (q *Query) ReferencedFactColumns() []string {
+	seen := map[string]bool{}
+	var cols []string
+	add := func(c string) {
+		if !seen[c] {
+			seen[c] = true
+			cols = append(cols, c)
+		}
+	}
+	for _, f := range q.FactFilters {
+		add(f.Col)
+	}
+	for _, j := range q.Joins {
+		add(j.FactFK)
+	}
+	for _, c := range q.Agg.Columns() {
+		add(c)
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+// GroupEstimate returns the capped estimate of the number of result groups
+// the engines size their aggregation tables with; schedulers use it to
+// price cross-device partial-aggregate merges.
+func (q *Query) GroupEstimate() int { return aggEstimate(*q) }
+
 // GroupPayloads returns the joins that contribute a group-by key.
 func (q *Query) GroupPayloads() []JoinSpec {
 	var out []JoinSpec

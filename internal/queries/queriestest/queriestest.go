@@ -1,0 +1,62 @@
+// Package queriestest holds the row-identity assertions the invariance
+// harnesses share: partitioned, packed, fleet and served runs all pin the
+// same two properties — identical result rows, and (where the model is
+// exact) identical simulated time — against a reference execution.
+//
+// The helpers accept any result exposing the Rows/Milliseconds surface of
+// *queries.Result rather than the concrete type: package queries' own
+// internal test files import this package, so importing queries from here
+// would cycle.
+package queriestest
+
+import "testing"
+
+// Result is the slice of *queries.Result the assertions need. Rows returns
+// the sorted (group key, aggregate) pairs; Milliseconds the simulated time
+// (comparing it float-for-float is equivalent to comparing seconds).
+type Result interface {
+	Rows() [][2]int64
+	Milliseconds() float64
+}
+
+// SameRows fails the test when the two results do not contain identical
+// rows — the row-identity half of every invariance guarantee.
+func SameRows(t testing.TB, label string, got, want Result) bool {
+	t.Helper()
+	g, w := got.Rows(), want.Rows()
+	if len(g) != len(w) {
+		t.Errorf("%s: result rows differ: %d vs %d groups", label, len(g), len(w))
+		return false
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Errorf("%s: result rows differ at group %d: %v vs %v", label, i, g[i], w[i])
+			return false
+		}
+	}
+	return true
+}
+
+// SameRun asserts full invariance: identical rows AND identical simulated
+// time, float for float — the guarantee exact-traffic-merge executions
+// (partitioned, packed, served) make against their monolithic runs.
+func SameRun(t testing.TB, label string, got, want Result) {
+	t.Helper()
+	SameRows(t, label, got, want)
+	if got.Milliseconds() != want.Milliseconds() {
+		t.Errorf("%s: simulated time differs: %.12f ms vs %.12f ms",
+			label, got.Milliseconds(), want.Milliseconds())
+	}
+}
+
+// Cheaper asserts identical rows with strictly smaller simulated time —
+// what pruning, compression and residency wins must look like: never a row
+// changed, always a cheaper run.
+func Cheaper(t testing.TB, label string, got, want Result) {
+	t.Helper()
+	SameRows(t, label, got, want)
+	if got.Milliseconds() >= want.Milliseconds() {
+		t.Errorf("%s: run not cheaper: %.12f ms >= %.12f ms",
+			label, got.Milliseconds(), want.Milliseconds())
+	}
+}

@@ -1,0 +1,77 @@
+package queriestest
+
+import "testing"
+
+// fakeResult is a minimal Result for exercising the assertion branches.
+type fakeResult struct {
+	rows [][2]int64
+	ms   float64
+}
+
+func (f fakeResult) Rows() [][2]int64      { return f.rows }
+func (f fakeResult) Milliseconds() float64 { return f.ms }
+
+// recorder captures failures instead of failing the real test.
+type recorder struct {
+	testing.TB
+	failed int
+}
+
+func (r *recorder) Helper()                       {}
+func (r *recorder) Errorf(string, ...interface{}) { r.failed++ }
+
+func TestSameRows(t *testing.T) {
+	a := fakeResult{rows: [][2]int64{{1, 10}, {2, 20}}, ms: 1}
+	b := fakeResult{rows: [][2]int64{{1, 10}, {2, 20}}, ms: 2}
+	shorter := fakeResult{rows: [][2]int64{{1, 10}}}
+	differs := fakeResult{rows: [][2]int64{{1, 10}, {2, 99}}}
+
+	r := &recorder{TB: t}
+	if !SameRows(r, "equal", a, b) || r.failed != 0 {
+		t.Error("identical rows reported unequal")
+	}
+	if SameRows(r, "shorter", a, shorter) {
+		t.Error("length mismatch not caught")
+	}
+	if SameRows(r, "differs", a, differs) {
+		t.Error("value mismatch not caught")
+	}
+	if r.failed != 2 {
+		t.Errorf("recorded %d failures, want 2", r.failed)
+	}
+}
+
+func TestSameRun(t *testing.T) {
+	a := fakeResult{rows: [][2]int64{{0, 5}}, ms: 1.5}
+	same := fakeResult{rows: [][2]int64{{0, 5}}, ms: 1.5}
+	slower := fakeResult{rows: [][2]int64{{0, 5}}, ms: 1.5000001}
+
+	r := &recorder{TB: t}
+	SameRun(r, "identical", a, same)
+	if r.failed != 0 {
+		t.Error("identical runs reported different")
+	}
+	SameRun(r, "slower", slower, a)
+	if r.failed != 1 {
+		t.Errorf("time drift not caught: %d failures", r.failed)
+	}
+}
+
+func TestCheaper(t *testing.T) {
+	base := fakeResult{rows: [][2]int64{{0, 5}}, ms: 2}
+	cheap := fakeResult{rows: [][2]int64{{0, 5}}, ms: 1}
+
+	r := &recorder{TB: t}
+	Cheaper(r, "cheaper", cheap, base)
+	if r.failed != 0 {
+		t.Error("cheaper run rejected")
+	}
+	Cheaper(r, "equal", base, base)
+	if r.failed != 1 {
+		t.Error("equal-cost run accepted as cheaper")
+	}
+	Cheaper(r, "slower", base, cheap)
+	if r.failed != 2 {
+		t.Error("slower run accepted as cheaper")
+	}
+}

@@ -135,3 +135,19 @@ type boundResidency struct {
 func (r boundResidency) Acquire(col string, bytes int64) (hit, admitted bool) {
 	return r.cache.acquire(r.gen, col, bytes)
 }
+
+// shapedResidency additionally scopes lookups to one fleet shape: the
+// spilled byte range of a column depends on the shard map (device count
+// and partition count), so a column pinned for one shape must never
+// satisfy another shape's lookup — a hit would elide shipping bytes that
+// were never resident.
+type shapedResidency struct {
+	cache *deviceCache
+	gen   uint64
+	shape string
+}
+
+// Acquire implements queries.Residency.
+func (r shapedResidency) Acquire(col string, bytes int64) (hit, admitted bool) {
+	return r.cache.acquire(r.gen, cacheKey(r.shape, col), bytes)
+}

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"crystal/internal/device"
+	"crystal/internal/fleet"
 	"crystal/internal/planner"
 	"crystal/internal/queries"
 	sqlfe "crystal/internal/sql"
@@ -72,6 +73,16 @@ type Request struct {
 	// coprocessor requests ship compressed bytes over PCIe — skipping the
 	// transfer entirely for columns the device residency cache holds.
 	Packed bool
+	// GPUs routes the request to the modeled multi-GPU fleet: the fact
+	// table's zone-mapped morsels are range-sharded across that many
+	// devices, each runs the tile-based kernel over its own shard, and the
+	// partial aggregates merge over the Interconnect. Rows are identical to
+	// single-device execution at any fleet size. 0 (the default) runs on
+	// one device; fleet requests must name the Standalone GPU engine.
+	GPUs int
+	// Interconnect names the fleet link ("pcie" or "nvlink"; empty means
+	// pcie). Only meaningful when GPUs > 0.
+	Interconnect string
 	// NoCache bypasses the result cache for this request (the plan cache
 	// still applies); used to force fresh execution for benchmarking.
 	NoCache bool
@@ -109,7 +120,15 @@ type Response struct {
 	Packed        bool
 	TransferBytes int64
 	ResidentCols  int
-	Err           error
+	// GPUs and Interconnect echo the normalized fleet shape a fleet
+	// request ran on (0/"" for single-device requests); Devices carries
+	// the per-device execution telemetry and MergeBytes the
+	// partial-aggregate traffic that crossed the interconnect.
+	GPUs         int
+	Interconnect string
+	Devices      []queries.FleetDevice
+	MergeBytes   int64
+	Err          error
 }
 
 // Options configures a Service.
@@ -136,6 +155,16 @@ type Options struct {
 	// memory (device.V100().MemoryBytes); negative disables residency
 	// caching (every packed coprocessor request pays its full transfer).
 	DeviceCacheBytes int64
+	// FleetDeviceMemoryBytes overrides the fleet devices' shard region
+	// (spill experiments; 0 keeps the V100's 32 GB): fleet.Assign bounds
+	// each device's resident shard bytes by it, and the overflow spills to
+	// the host. When set together with an enabled device cache, packed
+	// fleet requests additionally consult one residency cache per fleet
+	// device for their spilled columns; that cache models a separate
+	// pinned-column region sized by DeviceCacheBytes, not part of the
+	// shard region this knob constrains. Residency-dependent responses
+	// bypass the result cache, like the coprocessor's residency path.
+	FleetDeviceMemoryBytes int64
 }
 
 func (o *Options) withDefaults() Options {
@@ -236,6 +265,13 @@ type Service struct {
 	// it through queries.Residency.
 	devCache *deviceCache
 
+	// fleetMu guards fleetCaches, the per-fleet-device residency caches
+	// packed fleet requests consult for spilled columns (grown lazily to
+	// the largest fleet size seen; only populated when
+	// Options.FleetDeviceMemoryBytes constrains device memory).
+	fleetMu     sync.Mutex
+	fleetCaches []*deviceCache
+
 	// morsels bounds intra-query helper parallelism across every in-flight
 	// request (see Options.MorselHelpers).
 	morsels gate
@@ -307,6 +343,35 @@ func (s *Service) SetDataset(version string, ds *ssb.Dataset) {
 	if s.devCache != nil {
 		s.devCache.purge(gen)
 	}
+	s.fleetMu.Lock()
+	for _, c := range s.fleetCaches {
+		c.purge(gen)
+	}
+	s.fleetMu.Unlock()
+}
+
+// fleetResidencies returns one generation-bound residency cache per fleet
+// device, growing the cache list to the requested fleet size. Each cache
+// is bounded by Options.DeviceCacheBytes — the same knob the coprocessor's
+// residency cache uses, here modeling the headroom a device dedicates to
+// pinning spilled packed columns. Entries are scoped to the fleet shape
+// (gpus × effective partitions): different shard maps spill different
+// byte ranges of a column, which must never satisfy each other's lookups.
+func (s *Service) fleetResidencies(gen uint64, gpus, partitions int) []queries.Residency {
+	if partitions < gpus {
+		partitions = gpus // RunFleet raises the morsel count the same way
+	}
+	shape := strconv.Itoa(gpus) + "x" + strconv.Itoa(partitions)
+	s.fleetMu.Lock()
+	for len(s.fleetCaches) < gpus {
+		s.fleetCaches = append(s.fleetCaches, newDeviceCache(s.opts.DeviceCacheBytes, s.generation()))
+	}
+	out := make([]queries.Residency, gpus)
+	for i := range out {
+		out[i] = shapedResidency{cache: s.fleetCaches[i], gen: gen, shape: shape}
+	}
+	s.fleetMu.Unlock()
+	return out
 }
 
 // packedFact returns the packed fact encoding for the generation's dataset,
@@ -495,13 +560,47 @@ func (s *Service) execute(req Request) Response {
 	if req.Partitions < 0 {
 		req.Partitions = 0
 	}
+	if req.GPUs < 0 {
+		req.GPUs = 0
+	}
 	req.Engine = engine
+	var link fleet.Interconnect
+	if req.GPUs > 0 {
+		if engine != queries.EngineGPU {
+			s.recordError()
+			return Response{Request: req, Err: fmt.Errorf(
+				"serve: fleet execution runs the tile-based kernels; engine must be %q, got %q",
+				queries.EngineGPU, engine)}
+		}
+		var err error
+		if link, err = fleet.ParseInterconnect(req.Interconnect); err != nil {
+			s.recordError()
+			return Response{Request: req, Err: err}
+		}
+		req.Interconnect = link.Name // canonicalize for cache keys and stats
+	} else {
+		req.Interconnect = ""
+	}
 	resp := Response{Request: req, Adhoc: req.SQL != "", Packed: req.Packed}
 
 	s.mu.RLock()
 	ds, version, gen := s.ds, s.version, s.gen
 	s.mu.RUnlock()
 	resp.Version = version
+
+	if req.GPUs > 0 {
+		// Key the effective shard shape, not the requested one: RunFleet
+		// raises the morsel count to the fleet size and ssb.Partition
+		// clamps it to the tile count, so requests that execute the same
+		// shard map share result-cache entries and residency pins.
+		if req.Partitions < req.GPUs {
+			req.Partitions = req.GPUs
+		}
+		if eff := ssb.EffectivePartitions(ds.Lineorder.Rows(), req.Partitions); eff > 0 {
+			req.Partitions = eff
+		}
+		resp.Request = req
+	}
 
 	q, canon, err := s.resolve(ds, gen, req)
 	if err != nil {
@@ -519,10 +618,19 @@ func (s *Service) execute(req Request) Response {
 	// their seconds depend on device-cache state (cold vs warm transfer),
 	// so they bypass the result cache entirely rather than replay a stale
 	// transfer time.
-	residency := req.Packed && req.Engine == queries.EngineCoproc && s.devCache != nil
+	// Residency-dependent paths and the result cache: coprocessor
+	// residency responses always bypass it (their seconds differ cold vs
+	// warm). Packed fleet requests with per-device caches enabled may
+	// still *look up* — only responses that touched no residency state
+	// (nothing spilled, nothing resident) are ever stored, and those are
+	// deterministic — but a response with spill traffic or elisions is
+	// never cached.
+	coprocResidency := req.Packed && req.Engine == queries.EngineCoproc && s.devCache != nil
+	fleetResidency := req.GPUs > 0 && req.Packed && s.devCache != nil && s.opts.FleetDeviceMemoryBytes > 0
 	genKey := strconv.FormatUint(gen, 10)
-	resultKey := cacheKey(genKey, canon, string(req.Engine), strconv.Itoa(req.Partitions), packedKey(req.Packed))
-	if !req.NoCache && !residency {
+	resultKey := cacheKey(genKey, canon, string(req.Engine), strconv.Itoa(req.Partitions), packedKey(req.Packed),
+		strconv.Itoa(req.GPUs), req.Interconnect)
+	if !req.NoCache && !coprocResidency {
 		s.cacheMu.Lock()
 		v, ok := s.results.get(resultKey)
 		s.cacheMu.Unlock()
@@ -539,6 +647,10 @@ func (s *Service) execute(req Request) Response {
 			resp.Pruned = cached.Pruned
 			resp.TransferBytes = cached.TransferBytes
 			resp.ResidentCols = cached.ResidentCols
+			resp.GPUs = cached.GPUs
+			resp.Interconnect = cached.Interconnect
+			resp.Devices = append([]queries.FleetDevice(nil), cached.Devices...)
+			resp.MergeBytes = cached.MergeBytes
 			resp.PlanCached = true
 			resp.ResultCached = true
 			resp.Wall = time.Since(start)
@@ -572,11 +684,33 @@ func (s *Service) execute(req Request) Response {
 	}
 	if req.Packed {
 		opts.Packed = s.packedFact(gen, ds)
-		if residency {
+		if fleetResidency {
+			opts.FleetResidency = s.fleetResidencies(gen, req.GPUs, req.Partitions)
+		} else if coprocResidency {
 			opts.Residency = boundResidency{cache: s.devCache, gen: gen}
 		}
 	}
-	resp.Result = entry.plan.RunPartitioned(req.Engine, opts)
+	if req.GPUs > 0 {
+		dev := device.V100()
+		if s.opts.FleetDeviceMemoryBytes > 0 {
+			d := *dev
+			d.MemoryBytes = s.opts.FleetDeviceMemoryBytes
+			dev = &d
+		}
+		fr, err := entry.plan.RunFleet(fleet.Spec{GPUs: req.GPUs, Device: dev, Link: link}, opts)
+		if err != nil {
+			resp.Err = err
+			s.recordError()
+			return resp
+		}
+		resp.Result = fr.Result
+		resp.GPUs = fr.GPUs
+		resp.Interconnect = fr.Interconnect
+		resp.Devices = fr.Devices
+		resp.MergeBytes = fr.MergeBytes
+	} else {
+		resp.Result = entry.plan.RunPartitioned(req.Engine, opts)
+	}
 	resp.Result.QueryID = q.ID
 	resp.SimSeconds = resp.Result.Seconds
 	resp.Morsels = resp.Result.Morsels
@@ -590,11 +724,14 @@ func (s *Service) execute(req Request) Response {
 	// put is benign — the entry is keyed by the old generation, which no
 	// lookup uses anymore.) Residency-dependent responses are never cached;
 	// see the result-cache comment above.
-	if s.generation() == gen && !residency {
+	cacheable := !coprocResidency &&
+		(!fleetResidency || (resp.TransferBytes == 0 && resp.ResidentCols == 0))
+	if s.generation() == gen && cacheable {
 		// The cache keeps its own copy for the same reason the hit path
-		// clones: the caller owns the returned Result.
+		// clones: the caller owns the returned Result (and Devices).
 		cached := resp
 		cached.Result = resp.Result.Clone()
+		cached.Devices = append([]queries.FleetDevice(nil), resp.Devices...)
 		s.cacheMu.Lock()
 		s.results.put(resultKey, &cached)
 		s.cacheMu.Unlock()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"crystal/internal/queries"
+	"crystal/internal/queries/queriestest"
 	"crystal/internal/ssb"
 )
 
@@ -62,13 +63,7 @@ func TestEquivalenceWithSequentialRun(t *testing.T) {
 			t.Fatal(err)
 		}
 		want := queries.Run(ds, q, reqs[i].Engine)
-		if !resp.Result.Equal(want) {
-			t.Errorf("%s on %s: served rows differ from sequential run", q.ID, reqs[i].Engine)
-		}
-		if resp.Result.Seconds != want.Seconds {
-			t.Errorf("%s on %s: served %.9fs simulated, sequential %.9fs",
-				q.ID, reqs[i].Engine, resp.Result.Seconds, want.Seconds)
-		}
+		queriestest.SameRun(t, fmt.Sprintf("%s on %s served", q.ID, reqs[i].Engine), resp.Result, want)
 	}
 	st := s.Stats()
 	if st.Requests != int64(len(reqs)) {
@@ -638,12 +633,7 @@ func TestPartitionedRequests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !part.Result.Equal(mono.Result) {
-		t.Error("partitioned rows differ from monolithic")
-	}
-	if part.SimSeconds != mono.SimSeconds {
-		t.Errorf("partitioned %.9fs != monolithic %.9fs", part.SimSeconds, mono.SimSeconds)
-	}
+	queriestest.SameRun(t, "partitioned vs monolithic", part.Result, mono.Result)
 	if part.Morsels != 2 || part.Pruned != 0 {
 		t.Errorf("morsels/pruned = %d/%d, want 2/0", part.Morsels, part.Pruned)
 	}
@@ -693,15 +683,10 @@ func TestPartitionedPruningServed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !part.Result.Equal(mono.Result) {
-		t.Error("pruned rows differ from monolithic")
-	}
 	if part.Pruned == 0 {
 		t.Fatalf("expected pruning on clustered layout, morsels=%d", part.Morsels)
 	}
-	if part.SimSeconds >= mono.SimSeconds {
-		t.Errorf("pruned run %.9fs not cheaper than %.9fs", part.SimSeconds, mono.SimSeconds)
-	}
+	queriestest.Cheaper(t, "pruned served run", part.Result, mono.Result)
 	if st := s.Stats(); st.PruneRate <= 0 {
 		t.Errorf("prune rate = %.3f, want > 0", st.PruneRate)
 	}

@@ -12,6 +12,17 @@ type engineAccum struct {
 	wallSeconds float64
 }
 
+// fleetDeviceAccum accumulates one fleet device's served traffic.
+type fleetDeviceAccum struct {
+	requests     int64
+	morsels      int64
+	pruned       int64
+	rows         int64
+	spillBytes   int64
+	residentCols int64
+	simSeconds   float64
+}
+
 // statsAccum is the service-internal running tally.
 type statsAccum struct {
 	requests      int64
@@ -29,6 +40,18 @@ type statsAccum struct {
 	resultHits    int64
 	resultMisses  int64
 	engines       map[queries.Engine]*engineAccum
+
+	// Fleet tallies: request-level totals plus the per-device breakdown.
+	// The per-device entries always sum to the totals — the invariant the
+	// regression test pins.
+	fleetRequests     int64
+	fleetMorsels      int64
+	fleetPruned       int64
+	fleetRows         int64
+	fleetSpillBytes   int64
+	fleetResidentCols int64
+	fleetMergeBytes   int64
+	fleetDevices      []fleetDeviceAccum
 }
 
 func (a *statsAccum) record(resp Response) {
@@ -38,15 +61,44 @@ func (a *statsAccum) record(resp Response) {
 	} else {
 		a.named++
 	}
-	if resp.Request.Partitions > 0 {
+	// Fleet requests carry a normalized Partitions >= GPUs; their morsel
+	// and pruning tallies live under the fleet counters below, not here.
+	if resp.Request.Partitions > 0 && resp.GPUs == 0 {
 		a.partitioned++
 		a.morsels += int64(resp.Morsels)
 		a.pruned += int64(resp.Pruned)
 	}
 	if resp.Packed {
 		a.packed++
-		a.transferBytes += resp.TransferBytes
-		a.residentCols += int64(resp.ResidentCols)
+		// Fleet spill traffic and elisions are tallied under the fleet
+		// counters below; adding them here too would double-report the
+		// bytes and mislabel interconnect traffic as coprocessor PCIe.
+		if resp.GPUs == 0 {
+			a.transferBytes += resp.TransferBytes
+			a.residentCols += int64(resp.ResidentCols)
+		}
+	}
+	if resp.GPUs > 0 {
+		a.fleetRequests++
+		a.fleetMergeBytes += resp.MergeBytes
+		for len(a.fleetDevices) < len(resp.Devices) {
+			a.fleetDevices = append(a.fleetDevices, fleetDeviceAccum{})
+		}
+		for _, fd := range resp.Devices {
+			d := &a.fleetDevices[fd.Device]
+			d.requests++
+			d.morsels += int64(fd.Morsels)
+			d.pruned += int64(fd.Pruned)
+			d.rows += fd.Rows
+			d.spillBytes += fd.SpillBytes
+			d.residentCols += int64(fd.ResidentCols)
+			d.simSeconds += fd.Seconds
+			a.fleetMorsels += int64(fd.Morsels)
+			a.fleetPruned += int64(fd.Pruned)
+			a.fleetRows += fd.Rows
+			a.fleetSpillBytes += fd.SpillBytes
+			a.fleetResidentCols += int64(fd.ResidentCols)
+		}
 	}
 	if resp.PlanCached {
 		a.planHits++
@@ -66,6 +118,20 @@ func (a *statsAccum) record(resp Response) {
 	e.requests++
 	e.simSeconds += resp.SimSeconds
 	e.wallSeconds += resp.Wall.Seconds()
+}
+
+// FleetDeviceStats reports one fleet device's served traffic: every fleet
+// request it participated in, what it was assigned and scanned, and its
+// share of the simulated device time and spill traffic.
+type FleetDeviceStats struct {
+	Device       int     `json:"device"`
+	Requests     int64   `json:"requests"`
+	Morsels      int64   `json:"morsels"`
+	Pruned       int64   `json:"pruned"`
+	Rows         int64   `json:"rows"`
+	SpillBytes   int64   `json:"spill_bytes"`
+	ResidentCols int64   `json:"resident_cols"`
+	SimSeconds   float64 `json:"sim_seconds"`
 }
 
 // EngineStats reports one engine's served traffic: how much simulated
@@ -109,6 +175,19 @@ type Stats struct {
 	PackedRequests int64 `json:"packed_requests"`
 	TransferBytes  int64 `json:"transfer_bytes"`
 	ResidentCols   int64 `json:"resident_cols"`
+
+	// Fleet routing: request-level totals plus the per-device breakdown.
+	// The FleetDevices entries sum exactly to the Fleet* totals (pinned by
+	// a regression test) — a device that drifts from its peers shows up
+	// here before it shows up as a latency regression.
+	FleetRequests     int64              `json:"fleet_requests"`
+	FleetMorsels      int64              `json:"fleet_morsels"`
+	FleetPruned       int64              `json:"fleet_pruned"`
+	FleetRows         int64              `json:"fleet_rows"`
+	FleetSpillBytes   int64              `json:"fleet_spill_bytes"`
+	FleetResidentCols int64              `json:"fleet_resident_cols"`
+	FleetMergeBytes   int64              `json:"fleet_merge_bytes"`
+	FleetDevices      []FleetDeviceStats `json:"fleet_devices,omitempty"`
 
 	// Device residency cache: capacity and occupancy of the simulated GPU
 	// memory pinning packed columns, plus its hit/miss/eviction counters.
@@ -155,6 +234,25 @@ func (s *Service) Stats() Stats {
 	out.PackedRequests = s.stats.packed
 	out.TransferBytes = s.stats.transferBytes
 	out.ResidentCols = s.stats.residentCols
+	out.FleetRequests = s.stats.fleetRequests
+	out.FleetMorsels = s.stats.fleetMorsels
+	out.FleetPruned = s.stats.fleetPruned
+	out.FleetRows = s.stats.fleetRows
+	out.FleetSpillBytes = s.stats.fleetSpillBytes
+	out.FleetResidentCols = s.stats.fleetResidentCols
+	out.FleetMergeBytes = s.stats.fleetMergeBytes
+	for d, a := range s.stats.fleetDevices {
+		out.FleetDevices = append(out.FleetDevices, FleetDeviceStats{
+			Device:       d,
+			Requests:     a.requests,
+			Morsels:      a.morsels,
+			Pruned:       a.pruned,
+			Rows:         a.rows,
+			SpillBytes:   a.spillBytes,
+			ResidentCols: a.residentCols,
+			SimSeconds:   a.simSeconds,
+		})
+	}
 	if s.devCache != nil {
 		dc := s.devCache.snapshot()
 		out.DeviceCacheCapBytes = dc.capacity

@@ -77,3 +77,27 @@ func (p *PackedFact) Ratio() float64 {
 	}
 	return float64(p.PlainBytes()) / float64(b)
 }
+
+// MorselColumnBytes returns the storage footprint of one fact column over
+// the morsel's rows: plain 4-byte values when pf is nil, the packed
+// frames' bytes otherwise (morsels cover whole frames, so the ranges are
+// exact).
+func MorselColumnBytes(pf *PackedFact, m Morsel, col string) int64 {
+	if pf != nil {
+		return pf.Col(col).BytesRange(m.Lo, m.Hi)
+	}
+	return int64(m.Rows()) * 4
+}
+
+// MorselStorageBytes returns the morsel's storage footprint across every
+// fact column in the encoding the run scans. It is the byte function fleet
+// shard placement uses; the executor (queries.RunFleet) and the cost model
+// (planner.FleetCost) both price placement through it, which is what keeps
+// them agreeing about which morsels fit a device and which spill.
+func MorselStorageBytes(pf *PackedFact, m Morsel) int64 {
+	var b int64
+	for _, col := range FactColumns() {
+		b += MorselColumnBytes(pf, m, col)
+	}
+	return b
+}

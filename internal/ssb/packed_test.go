@@ -57,3 +57,34 @@ func TestPackClusteredShrinksSortColumn(t *testing.T) {
 		t.Errorf("clustered orderdate packed to %d bytes, uniform %d", clustered, uniform)
 	}
 }
+
+// TestMorselFootprintHelpers pins the shared byte functions fleet shard
+// placement prices with: plain footprints are 4 bytes per row per column,
+// packed footprints are the frames' exact byte ranges, and the storage
+// footprint is the sum over every fact column.
+func TestMorselFootprintHelpers(t *testing.T) {
+	ds := GenerateRows(2 * MorselAlign)
+	pf := ds.Pack()
+	m := Morsel{Lo: 0, Hi: MorselAlign}
+
+	if got := MorselColumnBytes(nil, m, "revenue"); got != int64(MorselAlign)*4 {
+		t.Errorf("plain column bytes = %d, want %d", got, MorselAlign*4)
+	}
+	if got, want := MorselColumnBytes(pf, m, "revenue"), pf.Col("revenue").BytesRange(m.Lo, m.Hi); got != want {
+		t.Errorf("packed column bytes = %d, want %d", got, want)
+	}
+	if got := MorselStorageBytes(nil, m); got != int64(MorselAlign)*int64(len(FactColumns()))*4 {
+		t.Errorf("plain storage bytes = %d", got)
+	}
+	var want int64
+	for _, c := range FactColumns() {
+		want += pf.Col(c).BytesRange(m.Lo, m.Hi)
+	}
+	if got := MorselStorageBytes(pf, m); got != want {
+		t.Errorf("packed storage bytes = %d, want %d", got, want)
+	}
+	full := Morsel{Lo: 0, Hi: ds.Lineorder.Rows()}
+	if got := MorselStorageBytes(pf, full); got != pf.Bytes() {
+		t.Errorf("whole-table packed storage %d != PackedFact.Bytes %d", got, pf.Bytes())
+	}
+}

@@ -73,6 +73,24 @@ func (l *Lineorder) Col(name string) []int32 {
 	panic(fmt.Sprintf("ssb: unknown fact column %q", name))
 }
 
+// EffectivePartitions returns the morsel count Partition(n) actually
+// produces for a fact table of the given rows: at least one, at most one
+// per MorselAlign tile, zero only for an empty table. Layers that key
+// state by shard shape (result caches, residency pins) normalize through
+// it so they can never disagree with the shard map that executes.
+func EffectivePartitions(rows, n int) int {
+	if rows == 0 {
+		return 0
+	}
+	if n < 1 {
+		n = 1
+	}
+	if tiles := (rows + MorselAlign - 1) / MorselAlign; n > tiles {
+		n = tiles
+	}
+	return n
+}
+
 // Partition splits the fact table into at most n morsels with zone maps.
 // Boundaries snap to MorselAlign, so morsels are balanced to within one
 // quantum, cover every row exactly once, and requesting more morsels than
@@ -80,16 +98,11 @@ func (l *Lineorder) Col(name string) []int32 {
 // treated as 1.
 func (ds *Dataset) Partition(n int) []Morsel {
 	rows := ds.Lineorder.Rows()
-	if rows == 0 {
+	n = EffectivePartitions(rows, n)
+	if n == 0 {
 		return nil
 	}
-	if n < 1 {
-		n = 1
-	}
 	tiles := (rows + MorselAlign - 1) / MorselAlign
-	if n > tiles {
-		n = tiles
-	}
 	out := make([]Morsel, 0, n)
 	for i := 0; i < n; i++ {
 		lo := (i * tiles / n) * MorselAlign
