@@ -9,13 +9,14 @@ GO ?= go
 COVER_FLOOR_QUERIES ?= 98.5
 COVER_FLOOR_SSB     ?= 88.0
 COVER_FLOOR_FLEET   ?= 90.0
+COVER_FLOOR_SCHED   ?= 90.0
 
 .PHONY: all build test lint fuzz cover docs bench-smoke bench-baseline bench-check serve ci
 
 # Markdown files the docs gate link-checks, and the packages whose godoc
 # must render (a missing or syntactically broken doc comment fails go doc).
 DOCS_MD   = README.md docs/ARCHITECTURE.md
-DOC_PKGS  = ./internal/pack ./internal/device ./internal/serve ./internal/fleet
+DOC_PKGS  = ./internal/pack ./internal/device ./internal/serve ./internal/fleet ./internal/sched
 
 all: build test
 
@@ -60,7 +61,8 @@ cover:
 	}; \
 	check ./internal/queries $(COVER_FLOOR_QUERIES); \
 	check ./internal/ssb $(COVER_FLOOR_SSB); \
-	check ./internal/fleet $(COVER_FLOOR_FLEET)
+	check ./internal/fleet $(COVER_FLOOR_FLEET); \
+	check ./internal/sched $(COVER_FLOOR_SCHED)
 
 lint:
 	$(GO) vet ./...
@@ -71,11 +73,12 @@ lint:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
-# Fleet benchmark gate: bench-baseline records the q1.x flight's simulated
-# seconds and scaling efficiency at 1/2/4/8 GPUs into BENCH_fleet.json;
-# bench-check fails when the flight regresses by more than 5% on any fleet
-# size (simulated seconds are deterministic, so the tolerance only absorbs
-# intentional model changes).
+# Benchmark gate: bench-baseline records the q1.x flight's simulated
+# seconds and scaling efficiency at 1/2/4/8 GPUs into BENCH_fleet.json and
+# its cpu/gpu/hybrid placement seconds on both interconnects into
+# BENCH_hybrid.json; bench-check fails when the flight regresses by more
+# than 5% on any fleet size or placement (simulated seconds are
+# deterministic, so the tolerance only absorbs intentional model changes).
 bench-baseline:
 	$(GO) run ./cmd/benchgate -write
 

@@ -202,11 +202,11 @@ func BenchmarkAblation_MultiGPUScaling(b *testing.B) {
 	}
 	ratio := 0.0
 	for i := 0; i < b.N; i++ {
-		one, err := queries.RunMultiGPU(ds, q, 1)
+		one, err := queries.Compile(ds, q).RunMultiGPU(1)
 		if err != nil {
 			b.Fatal(err)
 		}
-		four, err := queries.RunMultiGPU(ds, q, 4)
+		four, err := queries.Compile(ds, q).RunMultiGPU(4)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -233,10 +233,10 @@ func BenchmarkFig16_SSB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var sum float64
 		for _, q := range queries.All() {
-			queries.RunHyper(ds, q)
-			queries.RunOmnisci(ds, q)
-			cpuT := queries.RunCPU(ds, q).Seconds
-			gpuT := queries.RunGPU(ds, q).Seconds
+			queries.Compile(ds, q).RunHyper()
+			queries.Compile(ds, q).RunOmnisci()
+			cpuT := queries.Compile(ds, q).RunCPU().Seconds
+			gpuT := queries.Compile(ds, q).RunGPU().Seconds
 			sum += cpuT / gpuT
 		}
 		ratio = sum / 13
@@ -254,8 +254,8 @@ func BenchmarkSec53_Query21(b *testing.B) {
 	}
 	var gpuMS float64
 	for i := 0; i < b.N; i++ {
-		gpuMS = queries.RunGPU(ds, q).Milliseconds()
-		queries.RunCPU(ds, q)
+		gpuMS = queries.Compile(ds, q).RunGPU().Milliseconds()
+		queries.Compile(ds, q).RunCPU()
 	}
 	b.ReportMetric(gpuMS, "simMs")
 	b.ReportMetric(bench.MS(model.Query21(device.V100(), model.SF20())), "modelMsSF20")
@@ -268,7 +268,7 @@ func BenchmarkTable3_Cost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var ratios []float64
 		for _, q := range queries.All() {
-			ratios = append(ratios, queries.RunCPU(ds, q).Seconds/queries.RunGPU(ds, q).Seconds)
+			ratios = append(ratios, queries.Compile(ds, q).RunCPU().Seconds/queries.Compile(ds, q).RunGPU().Seconds)
 		}
 		var sum float64
 		for _, r := range ratios {

@@ -1,15 +1,17 @@
-// Command benchgate is the fleet benchmark-regression gate: it measures
-// the q1.x flight's simulated seconds and scaling efficiency on NVLink
-// fleets of 1/2/4/8 GPUs over a fixed generated dataset, and either writes
-// the result as the checked-in baseline (-write, `make bench-baseline`) or
-// compares against it and fails on regression (-check, `make bench-check`,
-// wired into CI).
+// Command benchgate is the benchmark-regression gate: it measures the
+// q1.x flight's simulated seconds on NVLink fleets of 1/2/4/8 GPUs and on
+// the scheduler's host-resident placements (cpu, gpu, hybrid over both
+// interconnects) against a fixed generated dataset, and either writes the
+// results as the checked-in baselines (-write, `make bench-baseline`) or
+// compares against them and fails on regression (-check, `make
+// bench-check`, wired into CI).
 //
 // Simulated seconds are deterministic — the device model prices integer
 // traffic counts — so the gate is exact up to floating-point platform
 // differences; the 5% tolerance exists to absorb intentional model tweaks,
 // not measurement noise. A >5% simulated-seconds regression on any fleet
-// size fails the check; improvements pass with a reminder to re-baseline.
+// size or any placement fails the check; improvements pass with a reminder
+// to re-baseline.
 package main
 
 import (
@@ -24,14 +26,20 @@ import (
 )
 
 var (
-	flagFile  = flag.String("file", "BENCH_fleet.json", "baseline file")
-	flagRows  = flag.Int("rows", 1<<21, "fact rows of the fixed benchmark dataset")
-	flagWrite = flag.Bool("write", false, "write the baseline")
-	flagCheck = flag.Bool("check", false, "check against the baseline")
+	flagFile       = flag.String("file", "BENCH_fleet.json", "fleet baseline file")
+	flagHybridFile = flag.String("hybrid-file", "BENCH_hybrid.json", "hybrid placement baseline file")
+	flagRows       = flag.Int("rows", 1<<21, "fact rows of the fixed benchmark dataset")
+	flagWrite      = flag.Bool("write", false, "write the baselines")
+	flagCheck      = flag.Bool("check", false, "check against the baselines")
 )
 
 // tolerance is the allowed relative simulated-seconds regression.
 const tolerance = 0.05
+
+// hybridPartitions is the morsel count of the placement measurements: fine
+// enough that the balanced CPU fraction is honored (the crossover regime
+// the planner's model is pinned on), matching TestHybridCrossover.
+const hybridPartitions = 64
 
 // gateEntry is one fleet size's measurement.
 type gateEntry struct {
@@ -43,7 +51,7 @@ type gateEntry struct {
 	Efficiency float64 `json:"efficiency"`
 }
 
-// gateBaseline is the checked-in baseline document.
+// gateBaseline is the checked-in fleet baseline document.
 type gateBaseline struct {
 	Rows         int         `json:"rows"`
 	Interconnect string      `json:"interconnect"`
@@ -51,17 +59,43 @@ type gateBaseline struct {
 	Fleet        []gateEntry `json:"fleet"`
 }
 
-func measure(rows int) (gateBaseline, error) {
-	ds := ssb.GenerateRows(rows)
-	out := gateBaseline{Rows: rows, Interconnect: "nvlink", TolerancePct: tolerance * 100}
+// hybridEntry is one interconnect's placement measurement: the q1.x
+// flight's total simulated seconds on each host-resident placement, all
+// executed through the unified scheduler (a 1-GPU arm, 64 morsels).
+type hybridEntry struct {
+	Interconnect  string  `json:"interconnect"`
+	CPUSeconds    float64 `json:"cpu_seconds"`
+	GPUSeconds    float64 `json:"gpu_seconds"`
+	HybridSeconds float64 `json:"hybrid_seconds"`
+}
+
+// hybridBaseline is the checked-in hybrid placement baseline document.
+type hybridBaseline struct {
+	Rows         int           `json:"rows"`
+	Partitions   int           `json:"partitions"`
+	TolerancePct float64       `json:"tolerance_pct"`
+	Links        []hybridEntry `json:"links"`
+}
+
+// flightPlans compiles the q1.x flight against ds.
+func flightPlans(ds *ssb.Dataset) ([]*queries.Plan, error) {
 	flightIDs := []string{"q1.1", "q1.2", "q1.3"}
 	plans := make([]*queries.Plan, len(flightIDs))
 	for i, id := range flightIDs {
 		q, err := queries.ByID(id)
 		if err != nil {
-			return out, err
+			return nil, err
 		}
 		plans[i] = queries.Compile(ds, q)
+	}
+	return plans, nil
+}
+
+func measureFleet(ds *ssb.Dataset) (gateBaseline, error) {
+	out := gateBaseline{Rows: ds.Lineorder.Rows(), Interconnect: "nvlink", TolerancePct: tolerance * 100}
+	plans, err := flightPlans(ds)
+	if err != nil {
+		return out, err
 	}
 	var base float64
 	for _, gpus := range []int{1, 2, 4, 8} {
@@ -87,6 +121,35 @@ func measure(rows int) (gateBaseline, error) {
 	return out, nil
 }
 
+func measureHybrid(ds *ssb.Dataset) (hybridBaseline, error) {
+	out := hybridBaseline{Rows: ds.Lineorder.Rows(), Partitions: hybridPartitions, TolerancePct: tolerance * 100}
+	plans, err := flightPlans(ds)
+	if err != nil {
+		return out, err
+	}
+	opts := queries.RunOptions{}
+	opts.Partition.Partitions = hybridPartitions
+	for _, link := range fleet.Interconnects() {
+		entry := hybridEntry{Interconnect: link.Name}
+		fl := fleet.Spec{GPUs: 1, Link: link}
+		for _, plan := range plans {
+			// frac 1 = pure CPU, 0 = pure GPU, -1 = the balanced hybrid split.
+			for _, m := range []struct {
+				frac float64
+				out  *float64
+			}{{1, &entry.CPUSeconds}, {0, &entry.GPUSeconds}, {-1, &entry.HybridSeconds}} {
+				hr, err := plan.RunHybrid(fl, m.frac, opts)
+				if err != nil {
+					return out, err
+				}
+				*m.out += hr.Result.Seconds
+			}
+		}
+		out.Links = append(out.Links, entry)
+	}
+	return out, nil
+}
+
 func main() {
 	flag.Parse()
 	if *flagWrite == *flagCheck {
@@ -99,23 +162,37 @@ func main() {
 	}
 }
 
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func run() error {
 	if *flagCheck {
 		return check()
 	}
-	cur, err := measure(*flagRows)
+	ds := ssb.GenerateRows(*flagRows)
+	curFleet, err := measureFleet(ds)
 	if err != nil {
 		return err
 	}
-	data, err := json.MarshalIndent(cur, "", "  ")
+	if err := writeJSON(*flagFile, curFleet); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows, %s):\n", *flagFile, curFleet.Rows, curFleet.Interconnect)
+	printEntries(curFleet.Fleet)
+	curHybrid, err := measureHybrid(ds)
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*flagFile, append(data, '\n'), 0o644); err != nil {
+	if err := writeJSON(*flagHybridFile, curHybrid); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d rows, %s):\n", *flagFile, cur.Rows, cur.Interconnect)
-	printEntries(cur.Fleet)
+	fmt.Printf("wrote %s (%d rows, %d morsels):\n", *flagHybridFile, curHybrid.Rows, curHybrid.Partitions)
+	printHybrid(curHybrid.Links)
 	return nil
 }
 
@@ -128,7 +205,19 @@ func check() error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parsing %s: %w", *flagFile, err)
 	}
-	cur, err := measure(base.Rows)
+	hdata, err := os.ReadFile(*flagHybridFile)
+	if err != nil {
+		return fmt.Errorf("reading hybrid baseline (run `make bench-baseline` first): %w", err)
+	}
+	var hbase hybridBaseline
+	if err := json.Unmarshal(hdata, &hbase); err != nil {
+		return fmt.Errorf("parsing %s: %w", *flagHybridFile, err)
+	}
+	if hbase.Rows != base.Rows {
+		return fmt.Errorf("baseline row counts disagree (%d fleet vs %d hybrid); re-baseline", base.Rows, hbase.Rows)
+	}
+	ds := ssb.GenerateRows(base.Rows)
+	cur, err := measureFleet(ds)
 	if err != nil {
 		return err
 	}
@@ -140,26 +229,47 @@ func check() error {
 	}
 	failed := false
 	improved := false
-	for i, b := range base.Fleet {
-		c := cur.Fleet[i]
-		if c.GPUs != b.GPUs {
-			return fmt.Errorf("fleet entry %d is %d GPUs, baseline has %d; re-baseline", i, c.GPUs, b.GPUs)
-		}
-		rel := (c.FlightSeconds - b.FlightSeconds) / b.FlightSeconds
+	gate := func(label string, got, want float64) {
+		rel := (got - want) / want
 		switch {
 		case rel > tolerance:
-			fmt.Printf("  REGRESSION at %d GPU(s): %.6fs vs baseline %.6fs (+%.1f%%)\n",
-				c.GPUs, c.FlightSeconds, b.FlightSeconds, rel*100)
+			fmt.Printf("  REGRESSION at %s: %.6fs vs baseline %.6fs (+%.1f%%)\n", label, got, want, rel*100)
 			failed = true
 		case rel < -tolerance:
 			improved = true
 		}
 	}
+	for i, b := range base.Fleet {
+		c := cur.Fleet[i]
+		if c.GPUs != b.GPUs {
+			return fmt.Errorf("fleet entry %d is %d GPUs, baseline has %d; re-baseline", i, c.GPUs, b.GPUs)
+		}
+		gate(fmt.Sprintf("%d GPU(s)", c.GPUs), c.FlightSeconds, b.FlightSeconds)
+	}
+	curH, err := measureHybrid(ds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checking against %s (%d rows, %d morsels, %.0f%% tolerance):\n",
+		*flagHybridFile, hbase.Rows, hbase.Partitions, hbase.TolerancePct)
+	printHybrid(curH.Links)
+	if len(curH.Links) != len(hbase.Links) {
+		return fmt.Errorf("interconnect set changed (%d vs %d entries); re-baseline", len(curH.Links), len(hbase.Links))
+	}
+	for i, b := range hbase.Links {
+		c := curH.Links[i]
+		if c.Interconnect != b.Interconnect {
+			return fmt.Errorf("link entry %d is %s, baseline has %s; re-baseline", i, c.Interconnect, b.Interconnect)
+		}
+		gate(c.Interconnect+" cpu placement", c.CPUSeconds, b.CPUSeconds)
+		gate(c.Interconnect+" gpu placement", c.GPUSeconds, b.GPUSeconds)
+		gate(c.Interconnect+" hybrid placement", c.HybridSeconds, b.HybridSeconds)
+	}
 	if failed {
 		return fmt.Errorf("q1.x flight regressed more than %.0f%% — investigate, or re-run `make bench-baseline` for an intentional model change", tolerance*100)
 	}
 	if improved {
-		fmt.Println("improved more than 5% on some fleet size: consider `make bench-baseline` to lock it in")
+		fmt.Println("improved more than 5% on some fleet size or placement: consider `make bench-baseline` to lock it in")
 	}
 	fmt.Println("bench gate passed")
 	return nil
@@ -169,5 +279,12 @@ func printEntries(es []gateEntry) {
 	for _, e := range es {
 		fmt.Printf("  %2d GPU(s): flight %.6fs  %5.2fx speedup  %3.0f%% efficiency\n",
 			e.GPUs, e.FlightSeconds, e.Speedup, e.Efficiency*100)
+	}
+}
+
+func printHybrid(es []hybridEntry) {
+	for _, e := range es {
+		fmt.Printf("  %-6s cpu %.6fs  gpu %.6fs  hybrid %.6fs\n",
+			e.Interconnect, e.CPUSeconds, e.GPUSeconds, e.HybridSeconds)
 	}
 }

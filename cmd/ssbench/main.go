@@ -57,7 +57,9 @@ var (
 	cluster = flag.String("cluster", "", "sort the fact table by this column first (clustered layouts give zone maps pruning power)")
 	packed  = flag.Bool("packed", false, "scan the bit-packed fact encoding (Section 5.5 compressed execution)")
 	gpus    = flag.Int("gpus", 0, "sweep fleet execution from 1 up to N GPUs and report scaling efficiency")
-	link    = flag.String("interconnect", "nvlink", "fleet interconnect for -gpus (pcie or nvlink)")
+	link    = flag.String("interconnect", "nvlink", "fleet interconnect for -gpus and -hybrid (pcie or nvlink)")
+	hybrid  = flag.Bool("hybrid", false, "run hybrid CPU+GPU co-execution on both interconnects and report the planner's placement verdicts")
+	hgpus   = flag.Int("hybrid-gpus", 1, "GPU-arm fleet size for -hybrid")
 )
 
 // packedFact is the shared packed encoding when -packed is set (built once,
@@ -68,7 +70,7 @@ const paperSF = 20
 
 func main() {
 	flag.Parse()
-	if !(*fig3 || *fig16 || *case21 || *cost || *multi || *plans || *gpus > 0 || *sqlStmt != "") {
+	if !(*fig3 || *fig16 || *case21 || *cost || *multi || *plans || *gpus > 0 || *hybrid || *sqlStmt != "") {
 		*all = true
 	}
 	if *gpus > 0 {
@@ -155,6 +157,12 @@ func main() {
 	}
 	if *gpus > 0 {
 		if err := runFleetSweep(ds, *gpus, *link); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *all || *hybrid {
+		if err := runHybrid(ds, *hgpus); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -276,10 +284,7 @@ func runFleetSweep(ds *ssb.Dataset, n int, linkName string) error {
 		plan := queries.Compile(ds, q)
 		var vals []float64
 		for _, k := range counts {
-			fr, err := plan.RunFleet(fleet.Spec{GPUs: k, Link: ic}, queries.RunOptions{
-				Partitions: *parts,
-				Packed:     packedFact,
-			})
+			fr, err := plan.RunFleet(fleet.Spec{GPUs: k, Link: ic}, runOpts())
 			if err != nil {
 				return err
 			}
@@ -305,6 +310,57 @@ func runFleetSweep(ds *ssb.Dataset, n int, linkName string) error {
 	return nil
 }
 
+// runHybrid prints the hybrid CPU+GPU co-execution crossover: every
+// catalog query priced and executed as pure CPU, pure GPU (host-resident —
+// every referenced column ships per query) and the planner-split hybrid,
+// on both interconnects, with planner.ChoosePlacement's verdict per query.
+// On PCIe the shipment drowns the GPU arm and the planner stays on the
+// CPU; on NVLink the hybrid split wins the scan-heavy flights.
+func runHybrid(ds *ssb.Dataset, gpuArms int) error {
+	scaleTo := int64(paperSF) * ssb.LineorderPerSF
+	scale := func(sec float64) float64 {
+		return bench.MS(bench.Scale(sec, int64(ds.Lineorder.Rows()), scaleTo))
+	}
+	for _, ic := range fleet.Interconnects() {
+		bench.Banner(os.Stdout, fmt.Sprintf(
+			"hybrid CPU+GPU co-execution over %s (%d GPU arm(s)), extrapolated to SF 20 (ms)", ic, gpuArms))
+		tb := &bench.Table{Title: "placement times (ms)"}
+		tb.Columns = []string{"cpu", "gpu", "hybrid"}
+		fl := fleet.Spec{GPUs: gpuArms, Link: ic}
+		verdicts := map[planner.Placement]int{}
+		for _, q := range queries.All() {
+			plan := queries.Compile(ds, q)
+			var vals []float64
+			for _, frac := range []float64{1, 0, -1} {
+				hr, err := plan.RunHybrid(fl, frac, runOpts())
+				if err != nil {
+					return err
+				}
+				vals = append(vals, scale(hr.Result.Seconds))
+			}
+			nParts := *parts
+			if nParts < gpuArms+1 {
+				nParts = gpuArms + 1
+			}
+			choice, _, err := planner.ChoosePlacement(fl, ds, q, ds.Partition(nParts), packedFact)
+			if err != nil {
+				return err
+			}
+			verdicts[choice]++
+			tb.AddRow(fmt.Sprintf("%-5s -> %s", q.ID, choice), vals...)
+		}
+		tb.Fprint(os.Stdout)
+		fmt.Printf("planner verdicts: %d cpu, %d gpu, %d hybrid of %d queries\n\n",
+			verdicts[planner.PlaceCPU], verdicts[planner.PlaceGPU], verdicts[planner.PlaceHybrid],
+			len(queries.All()))
+	}
+	fmt.Println("hybrid wins only where the interconnect can feed the GPU arms: the PCIe")
+	fmt.Println("shipment costs more than the CPU's direct scan (the paper's coprocessor")
+	fmt.Println("verdict), while NVLink turns the same split into combined throughput")
+	fmt.Println()
+	return nil
+}
+
 // runMultiGPU prints the Section 5.5 "Distributed+Hybrid" extension: q2.1
 // sharded across 1..8 V100s with replicated dimension tables.
 func runMultiGPU(ds *ssb.Dataset) {
@@ -313,9 +369,10 @@ func runMultiGPU(ds *ssb.Dataset) {
 	if err != nil {
 		panic(err)
 	}
+	plan := queries.Compile(ds, q)
 	base := 0.0
 	for _, k := range []int{1, 2, 4, 8} {
-		res, err := queries.RunMultiGPU(ds, q, k)
+		res, err := plan.RunMultiGPU(k)
 		if err != nil {
 			panic(err)
 		}
@@ -336,7 +393,15 @@ func runMultiGPU(ds *ssb.Dataset) {
 // query so the hash-table builds and the plan's zone-map cache are shared
 // across engines.
 func exec(plan *queries.Plan, e queries.Engine) *queries.Result {
-	return plan.RunPartitioned(e, queries.RunOptions{Partitions: *parts, Packed: packedFact})
+	return plan.RunPartitioned(e, runOpts())
+}
+
+// runOpts carries the -partitions and -packed flags into a run.
+func runOpts() queries.RunOptions {
+	opts := queries.RunOptions{}
+	opts.Partition.Partitions = *parts
+	opts.Partition.Packed = packedFact
+	return opts
 }
 
 // runPackedReport summarizes the -packed encoding: per fact column, the
@@ -371,7 +436,9 @@ func runPackedReport(ds *ssb.Dataset) {
 			dev.Name, bench.MS(plain), bench.MS(pk), verdict)
 	}
 	plan := queries.Compile(ds, q)
-	cold := plan.RunPartitioned(queries.EngineCoproc, queries.RunOptions{Packed: packedFact})
+	coldOpts := queries.RunOptions{}
+	coldOpts.Partition.Packed = packedFact
+	cold := plan.RunPartitioned(queries.EngineCoproc, coldOpts)
 	plain := plan.Run(queries.EngineCoproc)
 	// q1.1 joins no dimensions, so its whole transfer is fact columns the
 	// residency cache can elide; queries with joins keep shipping their
@@ -431,8 +498,9 @@ func runCase21(ds *ssb.Dataset, scale func(*queries.Result) float64) {
 	if err != nil {
 		panic(err)
 	}
-	gpuT := scale(queries.RunGPU(ds, q))
-	cpuT := scale(queries.RunCPU(ds, q))
+	plan := queries.Compile(ds, q)
+	gpuT := scale(plan.RunGPU())
+	cpuT := scale(plan.RunCPU())
 	p := model.SF20()
 	gpuModel := bench.MS(model.Query21(device.V100(), p))
 	cpuModel := bench.MS(model.Query21(device.I76900(), p))
@@ -447,9 +515,8 @@ func runCost(ds *ssb.Dataset) {
 	bench.Banner(os.Stdout, "Section 5.4: cost comparison (Table 3)")
 	var ratios []float64
 	for _, q := range queries.All() {
-		cpuT := queries.RunCPU(ds, q).Seconds
-		gpuT := queries.RunGPU(ds, q).Seconds
-		ratios = append(ratios, cpuT/gpuT)
+		plan := queries.Compile(ds, q)
+		ratios = append(ratios, plan.RunCPU().Seconds/plan.RunGPU().Seconds)
 	}
 	speedup := mean(ratios)
 	c := bench.DefaultCost()

@@ -27,6 +27,15 @@
 // fleet size. -fleetmem constrains each fleet device's memory so shards
 // spill (the graceful-degradation experiment).
 //
+// Both accept &placement=cpu|gpu|hybrid|auto to route through the unified
+// scheduler over host-resident data: "cpu" runs the standalone CPU engine,
+// "gpu" ships every referenced column to the fleet per query, "hybrid"
+// co-executes CPU and GPU arms over a planner-split morsel set, and "auto"
+// lets the planner's bytes-moved model choose (the response reports what
+// it picked). &gpus=N sizes the GPU arm (default 1); leave engine unset.
+// The response carries the resolved placement, the CPU arm's live-row
+// share (cpu_frac) and per-executor telemetry (executors).
+//
 // The service schedules requests across a bounded worker pool and caches
 // SQL bindings, compiled plans and recent results, so repeated queries are
 // served from memory while simulated engine times stay identical to a cold
@@ -168,6 +177,12 @@ type queryResponse struct {
 	Interconnect string                `json:"interconnect,omitempty"`
 	Devices      []queries.FleetDevice `json:"devices,omitempty"`
 	MergeBytes   int64                 `json:"merge_bytes,omitempty"`
+	// Placement is the resolved placement of a &placement= request ("auto"
+	// reports what the planner chose), CPUFrac the live-row share its CPU
+	// arm scanned, and Executors the per-executor telemetry.
+	Placement string                   `json:"placement,omitempty"`
+	CPUFrac   float64                  `json:"cpu_frac,omitempty"`
+	Executors []queries.ExecutorResult `json:"executors,omitempty"`
 }
 
 func handleQuery(svc *serve.Service) http.HandlerFunc {
@@ -248,6 +263,14 @@ func serveRequest(svc *serve.Service, w http.ResponseWriter, r *http.Request, re
 		}
 		req.GPUs = n
 	}
+	if v := r.URL.Query().Get("placement"); v != "" {
+		p, err := serve.ParsePlacement(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		req.Placement = p
+	}
 	if v := r.URL.Query().Get("interconnect"); v != "" {
 		// Validate eagerly, like every other parameter — and refuse the
 		// combination that would otherwise silently run on one device.
@@ -255,8 +278,8 @@ func serveRequest(svc *serve.Service, w http.ResponseWriter, r *http.Request, re
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		if req.GPUs == 0 {
-			httpError(w, http.StatusBadRequest, errors.New("interconnect requires a fleet: pass gpus=N as well"))
+		if req.GPUs == 0 && req.Placement == "" {
+			httpError(w, http.StatusBadRequest, errors.New("interconnect requires a fleet or a placement: pass gpus=N or placement= as well"))
 			return
 		}
 		req.Interconnect = v
@@ -292,6 +315,9 @@ func serveRequest(svc *serve.Service, w http.ResponseWriter, r *http.Request, re
 		Interconnect:  resp.Interconnect,
 		Devices:       resp.Devices,
 		MergeBytes:    resp.MergeBytes,
+		Placement:     resp.Placement,
+		CPUFrac:       resp.CPUFrac,
+		Executors:     resp.Executors,
 	}
 	writeJSON(w, out)
 }
@@ -348,6 +374,14 @@ func handleStats(svc *serve.Service) http.HandlerFunc {
 				fmt.Fprintf(w, "  gpu %-2d      %d requests, %d morsels, %d rows, %.3f sim ms, %.2f MB spilled\n",
 					d.Device, d.Requests, d.Morsels, d.Rows, d.SimSeconds*1e3, float64(d.SpillBytes)/1e6)
 			}
+			fmt.Fprintf(w, "placement:    %d requests (%s), %d morsels (%d pruned), %.2f MB shipped, %.2f MB merged\n",
+				st.HybridRequests, placementTally(st.PlacementRequests),
+				st.HybridMorsels, st.HybridPruned,
+				float64(st.HybridShipBytes)/1e6, float64(st.HybridMergeBytes)/1e6)
+			for _, ex := range st.HybridExecutors {
+				fmt.Fprintf(w, "  %-11s %d requests, %d morsels, %d rows, %.3f sim ms, %.2f MB shipped\n",
+					ex.Label, ex.Requests, ex.Morsels, ex.Rows, ex.SimSeconds*1e3, float64(ex.ShipBytes)/1e6)
+			}
 			if st.DeviceCacheCapBytes > 0 {
 				fmt.Fprintf(w, "device cache: %d columns, %.2f/%.2f GB pinned, %.0f%% hit rate, %d evictions\n\n",
 					st.DeviceCacheCols, float64(st.DeviceCacheUsedBytes)/1e9,
@@ -360,6 +394,21 @@ func handleStats(svc *serve.Service) http.HandlerFunc {
 		}
 		writeJSON(w, st)
 	}
+}
+
+// placementTally renders the per-placement request counts ("auto"
+// requests count under what the planner chose) in a stable order.
+func placementTally(counts map[string]int64) string {
+	if len(counts) == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, p := range []string{serve.PlacementCPU, serve.PlacementGPU, serve.PlacementHybrid} {
+		if n := counts[p]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, p))
+		}
+	}
+	return strings.Join(parts, ", ")
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

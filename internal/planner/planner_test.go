@@ -119,8 +119,8 @@ func TestOptimizePreservesResults(t *testing.T) {
 	if err := opt.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	a := queries.RunGPU(ds, q)
-	b := queries.RunGPU(ds, opt)
+	a := queries.Compile(ds, q).RunGPU()
+	b := queries.Compile(ds, opt).RunGPU()
 	if len(a.Groups) != len(b.Groups) {
 		t.Fatalf("optimized plan changed group count: %d vs %d", len(a.Groups), len(b.Groups))
 	}
@@ -142,8 +142,8 @@ func TestOptimizedPlanNotSlower(t *testing.T) {
 	for _, id := range []string{"q2.1", "q3.1", "q4.1", "q4.3"} {
 		q, _ := queries.ByID(id)
 		opt := Optimize(device.I76900(), ds, q)
-		hand := queries.RunCPU(ds, q).Seconds
-		chosen := queries.RunCPU(ds, opt).Seconds
+		hand := queries.Compile(ds, q).RunCPU().Seconds
+		chosen := queries.Compile(ds, opt).RunCPU().Seconds
 		if chosen > hand*1.02 {
 			t.Errorf("%s: optimizer picked a slower plan: %.6f vs %.6f", id, chosen, hand)
 		}
@@ -372,7 +372,7 @@ func TestFleetCostPackedPlacement(t *testing.T) {
 	}
 
 	// The executor must agree with the model about whether packing spills.
-	fr, err := queries.RunFleet(ds, q, fl, queries.RunOptions{Partitions: 16, Packed: pf})
+	fr, err := queries.Compile(ds, q).RunFleet(fl, queries.RunOptions{Partition: queries.PartitionOptions{Partitions: 16, Packed: pf}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +380,7 @@ func TestFleetCostPackedPlacement(t *testing.T) {
 		t.Errorf("model and executor disagree about packed spill: estimate %d bytes, engine shipped %d",
 			packed.SpillBytes, fr.Result.TransferBytes)
 	}
-	plainRun, err := queries.RunFleet(ds, q, fl, queries.RunOptions{Partitions: 16})
+	plainRun, err := queries.Compile(ds, q).RunFleet(fl, queries.RunOptions{Partition: queries.PartitionOptions{Partitions: 16}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -57,24 +57,35 @@ func TestDifferentialEnginesAgree(t *testing.T) {
 		// Partitioned execution must agree with the oracle too; rotate the
 		// partition count so the harness covers odd and even splits.
 		parts := []int{2, 7, 16, 64}[i%4]
-		if got := plan.RunPartitioned(EngineCPU, RunOptions{Partitions: parts}); !got.Equal(want) {
+		if got := plan.RunPartitioned(EngineCPU, RunOptions{Partition: PartitionOptions{Partitions: parts}}); !got.Equal(want) {
 			t.Errorf("partitioned CPU (%d morsels) disagrees with reference on %s", parts, q.ID)
 		}
 		// Fleet execution on a seeded-random shape: row-identical to the
 		// monolithic single-GPU run (and therefore to the oracle).
 		gpus := []int{1, 2, 4, 8}[r.Intn(4)]
 		link := fleet.Interconnects()[r.Intn(2)]
-		opts := RunOptions{Partitions: parts}
+		opts := RunOptions{Partition: PartitionOptions{Partitions: parts}}
 		if r.Intn(2) == 1 {
-			opts.Packed = diffPacked
+			opts.Partition.Packed = diffPacked
 		}
 		fr, err := plan.RunFleet(fleet.Spec{GPUs: gpus, Link: link}, opts)
 		if err != nil {
 			t.Fatalf("fleet run failed on %s: %v", q.ID, err)
 		}
-		label := fmt.Sprintf("fleet %dx%s packed=%v on %s", gpus, link.Name, opts.Packed != nil, q.ID)
+		label := fmt.Sprintf("fleet %dx%s packed=%v on %s", gpus, link.Name, opts.Partition.Packed != nil, q.ID)
 		queriestest.SameRows(t, label, fr.Result, gpuRun)
 		queriestest.SameRows(t, label+" (oracle)", fr.Result, want)
+		// Hybrid co-execution at a seeded-random CPU fraction (plus the
+		// default balanced split every fourth query): whatever the split,
+		// the merged rows must be identical to the oracle.
+		frac := []float64{-1, 0.25, 0.5, 0.75}[r.Intn(4)]
+		hr, err := plan.RunHybrid(fleet.Spec{GPUs: gpus, Link: link}, frac, opts)
+		if err != nil {
+			t.Fatalf("hybrid run failed on %s: %v", q.ID, err)
+		}
+		hlabel := fmt.Sprintf("hybrid frac=%v %dx%s on %s", frac, gpus, link.Name, q.ID)
+		queriestest.SameRows(t, hlabel, hr.Result, gpuRun)
+		queriestest.SameRows(t, hlabel+" (oracle)", hr.Result, want)
 	}
 	// The harness is only load-bearing if the generator produces real work:
 	// most queries must return at least one non-trivial row.

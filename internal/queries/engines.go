@@ -24,9 +24,13 @@ func Engines() []Engine {
 	return []Engine{EngineHyper, EngineCPU, EngineMonet, EngineOmnisci, EngineGPU, EngineCoproc}
 }
 
-// Run executes query q on the chosen engine, compiling a fresh plan. A
-// serving layer that runs the same query repeatedly should Compile once and
-// call Plan.Run instead.
+// Run executes query q on the chosen engine, compiling a fresh plan.
+//
+// Deprecated: Run is the one compatibility shim kept from the pre-Plan
+// top-level API. Compile once and use the Plan methods (Plan.Run,
+// Plan.RunPartitioned, Plan.RunFleet, Plan.RunHybrid, Plan.RunMultiGPU)
+// instead: they reuse the built hash tables across executions and expose
+// the scheduled run paths.
 func Run(ds *ssb.Dataset, q Query, e Engine) *Result {
 	return Compile(ds, q).Run(e)
 }
@@ -66,14 +70,11 @@ func chargeBuilds(clk *device.Clock, builds []buildInfo) {
 	}
 }
 
-// RunCPU is the paper's "Standalone CPU": a vectorized, pipelined,
-// multi-core implementation equivalent to the Crystal GPU kernels
-// (Section 5.2). One pass over the fact table evaluates filters with SIMD
-// predicates, probes the join hash tables, and aggregates into thread-local
-// tables merged at the end.
-func RunCPU(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunCPU() }
-
-// RunCPU executes the compiled plan on the Standalone CPU engine.
+// RunCPU executes the compiled plan on the paper's "Standalone CPU": a
+// vectorized, pipelined, multi-core implementation equivalent to the
+// Crystal GPU kernels (Section 5.2). One pass over the fact table
+// evaluates filters with SIMD predicates, probes the join hash tables, and
+// aggregates into thread-local tables merged at the end.
 func (p *Plan) RunCPU() *Result { return p.runCPU(p.morselRun(RunOptions{})) }
 
 func (p *Plan) runCPU(ms *morselRun) *Result {
@@ -86,11 +87,9 @@ func (p *Plan) runCPU(ms *morselRun) *Result {
 	return res
 }
 
-// RunHyper is the Hyper stand-in: the same pipelined push-based execution,
-// but with scalar predicate evaluation and tuple-at-a-time hash probes.
-func RunHyper(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunHyper() }
-
-// RunHyper executes the compiled plan on the Hyper stand-in.
+// RunHyper executes the compiled plan on the Hyper stand-in: the same
+// pipelined push-based execution as the Standalone CPU, but with scalar
+// predicate evaluation and tuple-at-a-time hash probes.
 func (p *Plan) RunHyper() *Result { return p.runHyper(p.morselRun(RunOptions{})) }
 
 func (p *Plan) runHyper(ms *morselRun) *Result {
@@ -153,17 +152,14 @@ func cpuProbePass(st *pipeStats, builds []buildInfo, q Query, filterCyc, probeCy
 	return pass
 }
 
-// RunMonet is the MonetDB stand-in: operator-at-a-time execution with full
-// materialization between operators (Section 2.2). Each selection scans its
-// entire column and materializes a candidate list; each join reads the
-// candidate list back, gathers the foreign-key column at random, probes,
-// and materializes again; the aggregate gathers its value columns through
-// the final candidate list. Zone-pruned morsels drop out of every
-// operator's scan, but random gathers still address the full column
-// footprint.
-func RunMonet(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunMonet() }
-
-// RunMonet executes the compiled plan on the MonetDB stand-in.
+// RunMonet executes the compiled plan on the MonetDB stand-in:
+// operator-at-a-time execution with full materialization between operators
+// (Section 2.2). Each selection scans its entire column and materializes a
+// candidate list; each join reads the candidate list back, gathers the
+// foreign-key column at random, probes, and materializes again; the
+// aggregate gathers its value columns through the final candidate list.
+// Zone-pruned morsels drop out of every operator's scan, but random
+// gathers still address the full column footprint.
 func (pl *Plan) RunMonet() *Result { return pl.runMonet(pl.morselRun(RunOptions{})) }
 
 func (pl *Plan) runMonet(ms *morselRun) *Result {
@@ -231,15 +227,13 @@ func (pl *Plan) runMonet(ms *morselRun) *Result {
 	return res
 }
 
-// RunOmnisci is the Omnisci stand-in: the working set lives on the GPU (as
-// in the standalone engine), but each operator runs as its own
-// independent-threads kernel in the Figure 4(a) style — per-operator
-// materialization, a second read for the offset computation, uncoalesced
-// scatter writes, and per-match atomic cursor updates. Section 5.2 measures
-// this style ~16x slower than the tile-based kernels.
-func RunOmnisci(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunOmnisci() }
-
-// RunOmnisci executes the compiled plan on the Omnisci stand-in.
+// RunOmnisci executes the compiled plan on the Omnisci stand-in: the
+// working set lives on the GPU (as in the standalone engine), but each
+// operator runs as its own independent-threads kernel in the Figure 4(a)
+// style — per-operator materialization, a second read for the offset
+// computation, uncoalesced scatter writes, and per-match atomic cursor
+// updates. Section 5.2 measures this style ~16x slower than the tile-based
+// kernels.
 func (pl *Plan) RunOmnisci() *Result { return pl.runOmnisci(pl.morselRun(RunOptions{})) }
 
 func (pl *Plan) runOmnisci(ms *morselRun) *Result {
@@ -298,18 +292,16 @@ func (pl *Plan) runOmnisci(ms *morselRun) *Result {
 	return res
 }
 
-// RunCoprocessor executes the query with the tile-based GPU kernels, but in
-// the coprocessor architecture of Section 3.1: the referenced fact columns
-// must first cross PCIe. With perfect overlap of transfer and execution the
-// runtime is the maximum of the two, and since PCIe bandwidth is far below
-// the GPU's memory bandwidth, the transfer dominates — which is why the
-// coprocessor model cannot beat a decent CPU implementation (Figure 3).
-// Packed runs ship compressed bytes instead of plain ones, and a Residency
-// cache lets repeated queries skip the transfer of device-resident packed
-// columns entirely — the two levers that make the coprocessor competitive.
-func RunCoprocessor(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunCoprocessor() }
-
-// RunCoprocessor executes the compiled plan in the coprocessor architecture.
+// RunCoprocessor executes the compiled plan with the tile-based GPU
+// kernels, but in the coprocessor architecture of Section 3.1: the
+// referenced fact columns must first cross PCIe. With perfect overlap of
+// transfer and execution the runtime is the maximum of the two, and since
+// PCIe bandwidth is far below the GPU's memory bandwidth, the transfer
+// dominates — which is why the coprocessor model cannot beat a decent CPU
+// implementation (Figure 3). Packed runs ship compressed bytes instead of
+// plain ones, and a Residency cache lets repeated queries skip the
+// transfer of device-resident packed columns entirely — the two levers
+// that make the coprocessor competitive.
 func (pl *Plan) RunCoprocessor() *Result { return pl.runCoprocessor(pl.morselRun(RunOptions{})) }
 
 func (pl *Plan) runCoprocessor(ms *morselRun) *Result {

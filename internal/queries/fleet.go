@@ -2,7 +2,6 @@ package queries
 
 import (
 	"crystal/internal/fleet"
-	"crystal/internal/ssb"
 )
 
 // FleetDevice is one device's share of a fleet execution: what it was
@@ -55,20 +54,14 @@ type FleetResult struct {
 	MergeSeconds float64
 }
 
-// RunFleet compiles and executes q across a modeled multi-GPU fleet (a
-// convenience for one-shot callers; serving layers should Compile once and
-// call Plan.RunFleet).
-func RunFleet(ds *ssb.Dataset, q Query, fl fleet.Spec, opts RunOptions) (*FleetResult, error) {
-	return Compile(ds, q).RunFleet(fl, opts)
-}
-
 // RunFleet executes the compiled plan across fl: the fact table's
 // zone-mapped morsels are range-sharded over the fleet's devices
-// (fleet.Assign, spill accounting against each device's MemoryBytes), each
-// device runs the tile-based GPU kernel over its own shard concurrently —
-// one launch per device, every foreign tile skipped, so a device charges
-// exactly its shard's traffic — and the partial aggregates merge on the
-// host across the interconnect.
+// (ScheduleFleet — fleet.Assign with spill accounting against each
+// device's MemoryBytes), each device runs the tile-based GPU kernel over
+// its own shard concurrently — one launch per device, every foreign tile
+// skipped, so a device charges exactly its shard's traffic — and the
+// partial aggregates merge on the host across the interconnect. It is a
+// thin wrapper over RunScheduled.
 //
 // Rows are identical to a single-device run at any shard count: partial
 // aggregates are integer sums, so the merge is exact. Simulated seconds
@@ -79,140 +72,41 @@ func RunFleet(ds *ssb.Dataset, q Query, fl fleet.Spec, opts RunOptions) (*FleetR
 // gracefully: the spilled morsels stay host-resident and their referenced
 // columns cross the interconnect, priced like a coprocessor transfer
 // (overlapped with execution, packed runs shipping packed bytes, and
-// opts.FleetResidency able to elide them entirely).
+// opts.Fleet.Residency able to elide them entirely).
 //
-// opts.Partitions below fl.GPUs is raised to fl.GPUs so every device gets
-// a shard where the morsel count allows one.
+// opts.Partition.Partitions below fl.GPUs is raised to fl.GPUs so every
+// device gets a shard where the morsel count allows one.
 func (p *Plan) RunFleet(fl fleet.Spec, opts RunOptions) (*FleetResult, error) {
 	fl, err := fl.Normalized()
 	if err != nil {
 		return nil, err
 	}
-	if opts.Partitions < fl.GPUs {
-		opts.Partitions = fl.GPUs
+	s, err := p.ScheduleFleet(fl, opts)
+	if err != nil {
+		return nil, err
 	}
-	opts.Residency = nil // single-device coprocessor knob; fleet uses FleetResidency
-	ms := p.morselRun(opts)
-	q := p.Query
-	refCols := q.ReferencedFactColumns()
-
-	// A shard's storage footprint is its full fact rows — every column,
-	// because the device must serve any query against its shard — in
-	// whichever encoding this run scans. The footprint function is shared
-	// with planner.FleetCost, so the model can never place shards
-	// differently than this executor does.
-	shardBytes := func(m ssb.Morsel) int64 { return ssb.MorselStorageBytes(ms.packed, m) }
-	shards := fleet.Assign(ms.morsels, fl.GPUs, fl.Device.MemoryBytes, shardBytes)
-
-	out := &FleetResult{GPUs: fl.GPUs, Interconnect: fl.Link.Name}
-	merged := &Result{QueryID: q.ID, Groups: map[int64]int64{}}
-	var makespan float64
-	for d := range shards {
-		sh := &shards[d]
-		fd := FleetDevice{Device: d, Morsels: len(sh.Morsels)}
-		if len(sh.Morsels) == 0 {
-			out.Devices = append(out.Devices, fd) // idle device: no launch, no time
-			continue
-		}
-		spilled := make(map[int]bool, len(sh.Spilled))
-		for _, mi := range sh.Spilled {
-			spilled[mi] = true
-		}
-		// The device's launch skips every tile outside its shard (and its
-		// zone-pruned morsels), so its pass meters exactly the shard's
-		// traffic.
-		prunedD := make([]bool, len(ms.morsels))
-		for i := range prunedD {
-			prunedD[i] = true
-		}
-		var res Residency
-		if ms.packed != nil && d < len(opts.FleetResidency) {
-			res = opts.FleetResidency[d]
-		}
-		// Per referenced column, liveSpill is what this query's cold run
-		// ships (spilled morsels its zone maps did not prune) and fullSpill
-		// the device's whole spilled range — what an admitted residency
-		// miss ships and pins, so that a resident column is always fully
-		// resident regardless of which query populated it (the same rule
-		// the coprocessor's residency cache follows). fullSpill is only
-		// consulted through a residency cache, so cacheless runs skip it.
-		var live []ssb.Morsel
-		liveSpill := map[string]int64{}
-		fullSpill := map[string]int64{}
-		for _, mi := range sh.Morsels {
-			m := ms.morsels[mi]
-			if spilled[mi] && res != nil {
-				for _, c := range refCols {
-					fullSpill[c] += ssb.MorselColumnBytes(ms.packed, m, c)
-				}
-			}
-			if ms.pruned[mi] {
-				fd.Pruned++
-				continue // zone maps are host-side: pruned morsels neither scan nor ship
-			}
-			prunedD[mi] = false
-			live = append(live, m)
-			fd.Rows += int64(m.Rows())
-			if spilled[mi] {
-				for _, c := range refCols {
-					liveSpill[c] += ssb.MorselColumnBytes(ms.packed, m, c)
-				}
-			}
-		}
-		msD := &morselRun{
-			morsels: ms.morsels,
-			pruned:  prunedD,
-			live:    live,
-			scanned: fd.Rows,
-			lim:     ms.lim,
-			packed:  ms.packed,
-		}
-		resD := p.runGPUOn(fl.Device, msD)
-
-		for _, c := range refCols {
-			if res == nil {
-				fd.SpillBytes += liveSpill[c]
-				continue
-			}
-			if fullSpill[c] == 0 {
-				continue
-			}
-			switch hit, admitted := res.Acquire(c, fullSpill[c]); {
-			case hit:
-				fd.ResidentCols++
-			case admitted:
-				fd.SpillBytes += fullSpill[c] // populate the whole spilled range
-			default:
-				fd.SpillBytes += liveSpill[c] // ordinary cold transfer
-			}
-		}
-
-		// Spill shipment overlaps with execution, coprocessor style: the
-		// slower of the two bounds the device.
-		fd.Seconds = resD.Seconds
-		if t := fl.Link.TransferTime(fd.SpillBytes); t > fd.Seconds {
-			fd.Seconds = t
-		}
-		fd.Groups = len(resD.Groups)
-		for k, v := range resD.Groups {
-			merged.Groups[k] += v
-		}
-		out.MergeBytes += int64(len(resD.Groups)) * 16
-		if fd.Seconds > makespan {
-			makespan = fd.Seconds
-		}
-		merged.TransferBytes += fd.SpillBytes
-		merged.ResidentCols += fd.ResidentCols
-		out.Devices = append(out.Devices, fd)
+	sr, err := p.RunScheduled(s)
+	if err != nil {
+		return nil, err
 	}
-	if len(q.GroupPayloads()) == 0 {
-		if _, ok := merged.Groups[0]; !ok {
-			merged.Groups[0] = 0 // a global aggregate always yields one row
-		}
+	out := &FleetResult{
+		Result:       sr.Result,
+		GPUs:         fl.GPUs,
+		Interconnect: fl.Link.Name,
+		MergeBytes:   sr.MergeBytes,
+		MergeSeconds: sr.MergeSeconds,
 	}
-	out.MergeSeconds = fl.Link.TransferTime(out.MergeBytes)
-	merged.Seconds = makespan + out.MergeSeconds
-	ms.stamp(merged)
-	out.Result = merged
+	for _, er := range sr.Executors {
+		out.Devices = append(out.Devices, FleetDevice{
+			Device:       er.Device,
+			Morsels:      er.Morsels,
+			Pruned:       er.Pruned,
+			Rows:         er.Rows,
+			Seconds:      er.Seconds,
+			SpillBytes:   er.ShipBytes,
+			ResidentCols: er.ResidentCols,
+			Groups:       er.Groups,
+		})
+	}
 	return out, nil
 }

@@ -27,7 +27,7 @@ func TestFleetInvarianceCatalog(t *testing.T) {
 				for _, packed := range []bool{false, true} {
 					opts := RunOptions{}
 					if packed {
-						opts.Packed = testPacked
+						opts.Partition.Packed = testPacked
 					}
 					fr, err := plan.RunFleet(fleet.Spec{GPUs: gpus, Link: link}, opts)
 					if err != nil {
@@ -214,7 +214,7 @@ func TestFleetSpill(t *testing.T) {
 	// spilled, fewer shipped bytes than the fully spilled run.
 	shardBytes := int64(testDS.Lineorder.Rows()) / 2 * 36
 	partial, err := plan.RunFleet(fleet.Spec{GPUs: 2, Device: smallV100(shardBytes / 2), Link: fleet.PCIe()},
-		RunOptions{Partitions: 16})
+		RunOptions{Partition: PartitionOptions{Partitions: 16}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestFleetSpill(t *testing.T) {
 
 	// Packed spill ships compressed bytes: strictly fewer than plain.
 	packedSpill, err := plan.RunFleet(fleet.Spec{GPUs: 2, Device: smallV100(0), Link: fleet.PCIe()},
-		RunOptions{Packed: testPacked})
+		RunOptions{Partition: PartitionOptions{Packed: testPacked}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestFleetSpill(t *testing.T) {
 	// Per-device residency caches elide the shipment; refusing caches
 	// degrade to exactly the cold transfer.
 	warm, err := plan.RunFleet(fleet.Spec{GPUs: 2, Device: smallV100(0), Link: fleet.PCIe()},
-		RunOptions{Packed: testPacked, FleetResidency: []Residency{residentAll{}, residentAll{}}})
+		RunOptions{Partition: PartitionOptions{Packed: testPacked}, Fleet: FleetOptions{Residency: []Residency{residentAll{}, residentAll{}}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestFleetSpill(t *testing.T) {
 		t.Error("warm fleet reported no resident columns")
 	}
 	refused, err := plan.RunFleet(fleet.Spec{GPUs: 2, Device: smallV100(0), Link: fleet.PCIe()},
-		RunOptions{Packed: testPacked, FleetResidency: []Residency{refuseAll{}, refuseAll{}}})
+		RunOptions{Partition: PartitionOptions{Packed: testPacked}, Fleet: FleetOptions{Residency: []Residency{refuseAll{}, refuseAll{}}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,17 +267,17 @@ func TestRunFleetValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunFleet(testDS, q, fleet.Spec{GPUs: 0}, RunOptions{}); err == nil {
+	if _, err := Compile(testDS, q).RunFleet(fleet.Spec{GPUs: 0}, RunOptions{}); err == nil {
 		t.Error("0 GPUs accepted")
 	}
-	if _, err := RunFleet(testDS, q, fleet.Spec{GPUs: fleet.MaxGPUs + 1}, RunOptions{}); err == nil {
+	if _, err := Compile(testDS, q).RunFleet(fleet.Spec{GPUs: fleet.MaxGPUs + 1}, RunOptions{}); err == nil {
 		t.Error("oversized fleet accepted")
 	}
 
 	// A 1-GPU fleet is the partitioned single-device run plus the merge
 	// shipment of its one partial-aggregate table — seconds exactly.
 	plan := Compile(testDS, q)
-	single := plan.RunPartitioned(EngineGPU, RunOptions{Partitions: 1})
+	single := plan.RunPartitioned(EngineGPU, RunOptions{Partition: PartitionOptions{Partitions: 1}})
 	fr, err := plan.RunFleet(fleet.Spec{GPUs: 1, Link: fleet.PCIe()}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -289,11 +289,11 @@ func TestRunFleetValidation(t *testing.T) {
 
 	// More devices than morsels: the extras idle, rows unchanged.
 	tiny := ssb.GenerateRows(3)
-	fr, err = RunFleet(tiny, q, fleet.Spec{GPUs: 8}, RunOptions{})
+	fr, err = Compile(tiny, q).RunFleet(fleet.Spec{GPUs: 8}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	queriestest.SameRows(t, "over-sharded fleet", fr.Result, RunGPU(tiny, q))
+	queriestest.SameRows(t, "over-sharded fleet", fr.Result, Compile(tiny, q).RunGPU())
 	idle := 0
 	for _, fd := range fr.Devices {
 		if fd.Morsels == 0 {
@@ -322,7 +322,7 @@ func TestFleetZonePruning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pruned, err := plan.RunFleet(fleet.Spec{GPUs: 4, Link: fleet.NVLink()}, RunOptions{Partitions: 64})
+	pruned, err := plan.RunFleet(fleet.Spec{GPUs: 4, Link: fleet.NVLink()}, RunOptions{Partition: PartitionOptions{Partitions: 64}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,7 +6,6 @@ import (
 	"crystal/internal/crystal"
 	"crystal/internal/device"
 	"crystal/internal/sim"
-	"crystal/internal/ssb"
 )
 
 // gpuConfig is the tile configuration the SSB evaluation uses (Section 5.2:
@@ -17,15 +16,13 @@ func gpuConfig(elems int) sim.Config {
 	return sim.Config{Threads: 256, ItemsPerThread: 8, Elems: elems}
 }
 
-// RunGPU is the paper's "Standalone GPU": the full query compiled into a
-// single tile-based Crystal kernel (Section 5.2). Each thread block loads a
-// tile of the fact table, evaluates the selections with BlockPred, probes
-// the join hash tables in a pipeline with BlockLookup, and updates the
-// global aggregate — the fact columns are read from global memory exactly
-// once, selectively, and nothing is materialized in between.
-func RunGPU(ds *ssb.Dataset, q Query) *Result { return Compile(ds, q).RunGPU() }
-
-// RunGPU executes the compiled plan with the tile-based Crystal kernels.
+// RunGPU executes the compiled plan on the paper's "Standalone GPU": the
+// full query compiled into a single tile-based Crystal kernel
+// (Section 5.2). Each thread block loads a tile of the fact table,
+// evaluates the selections with BlockPred, probes the join hash tables in
+// a pipeline with BlockLookup, and updates the global aggregate — the fact
+// columns are read from global memory exactly once, selectively, and
+// nothing is materialized in between.
 func (pl *Plan) RunGPU() *Result { return pl.runGPU(pl.morselRun(RunOptions{})) }
 
 // blockSkips maps thread blocks to pruned morsels: skips[id] is true when

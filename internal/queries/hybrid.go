@@ -1,0 +1,136 @@
+package queries
+
+import (
+	"crystal/internal/device"
+	"crystal/internal/fleet"
+	"crystal/internal/sched"
+	"crystal/internal/ssb"
+)
+
+// HybridResult is the outcome of one hybrid CPU+GPU co-execution: the
+// merged result (row-identical to a monolithic run at any split — partial
+// aggregates are integer sums) plus the per-executor telemetry and the
+// merge-phase pricing.
+type HybridResult struct {
+	// Result is the merged result. Seconds is the schedule makespan (the
+	// slowest arm plus the partial-aggregate merge); TransferBytes is the
+	// GPU arm's interconnect shipment.
+	Result *Result
+	// GPUs and Interconnect echo the normalized fleet shape of the GPU
+	// arm; CPUFrac is the live-row fraction the schedule routed to the
+	// host CPU engine.
+	GPUs         int
+	Interconnect string
+	CPUFrac      float64
+	// Executors has one entry per arm: the CPU engine first, then one per
+	// fleet device, idle arms included.
+	Executors []ExecutorResult
+	// MergeBytes is the partial-aggregate traffic the GPU arms sent across
+	// the interconnect (the CPU arm merges host-side for free) and
+	// MergeSeconds its transfer time.
+	MergeBytes   int64
+	MergeSeconds float64
+}
+
+// ScheduleHybrid splits the morsels between the host CPU engine and the
+// GPU fleet — the schedule behind RunHybrid. The division is zone-map
+// aware (sched.SplitHybrid): pruned morsels stay with the CPU arm, and
+// the CPU arm additionally takes frac of the live rows, with the rest
+// range-sharded over the fleet's devices. A negative frac asks for the
+// default division, balanced by resident scan throughput
+// (sched.CPUFraction). The returned fraction is the resolved one.
+//
+// Hybrid placement models the coprocessor world: the data is
+// host-resident, so every GPU-routed morsel's referenced columns cross
+// the interconnect (overlapped with execution) while the CPU arm scans
+// host memory for free. That shipment is exactly what makes hybrid lose
+// on PCIe and win on NVLink — planner.HybridCost prices it from this same
+// split, so the model and the executor can never disagree about shape.
+//
+// Partitions below fl.GPUs+1 are raised to fl.GPUs+1 so every arm can get
+// morsels where the count allows.
+func (p *Plan) ScheduleHybrid(fl fleet.Spec, frac float64, opts RunOptions) (sched.Schedule, float64, error) {
+	fl, err := fl.Normalized()
+	if err != nil {
+		return sched.Schedule{}, 0, err
+	}
+	if frac < 0 {
+		frac = sched.CPUFraction(device.I76900(), fl.Device, fl.GPUs)
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	if opts.Partition.Partitions < fl.GPUs+1 {
+		opts.Partition.Partitions = fl.GPUs + 1
+	}
+	opts.Partition.Residency = nil // single-device coprocessor knob
+	ms := p.morselRun(opts)
+	split := sched.SplitHybrid(ms.morsels, ms.pruned, frac)
+
+	s := sched.Schedule{Link: fl.Link, Morsels: len(ms.morsels), Packed: ms.packed != nil}
+	s.Assignments = append(s.Assignments, sched.Assignment{
+		Executor: engineExecutor{p: p, ms: ms, e: EngineCPU},
+		Morsels:  split.CPU,
+		// Host arm: no spill, and its partial merges for free.
+	})
+
+	// The GPU arm range-shards its sub-list with the same scheduler the
+	// fleet uses, capacity 0: data is host-resident, so every owned morsel
+	// is spilled and its referenced columns cross the link per query.
+	gpuMorsels := make([]ssb.Morsel, len(split.GPU))
+	for i, mi := range split.GPU {
+		gpuMorsels[i] = ms.morsels[mi]
+	}
+	shardBytes := func(m ssb.Morsel) int64 { return ssb.MorselStorageBytes(ms.packed, m) }
+	shards := fleet.Assign(gpuMorsels, fl.GPUs, 0, shardBytes)
+	for d := range shards {
+		owned := make([]int, len(shards[d].Morsels))
+		for i, li := range shards[d].Morsels {
+			owned[i] = split.GPU[li]
+		}
+		var res Residency
+		if ms.packed != nil && d < len(opts.Fleet.Residency) {
+			res = opts.Fleet.Residency[d]
+		}
+		s.Assignments = append(s.Assignments, sched.Assignment{
+			Executor: &gpuDeviceExecutor{p: p, ms: ms, dev: fl.Device, link: fl.Link, idx: d, res: res},
+			Morsels:  owned,
+			Spilled:  owned,
+			Merge:    true,
+		})
+	}
+	return s, frac, nil
+}
+
+// RunHybrid executes the compiled plan as a hybrid CPU+GPU co-execution
+// over fl: the host CPU engine and the GPU fleet scan disjoint morsel
+// sets concurrently (ScheduleHybrid decides the split; frac < 0 means the
+// throughput-balanced default) and the partial aggregates merge host-side
+// exactly as fleet merges do. It is a thin wrapper over RunScheduled.
+//
+// frac pins the live-row fraction of the CPU arm: 0 is the pure-GPU
+// host-resident placement (every morsel ships over the link), 1 the
+// pure-CPU placement. Rows are identical to a monolithic run at any frac.
+func (p *Plan) RunHybrid(fl fleet.Spec, frac float64, opts RunOptions) (*HybridResult, error) {
+	fl, err := fl.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	s, frac, err := p.ScheduleHybrid(fl, frac, opts)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := p.RunScheduled(s)
+	if err != nil {
+		return nil, err
+	}
+	return &HybridResult{
+		Result:       sr.Result,
+		GPUs:         fl.GPUs,
+		Interconnect: fl.Link.Name,
+		CPUFrac:      frac,
+		Executors:    sr.Executors,
+		MergeBytes:   sr.MergeBytes,
+		MergeSeconds: sr.MergeSeconds,
+	}, nil
+}

@@ -26,7 +26,7 @@ func TestEnginesOnPersistedDataset(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want := RunGPU(ds, q)
+		want := Compile(ds, q).RunGPU()
 		for _, e := range Engines() {
 			got := Run(loaded, q, e)
 			if !got.Equal(want) {
@@ -70,7 +70,7 @@ func TestDeterministicTiming(t *testing.T) {
 // end to end: the sum over all groups must equal the ungrouped total.
 func TestAggregateSumsMatchBruteForce(t *testing.T) {
 	q, _ := ByID("q4.1")
-	res := RunGPU(testDS, q)
+	res := Compile(testDS, q).RunGPU()
 	var total int64
 	for _, v := range res.Groups {
 		total += v

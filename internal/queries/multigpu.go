@@ -2,13 +2,12 @@ package queries
 
 import (
 	"crystal/internal/fleet"
-	"crystal/internal/ssb"
 )
 
-// RunMultiGPU executes the query on numGPUs V100s hanging off the host's
-// PCIe fabric — the Section 5.5 "Distributed+Hybrid" extension. It is the
-// historical single-call face of the fleet executor: the fact table is
-// range-sharded across the devices as zone-mapped morsels, the (small)
+// RunMultiGPU executes the compiled plan on numGPUs V100s hanging off the
+// host's PCIe fabric — the Section 5.5 "Distributed+Hybrid" extension. It
+// is the historical single-call face of the fleet executor: the fact table
+// is range-sharded across the devices as zone-mapped morsels, the (small)
 // dimension hash tables are replicated, each GPU runs the tile-based
 // kernel over its shard in parallel, and the partial aggregates cross the
 // interconnect to be merged on the host.
@@ -16,8 +15,8 @@ import (
 // Callers who want to pick the interconnect, read per-device telemetry, or
 // combine the fleet with packed scans and residency caches should use
 // Plan.RunFleet directly; this wrapper pins the PCIe default.
-func RunMultiGPU(ds *ssb.Dataset, q Query, numGPUs int) (*Result, error) {
-	fr, err := RunFleet(ds, q, fleet.Spec{GPUs: numGPUs, Link: fleet.PCIe()}, RunOptions{})
+func (p *Plan) RunMultiGPU(numGPUs int) (*Result, error) {
+	fr, err := p.RunFleet(fleet.Spec{GPUs: numGPUs, Link: fleet.PCIe()}, RunOptions{})
 	if err != nil {
 		return nil, err
 	}

@@ -8,9 +8,9 @@ import (
 
 func TestMultiGPUMatchesSingleGPU(t *testing.T) {
 	for _, q := range All() {
-		single := RunGPU(testDS, q)
+		single := Compile(testDS, q).RunGPU()
 		for _, k := range []int{1, 2, 4, 7} {
-			multi, err := RunMultiGPU(testDS, q, k)
+			multi, err := Compile(testDS, q).RunMultiGPU(k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -28,7 +28,7 @@ func TestMultiGPUScalesDown(t *testing.T) {
 	q, _ := ByID("q2.1")
 	prev := 0.0
 	for _, k := range []int{1, 2, 4, 8} {
-		res, err := RunMultiGPU(testDS, q, k)
+		res, err := Compile(testDS, q).RunMultiGPU(k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -38,8 +38,8 @@ func TestMultiGPUScalesDown(t *testing.T) {
 		prev = res.Seconds
 	}
 	// 4 GPUs should beat 1 clearly on a fact-bound query.
-	one, _ := RunMultiGPU(testDS, q, 1)
-	four, _ := RunMultiGPU(testDS, q, 4)
+	one, _ := Compile(testDS, q).RunMultiGPU(1)
+	four, _ := Compile(testDS, q).RunMultiGPU(4)
 	if four.Seconds >= one.Seconds {
 		t.Errorf("4 GPUs (%.6f) should beat 1 (%.6f)", four.Seconds, one.Seconds)
 	}
@@ -47,16 +47,16 @@ func TestMultiGPUScalesDown(t *testing.T) {
 
 func TestMultiGPUValidation(t *testing.T) {
 	q, _ := ByID("q1.1")
-	if _, err := RunMultiGPU(testDS, q, 0); err == nil {
+	if _, err := Compile(testDS, q).RunMultiGPU(0); err == nil {
 		t.Error("0 GPUs accepted")
 	}
 	// More GPUs than rows still works (extra shards are empty).
 	tiny := ssb.GenerateRows(3)
-	res, err := RunMultiGPU(tiny, q, 8)
+	res, err := Compile(tiny, q).RunMultiGPU(8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Equal(RunGPU(tiny, q)) {
+	if !res.Equal(Compile(tiny, q).RunGPU()) {
 		t.Error("over-sharded result differs")
 	}
 }

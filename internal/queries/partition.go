@@ -30,8 +30,10 @@ type Residency interface {
 	Acquire(col string, bytes int64) (hit, admitted bool)
 }
 
-// RunOptions configures one partitioned execution of a compiled plan.
-type RunOptions struct {
+// PartitionOptions configures the zone-mapped morsel scan every placement
+// runs on. The zero value means default: a monolithic single-scan run of
+// the plain columns with unbounded helpers.
+type PartitionOptions struct {
 	// Partitions is the number of morsels the fact table is split into.
 	// Values below 1 run the monolithic single-scan path with no zone maps
 	// (byte-for-byte the unpartitioned execution). 1 and above partition
@@ -51,19 +53,35 @@ type RunOptions struct {
 	Packed *ssb.PackedFact
 	// Residency, set together with Packed, lets the coprocessor skip PCIe
 	// transfers of device-resident packed columns. Ignored by the on-device
-	// engines and by plain runs.
+	// engines, by plain runs, and by multi-executor schedules (which use
+	// FleetOptions.Residency instead).
 	Residency Residency
-	// FleetResidency, consulted only by RunFleet on packed runs, provides
-	// one device-memory residency cache per fleet device (index = device).
-	// The semantics mirror the coprocessor's Residency: a hit elides the
-	// interconnect shipment of the device's spilled range of the column
-	// entirely, an admitted miss ships (and pins) that whole range — so a
-	// resident column is always fully resident, regardless of which
-	// query's zone maps pruned what — and a refused admission degrades to
-	// the ordinary cold transfer of the query's unpruned spilled morsels.
-	// nil entries (or a short slice) disable caching for the remaining
-	// devices. Ignored by single-device runs.
-	FleetResidency []Residency
+}
+
+// FleetOptions configures the multi-device placements (fleet and hybrid
+// schedules). The zero value means default: no per-device residency
+// caching.
+type FleetOptions struct {
+	// Residency, consulted on packed runs, provides one device-memory
+	// residency cache per fleet device (index = device). The semantics
+	// mirror the coprocessor's Residency: a hit elides the interconnect
+	// shipment of the device's spilled range of the column entirely, an
+	// admitted miss ships (and pins) that whole range — so a resident
+	// column is always fully resident, regardless of which query's zone
+	// maps pruned what — and a refused admission degrades to the ordinary
+	// cold transfer of the query's unpruned spilled morsels. nil entries
+	// (or a short slice) disable caching for the remaining devices.
+	// Ignored by single-device runs.
+	Residency []Residency
+}
+
+// RunOptions configures one execution of a compiled plan. The options are
+// grouped by the layer that consumes them — Partition for the morsel scan
+// every placement shares, Fleet for the multi-device placements — and the
+// zero value of every group means default.
+type RunOptions struct {
+	Partition PartitionOptions
+	Fleet     FleetOptions
 }
 
 // MatchesZone reports whether the filter could match any value in the zone:
@@ -157,29 +175,30 @@ func (ms *morselRun) stamp(res *Result) {
 // path fetches the plan's cached morsels and applies zone-map pruning to
 // the query's fact filters.
 func (p *Plan) morselRun(opts RunOptions) *morselRun {
-	if opts.Packed != nil && opts.Packed.Rows() != p.ds.Lineorder.Rows() {
+	po := opts.Partition
+	if po.Packed != nil && po.Packed.Rows() != p.ds.Lineorder.Rows() {
 		panic(fmt.Sprintf("queries: packed encoding built for %d fact rows, dataset has %d",
-			opts.Packed.Rows(), p.ds.Lineorder.Rows()))
+			po.Packed.Rows(), p.ds.Lineorder.Rows()))
 	}
-	if opts.Partitions < 1 {
+	if po.Partitions < 1 {
 		all := []ssb.Morsel{{Lo: 0, Hi: p.ds.Lineorder.Rows()}}
 		return &morselRun{
 			morsels:   all,
 			pruned:    []bool{false},
 			live:      all,
 			scanned:   int64(p.ds.Lineorder.Rows()),
-			lim:       opts.Limiter,
-			packed:    opts.Packed,
-			residency: opts.Residency,
+			lim:       po.Limiter,
+			packed:    po.Packed,
+			residency: po.Residency,
 		}
 	}
-	morsels := p.Morsels(opts.Partitions)
+	morsels := p.Morsels(po.Partitions)
 	ms := &morselRun{
 		morsels:   morsels,
 		pruned:    PruneMorsels(morsels, p.Query.FactFilters),
-		lim:       opts.Limiter,
-		packed:    opts.Packed,
-		residency: opts.Residency,
+		lim:       po.Limiter,
+		packed:    po.Packed,
+		residency: po.Residency,
 	}
 	ms.live = make([]ssb.Morsel, 0, len(morsels))
 	for i, m := range morsels {
@@ -193,33 +212,17 @@ func (p *Plan) morselRun(opts RunOptions) *morselRun {
 }
 
 // RunPartitioned executes the compiled plan on the chosen engine with the
-// fact table split into opts.Partitions zone-mapped morsels. Rows are
-// always identical to Run; simulated seconds are identical too whenever no
-// morsel is pruned (morsel boundaries are tile-aligned, so the per-morsel
-// traffic statistics sum exactly to the monolithic pass's), and strictly
-// cheaper when zone maps skip morsels.
+// fact table split into opts.Partition.Partitions zone-mapped morsels — a
+// thin wrapper over RunScheduled with a single-executor schedule
+// (ScheduleEngine). Rows are always identical to Run; simulated seconds
+// are identical too whenever no morsel is pruned (morsel boundaries are
+// tile-aligned, so the per-morsel traffic statistics sum exactly to the
+// monolithic pass's), and strictly cheaper when zone maps skip morsels.
 func (p *Plan) RunPartitioned(e Engine, opts RunOptions) *Result {
-	ms := p.morselRun(opts)
-	switch e {
-	case EngineGPU:
-		return p.runGPU(ms)
-	case EngineCPU:
-		return p.runCPU(ms)
-	case EngineHyper:
-		return p.runHyper(ms)
-	case EngineMonet:
-		return p.runMonet(ms)
-	case EngineOmnisci:
-		return p.runOmnisci(ms)
-	case EngineCoproc:
-		return p.runCoprocessor(ms)
+	sr, err := p.RunScheduled(p.ScheduleEngine(e, opts))
+	if err != nil {
+		// Unreachable: ScheduleEngine covers every morsel exactly once.
+		panic("queries: invalid engine schedule: " + err.Error())
 	}
-	panic("queries: unknown engine " + string(e))
-}
-
-// RunParts compiles and executes q on the chosen engine with the fact table
-// split into the given number of morsels (a convenience for one-shot
-// callers; serving layers should Compile once and call Plan.RunPartitioned).
-func RunParts(ds *ssb.Dataset, q Query, e Engine, partitions int) *Result {
-	return Compile(ds, q).RunPartitioned(e, RunOptions{Partitions: partitions})
+	return sr.Result
 }

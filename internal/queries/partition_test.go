@@ -26,7 +26,7 @@ func TestPartitionInvarianceCatalog(t *testing.T) {
 		for _, e := range Engines() {
 			base := plan.Run(e)
 			for _, n := range partitionCounts {
-				res := plan.RunPartitioned(e, RunOptions{Partitions: n})
+				res := plan.RunPartitioned(e, RunOptions{Partition: PartitionOptions{Partitions: n}})
 				queriestest.SameRun(t, fmt.Sprintf("%s/%s at %d partitions", e, q.ID, n), res, base)
 				if res.Pruned != 0 {
 					t.Errorf("%s/%s: pruned %d morsels on uniform data", e, q.ID, res.Pruned)
@@ -53,7 +53,7 @@ func TestPartitionInvarianceGenerated(t *testing.T) {
 		for _, e := range []Engine{EngineCPU, EngineGPU, EngineMonet} {
 			base := plan.Run(e)
 			for _, n := range partitionCounts {
-				res := plan.RunPartitioned(e, RunOptions{Partitions: n})
+				res := plan.RunPartitioned(e, RunOptions{Partition: PartitionOptions{Partitions: n}})
 				if res.Pruned != 0 {
 					t.Fatalf("%s/%s: wide filters should never prune, got %d", e, q.ID, res.Pruned)
 				}
@@ -73,7 +73,7 @@ func TestZonePruningSkipsMorsels(t *testing.T) {
 	plan := Compile(clustered, q)
 	for _, e := range Engines() {
 		base := plan.Run(e)
-		res := plan.RunPartitioned(e, RunOptions{Partitions: 64})
+		res := plan.RunPartitioned(e, RunOptions{Partition: PartitionOptions{Partitions: 64}})
 		if res.Pruned == 0 {
 			t.Fatalf("%s: no morsels pruned on clustered layout", e)
 		}
@@ -82,7 +82,7 @@ func TestZonePruningSkipsMorsels(t *testing.T) {
 	// The zone-mapped rows that do get scanned cost the same as in the
 	// monolithic run, so pruning most of the table must save most of the
 	// scan: the 1993 flight keeps ~1/7 of a clustered table.
-	res := plan.RunPartitioned(EngineGPU, RunOptions{Partitions: 64})
+	res := plan.RunPartitioned(EngineGPU, RunOptions{Partition: PartitionOptions{Partitions: 64}})
 	if frac := float64(res.Pruned) / float64(res.Morsels); frac < 0.5 {
 		t.Errorf("expected most morsels pruned, got %d/%d", res.Pruned, res.Morsels)
 	}
@@ -134,14 +134,15 @@ func TestPruneMorselsConservative(t *testing.T) {
 	}
 }
 
-// TestRunPartsConvenience checks the one-shot helper and that the morsel
-// cache on a plan returns a consistent partitioning.
-func TestRunPartsConvenience(t *testing.T) {
+// TestRunPartitionedMatchesShim checks the Plan dispatch against the one
+// compatibility shim (Run) and that the morsel cache on a plan returns a
+// consistent partitioning.
+func TestRunPartitionedMatchesShim(t *testing.T) {
 	q, _ := ByID("q2.1")
-	a := RunParts(testDS, q, EngineCPU, 7)
+	a := Compile(testDS, q).RunPartitioned(EngineCPU, RunOptions{Partition: PartitionOptions{Partitions: 7}})
 	b := Run(testDS, q, EngineCPU)
 	if !a.Equal(b) || a.Seconds != b.Seconds {
-		t.Error("RunParts disagrees with Run")
+		t.Error("partitioned Plan dispatch disagrees with the Run shim")
 	}
 	plan := Compile(testDS, q)
 	m1 := plan.Morsels(7)
@@ -189,9 +190,9 @@ func TestEngineWrappersMatchDispatch(t *testing.T) {
 	small := ssb.GenerateRows(4096)
 	q, _ := ByID("q2.1")
 	for e, res := range map[Engine]*Result{
-		EngineHyper:   RunHyper(small, q),
-		EngineMonet:   RunMonet(small, q),
-		EngineOmnisci: RunOmnisci(small, q),
+		EngineHyper:   Compile(small, q).RunHyper(),
+		EngineMonet:   Compile(small, q).RunMonet(),
+		EngineOmnisci: Compile(small, q).RunOmnisci(),
 	} {
 		want := Run(small, q, e)
 		if !res.Equal(want) || res.Seconds != want.Seconds {
@@ -202,7 +203,7 @@ func TestEngineWrappersMatchDispatch(t *testing.T) {
 	if plan.Dataset() != small {
 		t.Error("Dataset accessor lost the dataset")
 	}
-	res := plan.RunPartitioned(EngineCPU, RunOptions{Partitions: 2})
+	res := plan.RunPartitioned(EngineCPU, RunOptions{Partition: PartitionOptions{Partitions: 2}})
 	cl := res.Clone()
 	if cl.Morsels != res.Morsels || cl.Pruned != res.Pruned || cl.Seconds != res.Seconds {
 		t.Error("Clone dropped execution metadata")

@@ -139,8 +139,8 @@ func TestResultRowsSortedAndEqual(t *testing.T) {
 
 func TestGPUFasterThanCPUOnEveryQuery(t *testing.T) {
 	for _, q := range All() {
-		gpu := RunGPU(testDS, q)
-		cpu := RunCPU(testDS, q)
+		gpu := Compile(testDS, q).RunGPU()
+		cpu := Compile(testDS, q).RunCPU()
 		if gpu.Seconds >= cpu.Seconds {
 			t.Errorf("%s: GPU (%.6f) not faster than CPU (%.6f)", q.ID, gpu.Seconds, cpu.Seconds)
 		}
@@ -182,7 +182,7 @@ func TestCoprocessorBoundByPCIe(t *testing.T) {
 	// Section 3.1: the coprocessor runtime is lower bounded by shipping the
 	// referenced columns over PCIe.
 	q, _ := ByID("q1.1")
-	res := RunCoprocessor(testDS, q)
+	res := Compile(testDS, q).RunCoprocessor()
 	// q1.1 references 4 fact columns.
 	minTransfer := float64(4*4*testDS.Lineorder.Rows()) / 12.8e9
 	if res.Seconds < minTransfer {

@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"crystal/internal/queries"
+	"crystal/internal/queries/queriestest"
+)
+
+// TestPlacementRequests covers the placement routing basics: a placement
+// request is row-identical to the classic GPU request, echoes its resolved
+// placement and per-executor telemetry, and caches under its own placement
+// key — distinct placements (and the classic dispatch) never collide.
+func TestPlacementRequests(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	classic, err := s.Do(ctx, Request{QueryID: "q2.1", Engine: queries.EngineGPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := s.Do(ctx, Request{QueryID: "q2.1", Placement: "hybrid", Interconnect: "nvlink"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queriestest.SameRows(t, "hybrid placement vs classic GPU", hybrid.Result, classic.Result)
+	if hybrid.Placement != PlacementHybrid {
+		t.Errorf("placement echo = %q, want hybrid", hybrid.Placement)
+	}
+	if hybrid.GPUs != 1 || hybrid.Interconnect != "nvlink" {
+		t.Errorf("GPU arm shape = %d/%q, want the 1-GPU nvlink default", hybrid.GPUs, hybrid.Interconnect)
+	}
+	if len(hybrid.Executors) < 2 {
+		t.Fatalf("%d executors, want the CPU arm plus at least one GPU arm", len(hybrid.Executors))
+	}
+	if hybrid.CPUFrac <= 0 || hybrid.CPUFrac >= 1 {
+		t.Errorf("resolved CPU fraction %v not a genuine split", hybrid.CPUFrac)
+	}
+	if hybrid.ResultCached {
+		t.Error("first placement request served from cache")
+	}
+
+	// Identical request: a result-cache hit with the telemetry intact.
+	again, err := s.Do(ctx, Request{QueryID: "q2.1", Placement: "hybrid", Interconnect: "nvlink"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.ResultCached {
+		t.Error("repeated placement request missed the result cache")
+	}
+	if again.Placement != hybrid.Placement || again.CPUFrac != hybrid.CPUFrac ||
+		len(again.Executors) != len(hybrid.Executors) || again.MergeBytes != hybrid.MergeBytes {
+		t.Error("cached placement replay lost its telemetry")
+	}
+	queriestest.SameRun(t, "cached placement replay", again.Result, hybrid.Result)
+
+	// A different placement on the same query is a different physical
+	// execution: plan shared, result recomputed.
+	cpu, err := s.Do(ctx, Request{QueryID: "q2.1", Placement: "cpu", Interconnect: "nvlink"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cpu.PlanCached || cpu.ResultCached {
+		t.Errorf("cpu placement: PlanCached=%v ResultCached=%v, want plan hit + result miss",
+			cpu.PlanCached, cpu.ResultCached)
+	}
+	if cpu.Placement != PlacementCPU {
+		t.Errorf("cpu placement echo = %q", cpu.Placement)
+	}
+	queriestest.SameRows(t, "cpu placement rows", cpu.Result, classic.Result)
+
+	// The pure-GPU placement ships every referenced column: unlike the
+	// device-resident classic dispatch, its transfer traffic is positive.
+	gpu, err := s.Do(ctx, Request{QueryID: "q2.1", Placement: "gpu", Interconnect: "nvlink"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu.ResultCached {
+		t.Error("gpu placement hit another placement's entry")
+	}
+	if gpu.TransferBytes <= 0 {
+		t.Error("host-resident gpu placement shipped nothing")
+	}
+	queriestest.SameRows(t, "gpu placement rows", gpu.Result, classic.Result)
+}
+
+// TestPlacementRequestErrors pins the request validation: unknown
+// placements, engines other than the Standalone GPU, and unknown
+// interconnects are rejected and counted.
+func TestPlacementRequestErrors(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 1})
+	defer s.Close()
+	ctx := context.Background()
+
+	if _, err := s.Do(ctx, Request{QueryID: "q1.1", Placement: "tpu"}); err == nil {
+		t.Error("unknown placement accepted")
+	}
+	if _, err := s.Do(ctx, Request{QueryID: "q1.1", Placement: "hybrid", Engine: queries.EngineCPU}); err == nil {
+		t.Error("placement request with a non-GPU engine accepted")
+	}
+	if _, err := s.Do(ctx, Request{QueryID: "q1.1", Placement: "hybrid", Interconnect: "infiniband"}); err == nil {
+		t.Error("unknown interconnect accepted on a placement request")
+	}
+	// The Standalone GPU engine is the one explicit engine placement
+	// routing accepts — it is the engine the GPU arms run.
+	resp, err := s.Do(ctx, Request{QueryID: "q1.1", Placement: "hybrid", Engine: queries.EngineGPU})
+	if err != nil {
+		t.Fatalf("explicit GPU engine rejected: %v", err)
+	}
+	if resp.Placement != PlacementHybrid {
+		t.Errorf("placement echo = %q", resp.Placement)
+	}
+	if st := s.Stats(); st.Errors != 3 {
+		t.Errorf("stats recorded %d errors, want 3", st.Errors)
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	for in, want := range map[string]string{
+		"auto": PlacementAuto, "cpu": PlacementCPU, "gpu": PlacementGPU,
+		"hybrid": PlacementHybrid, " Hybrid ": PlacementHybrid, "AUTO": PlacementAuto,
+	} {
+		got, err := ParsePlacement(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePlacement(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := ParsePlacement("fpga"); err == nil || !strings.Contains(err.Error(), "hybrid") {
+		t.Errorf("ParsePlacement(fpga) error %v should name the valid placements", err)
+	}
+}
+
+// TestAutoPlacementResolved: an "auto" request reports the placement the
+// planner chose (never the literal "auto"), and the choice is
+// deterministic per generation — which is what lets auto responses cache.
+func TestAutoPlacementResolved(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	first, err := s.Do(ctx, Request{QueryID: "q1.1", Placement: "auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch first.Placement {
+	case PlacementCPU, PlacementGPU, PlacementHybrid:
+	default:
+		t.Fatalf("auto resolved to %q, want a concrete placement", first.Placement)
+	}
+	again, err := s.Do(ctx, Request{QueryID: "q1.1", Placement: "auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.ResultCached {
+		t.Error("repeated auto request missed the result cache")
+	}
+	if again.Placement != first.Placement {
+		t.Errorf("auto replay resolved %q, first run resolved %q", again.Placement, first.Placement)
+	}
+	// The stats tally counts auto traffic under what the planner chose.
+	if st := s.Stats(); st.PlacementRequests[first.Placement] != 2 || st.PlacementRequests[PlacementAuto] != 0 {
+		t.Errorf("placement tally = %v, want 2 under %q and none under auto",
+			st.PlacementRequests, first.Placement)
+	}
+}
+
+// TestPlacementConcurrentSubmissions floods one Service with mixed
+// Placement values from many client goroutines (run under -race in CI):
+// every response must be row-identical to the sequential reference,
+// whatever placement produced it.
+func TestPlacementConcurrentSubmissions(t *testing.T) {
+	ds := testData()
+	s := New(ds, "v1", Options{Workers: 4, MorselHelpers: 2})
+	defer s.Close()
+
+	ids := []string{"q1.1", "q2.1", "q3.2"}
+	refs := map[string]*queries.Result{}
+	for _, id := range ids {
+		q := mustQuery(t, id)
+		refs[id] = queries.Reference(ds, q)
+	}
+	placements := []string{"auto", "cpu", "gpu", "hybrid"}
+	links := []string{"pcie", "nvlink"}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				req := Request{
+					QueryID:      ids[(c+i)%len(ids)],
+					Placement:    placements[(c+3*i)%len(placements)],
+					GPUs:         1 + (c+i)%2,
+					Interconnect: links[(c+i)%len(links)],
+					Packed:       i%3 == 0,
+					NoCache:      i%2 == 0,
+				}
+				resp, err := s.Do(context.Background(), req)
+				if err != nil {
+					errs <- fmt.Errorf("client %d: %v", c, err)
+					return
+				}
+				if !resp.Result.Equal(refs[req.QueryID]) {
+					errs <- fmt.Errorf("client %d: %s placed %s diverged from reference", c, req.QueryID, req.Placement)
+					return
+				}
+				if resp.Placement == "" || resp.Placement == PlacementAuto {
+					errs <- fmt.Errorf("client %d: unresolved placement %q", c, resp.Placement)
+					return
+				}
+				if len(resp.Executors) == 0 {
+					errs <- fmt.Errorf("client %d: placement response carried no executors", c)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := s.Stats()
+	if want := int64(clients * 12); st.HybridRequests != want {
+		t.Errorf("placement requests = %d, want %d", st.HybridRequests, want)
+	}
+	var resolved int64
+	for _, n := range st.PlacementRequests {
+		resolved += n
+	}
+	if resolved != st.HybridRequests {
+		t.Errorf("placement tallies sum to %d, %d requests routed", resolved, st.HybridRequests)
+	}
+}
+
+// TestHybridStatsSumToTotals is the regression gate for the per-executor
+// breakdown: across a mix of placements (including a cache hit), the
+// per-executor /stats counters must sum exactly to the hybrid totals, the
+// totals must match what the responses reported, and none of it may leak
+// into the fleet counters.
+func TestHybridStatsSumToTotals(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	var wantRequests, wantMorsels, wantRows, wantShip, wantMerge int64
+	for _, req := range []Request{
+		{QueryID: "q1.1", Placement: "hybrid"},
+		{QueryID: "q1.1", Placement: "hybrid", GPUs: 2, Interconnect: "nvlink"},
+		{QueryID: "q2.1", Placement: "cpu"},
+		{QueryID: "q2.1", Placement: "gpu", Interconnect: "nvlink"},
+		{QueryID: "q2.1", Placement: "auto"},
+		{QueryID: "q1.1", Placement: "hybrid"}, // cache hit: still counted
+	} {
+		resp, err := s.Do(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRequests++
+		wantMerge += resp.MergeBytes
+		for _, er := range resp.Executors {
+			wantMorsels += int64(er.Morsels)
+			wantRows += er.Rows
+			wantShip += er.ShipBytes
+		}
+	}
+
+	st := s.Stats()
+	if st.HybridRequests != wantRequests {
+		t.Errorf("hybrid requests = %d, want %d", st.HybridRequests, wantRequests)
+	}
+	if st.HybridMorsels != wantMorsels || st.HybridRows != wantRows {
+		t.Errorf("hybrid totals = %d morsels / %d rows, responses say %d / %d",
+			st.HybridMorsels, st.HybridRows, wantMorsels, wantRows)
+	}
+	if st.HybridShipBytes != wantShip || st.HybridMergeBytes != wantMerge {
+		t.Errorf("hybrid traffic = %d ship / %d merge, responses say %d / %d",
+			st.HybridShipBytes, st.HybridMergeBytes, wantShip, wantMerge)
+	}
+	var exMorsels, exPruned, exRows, exShip, exResident int64
+	var exSeconds float64
+	for _, ex := range st.HybridExecutors {
+		exMorsels += ex.Morsels
+		exPruned += ex.Pruned
+		exRows += ex.Rows
+		exShip += ex.ShipBytes
+		exResident += ex.ResidentCols
+		exSeconds += ex.SimSeconds
+	}
+	if exMorsels != st.HybridMorsels {
+		t.Errorf("per-executor morsels sum to %d, total says %d", exMorsels, st.HybridMorsels)
+	}
+	if exPruned != st.HybridPruned {
+		t.Errorf("per-executor pruned sum to %d, total says %d", exPruned, st.HybridPruned)
+	}
+	if exRows != st.HybridRows {
+		t.Errorf("per-executor rows sum to %d, total says %d", exRows, st.HybridRows)
+	}
+	if exShip != st.HybridShipBytes {
+		t.Errorf("per-executor ship bytes sum to %d, total says %d", exShip, st.HybridShipBytes)
+	}
+	if exResident != st.HybridResidentCols {
+		t.Errorf("per-executor resident cols sum to %d, total says %d", exResident, st.HybridResidentCols)
+	}
+	if exSeconds <= 0 {
+		t.Error("per-executor simulated seconds not accumulated")
+	}
+	// Stable breakdown order: host executors (Device -1) before GPU arms.
+	if len(st.HybridExecutors) < 3 {
+		t.Fatalf("%d executor rows, want at least cpu + gpu0 + gpu1", len(st.HybridExecutors))
+	}
+	if st.HybridExecutors[0].Label != "cpu" || st.HybridExecutors[1].Label != "gpu0" {
+		t.Errorf("executor order = %q, %q, ...; want cpu first, then gpu arms",
+			st.HybridExecutors[0].Label, st.HybridExecutors[1].Label)
+	}
+	// Placement traffic is tallied under the hybrid counters exclusively:
+	// the GPUs echo names the GPU arm's size, not classic fleet dispatch.
+	if st.FleetRequests != 0 || st.FleetMorsels != 0 {
+		t.Errorf("placement traffic leaked into fleet counters: %d requests / %d morsels",
+			st.FleetRequests, st.FleetMorsels)
+	}
+	var resolved int64
+	for _, n := range st.PlacementRequests {
+		resolved += n
+	}
+	if resolved != st.HybridRequests {
+		t.Errorf("placement tallies sum to %d, %d requests routed", resolved, st.HybridRequests)
+	}
+}

@@ -81,8 +81,20 @@ type Request struct {
 	// one device; fleet requests must name the Standalone GPU engine.
 	GPUs int
 	// Interconnect names the fleet link ("pcie" or "nvlink"; empty means
-	// pcie). Only meaningful when GPUs > 0.
+	// pcie). Meaningful when GPUs > 0 or Placement is set.
 	Interconnect string
+	// Placement routes the request through the unified scheduler
+	// (queries.Plan.RunScheduled) over host-resident data: "cpu" runs the
+	// standalone CPU engine, "gpu" the GPU fleet with every referenced
+	// column shipped over the Interconnect per query, "hybrid" co-executes
+	// the CPU and GPU arms over a planner-split morsel set, and "auto"
+	// lets planner.ChoosePlacement pick whichever the bytes-moved model
+	// prices cheapest. Empty (the default) keeps the classic dispatch
+	// (Engine + GPUs). Placement requests leave Engine empty (or name the
+	// Standalone GPU engine — the kernels the GPU arms run); GPUs sizes
+	// the GPU arm (default 1). Rows are identical across placements;
+	// simulated seconds follow each placement's bandwidth model.
+	Placement string
 	// NoCache bypasses the result cache for this request (the plan cache
 	// still applies); used to force fresh execution for benchmarking.
 	NoCache bool
@@ -128,7 +140,16 @@ type Response struct {
 	Interconnect string
 	Devices      []queries.FleetDevice
 	MergeBytes   int64
-	Err          error
+	// Placement is the resolved placement a placement-routed request ran
+	// ("cpu", "gpu" or "hybrid" — an "auto" request reports what the
+	// planner chose; empty for classic dispatch). CPUFrac is the live-row
+	// fraction the schedule routed to the CPU arm, and Executors carries
+	// the per-executor telemetry, whose counters sum to the response
+	// totals.
+	Placement string
+	CPUFrac   float64
+	Executors []queries.ExecutorResult
+	Err       error
 }
 
 // Options configures a Service.
@@ -551,11 +572,17 @@ func (s *Service) execute(req Request) Response {
 	start := time.Now()
 
 	// Canonicalize the engine so aliases ("gpu") hit the same cache entries
-	// and dispatch as their full names.
-	engine, err := ParseEngine(string(req.Engine))
-	if err != nil {
-		s.recordError()
-		return Response{Request: req, Err: err}
+	// and dispatch as their full names. Placement requests may leave the
+	// engine empty — the placement router owns engine choice and runs the
+	// tile-based kernels on its GPU arms.
+	engine := queries.EngineGPU
+	if req.Engine != "" || req.Placement == "" {
+		var err error
+		engine, err = ParseEngine(string(req.Engine))
+		if err != nil {
+			s.recordError()
+			return Response{Request: req, Err: err}
+		}
 	}
 	if req.Partitions < 0 {
 		req.Partitions = 0
@@ -565,7 +592,29 @@ func (s *Service) execute(req Request) Response {
 	}
 	req.Engine = engine
 	var link fleet.Interconnect
-	if req.GPUs > 0 {
+	switch {
+	case req.Placement != "":
+		placement, err := ParsePlacement(req.Placement)
+		if err != nil {
+			s.recordError()
+			return Response{Request: req, Err: err}
+		}
+		req.Placement = placement // canonicalize for cache keys and stats
+		if engine != queries.EngineGPU {
+			s.recordError()
+			return Response{Request: req, Err: fmt.Errorf(
+				"serve: placement routing owns engine choice; leave Engine empty or name %q, got %q",
+				queries.EngineGPU, engine)}
+		}
+		if req.GPUs == 0 {
+			req.GPUs = 1 // the GPU arm's default fleet size
+		}
+		if link, err = fleet.ParseInterconnect(req.Interconnect); err != nil {
+			s.recordError()
+			return Response{Request: req, Err: err}
+		}
+		req.Interconnect = link.Name
+	case req.GPUs > 0:
 		if engine != queries.EngineGPU {
 			s.recordError()
 			return Response{Request: req, Err: fmt.Errorf(
@@ -578,7 +627,7 @@ func (s *Service) execute(req Request) Response {
 			return Response{Request: req, Err: err}
 		}
 		req.Interconnect = link.Name // canonicalize for cache keys and stats
-	} else {
+	default:
 		req.Interconnect = ""
 	}
 	resp := Response{Request: req, Adhoc: req.SQL != "", Packed: req.Packed}
@@ -588,7 +637,19 @@ func (s *Service) execute(req Request) Response {
 	s.mu.RUnlock()
 	resp.Version = version
 
-	if req.GPUs > 0 {
+	if req.Placement != "" {
+		// Key the effective morsel shape: RunHybrid raises the morsel count
+		// to GPUs+1 (every arm can own a morsel) and ssb.Partition clamps it
+		// to the tile count, so requests that execute the same split share
+		// result-cache entries.
+		if req.Partitions < req.GPUs+1 {
+			req.Partitions = req.GPUs + 1
+		}
+		if eff := ssb.EffectivePartitions(ds.Lineorder.Rows(), req.Partitions); eff > 0 {
+			req.Partitions = eff
+		}
+		resp.Request = req
+	} else if req.GPUs > 0 {
 		// Key the effective shard shape, not the requested one: RunFleet
 		// raises the morsel count to the fleet size and ssb.Partition
 		// clamps it to the tile count, so requests that execute the same
@@ -626,10 +687,14 @@ func (s *Service) execute(req Request) Response {
 	// deterministic — but a response with spill traffic or elisions is
 	// never cached.
 	coprocResidency := req.Packed && req.Engine == queries.EngineCoproc && s.devCache != nil
-	fleetResidency := req.GPUs > 0 && req.Packed && s.devCache != nil && s.opts.FleetDeviceMemoryBytes > 0
+	fleetResidency := req.Placement == "" && req.GPUs > 0 && req.Packed && s.devCache != nil && s.opts.FleetDeviceMemoryBytes > 0
 	genKey := strconv.FormatUint(gen, 10)
+	// The requested placement joins the key ("auto" stays "auto": the
+	// planner's choice is deterministic per generation, so the cached
+	// response replays it exactly). Placement runs never consult residency
+	// caches — their seconds are deterministic, so they always cache.
 	resultKey := cacheKey(genKey, canon, string(req.Engine), strconv.Itoa(req.Partitions), packedKey(req.Packed),
-		strconv.Itoa(req.GPUs), req.Interconnect)
+		strconv.Itoa(req.GPUs), req.Interconnect, req.Placement)
 	if !req.NoCache && !coprocResidency {
 		s.cacheMu.Lock()
 		v, ok := s.results.get(resultKey)
@@ -651,6 +716,9 @@ func (s *Service) execute(req Request) Response {
 			resp.Interconnect = cached.Interconnect
 			resp.Devices = append([]queries.FleetDevice(nil), cached.Devices...)
 			resp.MergeBytes = cached.MergeBytes
+			resp.Placement = cached.Placement
+			resp.CPUFrac = cached.CPUFrac
+			resp.Executors = append([]queries.ExecutorResult(nil), cached.Executors...)
 			resp.PlanCached = true
 			resp.ResultCached = true
 			resp.Wall = time.Since(start)
@@ -678,19 +746,54 @@ func (s *Service) execute(req Request) Response {
 	s.cacheMu.Unlock()
 
 	entry.once.Do(func() { entry.plan = queries.Compile(ds, q) })
-	opts := queries.RunOptions{
-		Partitions: req.Partitions,
-		Limiter:    s.morsels,
-	}
+	opts := queries.RunOptions{}
+	opts.Partition.Partitions = req.Partitions
+	opts.Partition.Limiter = s.morsels
 	if req.Packed {
-		opts.Packed = s.packedFact(gen, ds)
+		opts.Partition.Packed = s.packedFact(gen, ds)
 		if fleetResidency {
-			opts.FleetResidency = s.fleetResidencies(gen, req.GPUs, req.Partitions)
+			opts.Fleet.Residency = s.fleetResidencies(gen, req.GPUs, req.Partitions)
 		} else if coprocResidency {
-			opts.Residency = boundResidency{cache: s.devCache, gen: gen}
+			opts.Partition.Residency = boundResidency{cache: s.devCache, gen: gen}
 		}
 	}
-	if req.GPUs > 0 {
+	switch {
+	case req.Placement != "":
+		fl := fleet.Spec{GPUs: req.GPUs, Link: link}
+		placement := req.Placement
+		if placement == PlacementAuto {
+			// Deterministic per generation: same dataset, same morsel map,
+			// same choice — which is what lets "auto" responses cache.
+			choice, _, err := planner.ChoosePlacement(fl, ds, q,
+				entry.plan.Morsels(req.Partitions), opts.Partition.Packed)
+			if err != nil {
+				resp.Err = err
+				s.recordError()
+				return resp
+			}
+			placement = string(choice)
+		}
+		frac := -1.0 // hybrid: the throughput-balanced default split
+		switch placement {
+		case PlacementCPU:
+			frac = 1
+		case PlacementGPU:
+			frac = 0
+		}
+		hr, err := entry.plan.RunHybrid(fl, frac, opts)
+		if err != nil {
+			resp.Err = err
+			s.recordError()
+			return resp
+		}
+		resp.Result = hr.Result
+		resp.Placement = placement
+		resp.CPUFrac = hr.CPUFrac
+		resp.GPUs = hr.GPUs
+		resp.Interconnect = hr.Interconnect
+		resp.Executors = hr.Executors
+		resp.MergeBytes = hr.MergeBytes
+	case req.GPUs > 0:
 		dev := device.V100()
 		if s.opts.FleetDeviceMemoryBytes > 0 {
 			d := *dev
@@ -708,7 +811,7 @@ func (s *Service) execute(req Request) Response {
 		resp.Interconnect = fr.Interconnect
 		resp.Devices = fr.Devices
 		resp.MergeBytes = fr.MergeBytes
-	} else {
+	default:
 		resp.Result = entry.plan.RunPartitioned(req.Engine, opts)
 	}
 	resp.Result.QueryID = q.ID
@@ -732,6 +835,7 @@ func (s *Service) execute(req Request) Response {
 		cached := resp
 		cached.Result = resp.Result.Clone()
 		cached.Devices = append([]queries.FleetDevice(nil), resp.Devices...)
+		cached.Executors = append([]queries.ExecutorResult(nil), resp.Executors...)
 		s.cacheMu.Lock()
 		s.results.put(resultKey, &cached)
 		s.cacheMu.Unlock()
@@ -769,6 +873,27 @@ func packedKey(packed bool) string {
 		return "packed"
 	}
 	return "plain"
+}
+
+// The placements a request may name. PlacementAuto defers to
+// planner.ChoosePlacement; the other three force one of the host-resident
+// placements the unified scheduler executes.
+const (
+	PlacementAuto   = "auto"
+	PlacementCPU    = string(planner.PlaceCPU)
+	PlacementGPU    = string(planner.PlaceGPU)
+	PlacementHybrid = string(planner.PlaceHybrid)
+)
+
+// ParsePlacement canonicalizes a requested placement ("auto", "cpu",
+// "gpu" or "hybrid", case-insensitive).
+func ParsePlacement(name string) (string, error) {
+	switch p := strings.ToLower(strings.TrimSpace(name)); p {
+	case PlacementAuto, PlacementCPU, PlacementGPU, PlacementHybrid:
+		return p, nil
+	default:
+		return "", fmt.Errorf("serve: unknown placement %q (want auto, cpu, gpu or hybrid)", name)
+	}
 }
 
 // engineAliases maps short names (CLI/HTTP friendly) to engines.

@@ -225,7 +225,7 @@ func TestSetDatasetInvalidation(t *testing.T) {
 	if fresh.PlanCached || fresh.ResultCached {
 		t.Error("request after swap must recompile and recompute")
 	}
-	want := queries.RunCPU(next, mustQuery(t, "q1.1"))
+	want := queries.Compile(next, mustQuery(t, "q1.1")).RunCPU()
 	if !fresh.Result.Equal(want) {
 		t.Error("post-swap result does not match the new dataset")
 	}

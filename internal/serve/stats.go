@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"fmt"
+	"sort"
+
 	"crystal/internal/bench"
 	"crystal/internal/queries"
 )
@@ -10,6 +13,20 @@ type engineAccum struct {
 	requests    int64
 	simSeconds  float64
 	wallSeconds float64
+}
+
+// hybridExecAccum accumulates one scheduler executor's served traffic
+// across placement-routed requests (keyed by kind and device index).
+type hybridExecAccum struct {
+	kind         string
+	device       int
+	requests     int64
+	morsels      int64
+	pruned       int64
+	rows         int64
+	shipBytes    int64
+	residentCols int64
+	simSeconds   float64
 }
 
 // fleetDeviceAccum accumulates one fleet device's served traffic.
@@ -52,6 +69,29 @@ type statsAccum struct {
 	fleetResidentCols int64
 	fleetMergeBytes   int64
 	fleetDevices      []fleetDeviceAccum
+
+	// Placement tallies: request-level totals plus the per-executor
+	// breakdown, mirroring the fleet pair. The per-executor entries always
+	// sum to the totals — the invariant TestHybridStatsSumToTotals pins.
+	placements        map[string]int64
+	hybridRequests    int64
+	hybridMorsels     int64
+	hybridPruned      int64
+	hybridRows        int64
+	hybridShipBytes   int64
+	hybridResidentCol int64
+	hybridMergeBytes  int64
+	hybridExecutors   map[string]*hybridExecAccum
+}
+
+// executorLabel names one scheduler executor for the stats breakdown:
+// the kind alone for host executors ("cpu"), kind plus device index for
+// fleet devices ("gpu0", "gpu1", ...).
+func executorLabel(er queries.ExecutorResult) string {
+	if er.Device < 0 {
+		return string(er.Kind)
+	}
+	return fmt.Sprintf("%s%d", er.Kind, er.Device)
 }
 
 func (a *statsAccum) record(resp Response) {
@@ -78,7 +118,40 @@ func (a *statsAccum) record(resp Response) {
 			a.residentCols += int64(resp.ResidentCols)
 		}
 	}
-	if resp.GPUs > 0 {
+	if resp.Placement != "" {
+		// Placement-routed traffic: the GPUs echo names the GPU arm's
+		// fleet size, not classic fleet dispatch, so it is tallied here
+		// and never under the fleet counters below.
+		if a.placements == nil {
+			a.placements = map[string]int64{}
+		}
+		a.placements[resp.Placement]++
+		a.hybridRequests++
+		a.hybridMergeBytes += resp.MergeBytes
+		if a.hybridExecutors == nil {
+			a.hybridExecutors = map[string]*hybridExecAccum{}
+		}
+		for _, er := range resp.Executors {
+			label := executorLabel(er)
+			h := a.hybridExecutors[label]
+			if h == nil {
+				h = &hybridExecAccum{kind: string(er.Kind), device: er.Device}
+				a.hybridExecutors[label] = h
+			}
+			h.requests++
+			h.morsels += int64(er.Morsels)
+			h.pruned += int64(er.Pruned)
+			h.rows += er.Rows
+			h.shipBytes += er.ShipBytes
+			h.residentCols += int64(er.ResidentCols)
+			h.simSeconds += er.Seconds
+			a.hybridMorsels += int64(er.Morsels)
+			a.hybridPruned += int64(er.Pruned)
+			a.hybridRows += er.Rows
+			a.hybridShipBytes += er.ShipBytes
+			a.hybridResidentCol += int64(er.ResidentCols)
+		}
+	} else if resp.GPUs > 0 {
 		a.fleetRequests++
 		a.fleetMergeBytes += resp.MergeBytes
 		for len(a.fleetDevices) < len(resp.Devices) {
@@ -130,6 +203,25 @@ type FleetDeviceStats struct {
 	Pruned       int64   `json:"pruned"`
 	Rows         int64   `json:"rows"`
 	SpillBytes   int64   `json:"spill_bytes"`
+	ResidentCols int64   `json:"resident_cols"`
+	SimSeconds   float64 `json:"sim_seconds"`
+}
+
+// HybridExecutorStats reports one scheduler executor's served traffic
+// across placement-routed requests: the placement-routed requests it
+// executed morsels for, what it scanned, its interconnect shipment and
+// its share of the simulated time.
+type HybridExecutorStats struct {
+	// Label names the executor ("cpu", "gpu0", "gpu1", ...); Kind and
+	// Device are its structured identity (Device is -1 for host executors).
+	Label        string  `json:"label"`
+	Kind         string  `json:"kind"`
+	Device       int     `json:"device"`
+	Requests     int64   `json:"requests"`
+	Morsels      int64   `json:"morsels"`
+	Pruned       int64   `json:"pruned"`
+	Rows         int64   `json:"rows"`
+	ShipBytes    int64   `json:"ship_bytes"`
 	ResidentCols int64   `json:"resident_cols"`
 	SimSeconds   float64 `json:"sim_seconds"`
 }
@@ -188,6 +280,22 @@ type Stats struct {
 	FleetResidentCols int64              `json:"fleet_resident_cols"`
 	FleetMergeBytes   int64              `json:"fleet_merge_bytes"`
 	FleetDevices      []FleetDeviceStats `json:"fleet_devices,omitempty"`
+
+	// Placement routing: how many requests resolved to each placement
+	// ("auto" requests count under what the planner chose), the
+	// request-level totals, and the per-executor breakdown. The
+	// HybridExecutors entries sum exactly to the Hybrid* totals (pinned by
+	// a regression test), so a starved or overloaded arm is visible here
+	// before it shows up as a latency regression.
+	PlacementRequests  map[string]int64      `json:"placement_requests,omitempty"`
+	HybridRequests     int64                 `json:"hybrid_requests"`
+	HybridMorsels      int64                 `json:"hybrid_morsels"`
+	HybridPruned       int64                 `json:"hybrid_pruned"`
+	HybridRows         int64                 `json:"hybrid_rows"`
+	HybridShipBytes    int64                 `json:"hybrid_ship_bytes"`
+	HybridResidentCols int64                 `json:"hybrid_resident_cols"`
+	HybridMergeBytes   int64                 `json:"hybrid_merge_bytes"`
+	HybridExecutors    []HybridExecutorStats `json:"hybrid_executors,omitempty"`
 
 	// Device residency cache: capacity and occupancy of the simulated GPU
 	// memory pinning packed columns, plus its hit/miss/eviction counters.
@@ -253,6 +361,41 @@ func (s *Service) Stats() Stats {
 			SimSeconds:   a.simSeconds,
 		})
 	}
+	if len(s.stats.placements) > 0 {
+		out.PlacementRequests = make(map[string]int64, len(s.stats.placements))
+		for p, n := range s.stats.placements {
+			out.PlacementRequests[p] = n
+		}
+	}
+	out.HybridRequests = s.stats.hybridRequests
+	out.HybridMorsels = s.stats.hybridMorsels
+	out.HybridPruned = s.stats.hybridPruned
+	out.HybridRows = s.stats.hybridRows
+	out.HybridShipBytes = s.stats.hybridShipBytes
+	out.HybridResidentCols = s.stats.hybridResidentCol
+	out.HybridMergeBytes = s.stats.hybridMergeBytes
+	for label, h := range s.stats.hybridExecutors {
+		out.HybridExecutors = append(out.HybridExecutors, HybridExecutorStats{
+			Label:        label,
+			Kind:         h.kind,
+			Device:       h.device,
+			Requests:     h.requests,
+			Morsels:      h.morsels,
+			Pruned:       h.pruned,
+			Rows:         h.rows,
+			ShipBytes:    h.shipBytes,
+			ResidentCols: h.residentCols,
+			SimSeconds:   h.simSeconds,
+		})
+	}
+	// Host executors first, then GPU arms by device index: stable output.
+	sort.Slice(out.HybridExecutors, func(i, j int) bool {
+		a, b := out.HybridExecutors[i], out.HybridExecutors[j]
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		return a.Label < b.Label
+	})
 	if s.devCache != nil {
 		dc := s.devCache.snapshot()
 		out.DeviceCacheCapBytes = dc.capacity
