@@ -10,13 +10,14 @@ COVER_FLOOR_QUERIES ?= 98.5
 COVER_FLOOR_SSB     ?= 88.0
 COVER_FLOOR_FLEET   ?= 90.0
 COVER_FLOOR_SCHED   ?= 90.0
+COVER_FLOOR_TRACE   ?= 90.0
 
-.PHONY: all build test lint fuzz cover docs bench-smoke bench-baseline bench-check serve ci
+.PHONY: all build test lint fuzz cover docs bench-smoke bench-baseline bench-check metrics-smoke serve ci
 
 # Markdown files the docs gate link-checks, and the packages whose godoc
 # must render (a missing or syntactically broken doc comment fails go doc).
 DOCS_MD   = README.md docs/ARCHITECTURE.md
-DOC_PKGS  = ./internal/pack ./internal/device ./internal/serve ./internal/fleet ./internal/sched
+DOC_PKGS  = ./internal/pack ./internal/device ./internal/serve ./internal/fleet ./internal/sched ./internal/trace
 
 all: build test
 
@@ -62,7 +63,8 @@ cover:
 	check ./internal/queries $(COVER_FLOOR_QUERIES); \
 	check ./internal/ssb $(COVER_FLOOR_SSB); \
 	check ./internal/fleet $(COVER_FLOOR_FLEET); \
-	check ./internal/sched $(COVER_FLOOR_SCHED)
+	check ./internal/sched $(COVER_FLOOR_SCHED); \
+	check ./internal/trace $(COVER_FLOOR_TRACE)
 
 lint:
 	$(GO) vet ./...
@@ -85,7 +87,13 @@ bench-baseline:
 bench-check:
 	$(GO) run ./cmd/benchgate -check
 
+# Observability gate: boot the real ssbserve handler set, drive traffic,
+# scrape /metrics, and validate the Prometheus exposition plus the /trace
+# surface end to end.
+metrics-smoke:
+	$(GO) test ./cmd/ssbserve -run TestMetricsSmoke -count=1 -v
+
 serve:
 	$(GO) run ./cmd/ssbserve
 
-ci: build lint test cover fuzz docs bench-smoke bench-check
+ci: build lint test cover fuzz docs bench-smoke bench-check metrics-smoke

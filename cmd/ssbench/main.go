@@ -6,7 +6,19 @@
 //	-case21 the Section 5.3 q2.1 case study (model vs measured)
 //	-cost   the Section 5.4 dollar-cost comparison (Table 3)
 //	-sql    one ad-hoc SQL statement, compiled by internal/sql, on every engine
-//	-all    everything (except -sql)
+//	-all    everything (except -sql, -explain and -percentiles)
+//
+// -explain q4.1 runs the named query traced through the unified scheduler
+// on the cpu, gpu and hybrid placements (over -interconnect, GPU arms
+// sized by -hybrid-gpus) and prints each run's EXPLAIN ANALYZE span tree:
+// per-executor kernel and transfer times, bytes shipped, morsels pruned,
+// and the merge cost — the same tree ssbserve's /trace endpoint renders.
+//
+// -percentiles reports p50/p95/p99 simulated latency per engine across
+// the 13 catalog queries, next to the mean the tables report. The bench
+// gates (benchgate, BENCH_*.json) deliberately stay on means — a seeded
+// simulation has no tail noise to trim — so percentiles are an
+// observability surface, not a gating one.
 //
 // -partitions N runs every scan as N zone-mapped morsels (identical times
 // on the uniform layout; combine with -cluster orderdate to watch pruning
@@ -40,6 +52,7 @@ import (
 	"crystal/internal/queries"
 	sqlfe "crystal/internal/sql"
 	"crystal/internal/ssb"
+	"crystal/internal/trace"
 )
 
 var (
@@ -59,7 +72,9 @@ var (
 	gpus    = flag.Int("gpus", 0, "sweep fleet execution from 1 up to N GPUs and report scaling efficiency")
 	link    = flag.String("interconnect", "nvlink", "fleet interconnect for -gpus and -hybrid (pcie or nvlink)")
 	hybrid  = flag.Bool("hybrid", false, "run hybrid CPU+GPU co-execution on both interconnects and report the planner's placement verdicts")
-	hgpus   = flag.Int("hybrid-gpus", 1, "GPU-arm fleet size for -hybrid")
+	hgpus   = flag.Int("hybrid-gpus", 1, "GPU-arm fleet size for -hybrid and -explain")
+	explain = flag.String("explain", "", "run this catalog query traced on the cpu, gpu and hybrid placements and print the EXPLAIN ANALYZE span trees")
+	pcts    = flag.Bool("percentiles", false, "report p50/p95/p99 simulated latency per engine (means stay the gated metric)")
 )
 
 // packedFact is the shared packed encoding when -packed is set (built once,
@@ -70,7 +85,8 @@ const paperSF = 20
 
 func main() {
 	flag.Parse()
-	if !(*fig3 || *fig16 || *case21 || *cost || *multi || *plans || *gpus > 0 || *hybrid || *sqlStmt != "") {
+	if !(*fig3 || *fig16 || *case21 || *cost || *multi || *plans || *gpus > 0 || *hybrid ||
+		*sqlStmt != "" || *explain != "" || *pcts) {
 		*all = true
 	}
 	if *gpus > 0 {
@@ -176,12 +192,96 @@ func main() {
 	if *packed {
 		runPackedReport(ds)
 	}
+	if *pcts {
+		runPercentiles(ds)
+	}
+	if *explain != "" {
+		if err := runExplain(ds, *explain, *link, *hgpus); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *sqlStmt != "" {
 		if err := runSQL(ds, scale, *sqlStmt); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
+}
+
+// runExplain runs one catalog query traced through the unified scheduler
+// on each placement and prints the EXPLAIN ANALYZE trees: the same span
+// renderer ssbserve's /trace?format=text endpoint uses, so what a bench
+// user reads locally is exactly what the service records in flight.
+func runExplain(ds *ssb.Dataset, id, linkName string, gpuArms int) error {
+	ic, err := fleet.ParseInterconnect(linkName)
+	if err != nil {
+		return err
+	}
+	q, err := queries.ByID(id)
+	if err != nil {
+		return err
+	}
+	bench.Banner(os.Stdout, fmt.Sprintf("EXPLAIN ANALYZE %s over %s (%d GPU arm(s))", q.ID, ic, gpuArms))
+	plan := queries.Compile(ds, q)
+	fl := fleet.Spec{GPUs: gpuArms, Link: ic}
+	opts := runOpts()
+	opts.Trace = true
+	for _, pl := range []struct {
+		name string
+		frac float64
+	}{{"cpu", 1}, {"gpu", 0}, {"hybrid", -1}} {
+		hr, err := plan.RunHybrid(fl, pl.frac, opts)
+		if err != nil {
+			return err
+		}
+		tr := &trace.Trace{
+			Query:        q.ID,
+			Placement:    pl.name,
+			GPUs:         hr.GPUs,
+			Interconnect: hr.Interconnect,
+			Sim:          hr.Result.Seconds,
+			Wall:         hr.Trace.Wall,
+			Root:         &trace.Span{Phase: trace.PhaseRequest, Children: []*trace.Span{hr.Trace}},
+		}
+		fmt.Print(trace.Render(tr))
+		fmt.Println()
+	}
+	return nil
+}
+
+// runPercentiles prints the per-engine latency distribution over the 13
+// catalog queries: the mean the bench tables gate on, then p50/p95/p99
+// from the same log-bucketed histograms the serving layer exposes on
+// /metrics. Gating (benchgate, BENCH_*.json) stays on means; the
+// percentile columns are observability only.
+func runPercentiles(ds *ssb.Dataset) {
+	bench.Banner(os.Stdout, "per-engine latency percentiles, extrapolated to SF 20 (ms)")
+	scaleTo := int64(paperSF) * ssb.LineorderPerSF
+	hists := map[queries.Engine]*trace.Histogram{}
+	sums := map[queries.Engine]float64{}
+	for _, e := range queries.Engines() {
+		hists[e] = &trace.Histogram{}
+	}
+	for _, q := range queries.All() {
+		plan := queries.Compile(ds, q)
+		for _, e := range queries.Engines() {
+			sec := bench.Scale(exec(plan, e).Seconds, int64(ds.Lineorder.Rows()), scaleTo)
+			hists[e].Observe(sec)
+			sums[e] += sec
+		}
+	}
+	tb := &bench.Table{Title: "simulated latency (ms)", Columns: []string{"mean", "p50", "p95", "p99"}, NoMean: true}
+	for _, e := range queries.Engines() {
+		h := hists[e]
+		tb.AddRow(string(e),
+			bench.MS(sums[e]/float64(h.Count())),
+			bench.MS(h.Quantile(0.50)), bench.MS(h.Quantile(0.95)), bench.MS(h.Quantile(0.99)))
+	}
+	tb.Fprint(os.Stdout)
+	fmt.Println("gating note: benchgate and the BENCH_*.json baselines compare means only;")
+	fmt.Println("the simulation is seeded and deterministic, so percentiles add no gate signal")
+	fmt.Println()
 }
 
 // runSQL compiles one ad-hoc statement through the SQL frontend, reorders

@@ -5,6 +5,11 @@
 //	GET  /sql?q=SELECT...&engine=gpu  same, statement in the query string
 //	GET  /engines                   list engines and their aliases
 //	GET  /stats                     cache hit rates, named vs ad-hoc traffic
+//	GET  /metrics                   Prometheus text exposition (counters,
+//	                                per-(engine,placement) latency histograms)
+//	GET  /trace?id=t42              one recorded trace (&format=text renders
+//	                                the EXPLAIN ANALYZE tree); without id,
+//	                                the flight recorder's recent and slowest
 //
 // Both query endpoints accept &partitions=N to run the fact scan as N
 // zone-mapped morsels: rows are identical to the monolithic run, morsels
@@ -71,6 +76,7 @@ import (
 	"crystal/internal/queries"
 	"crystal/internal/serve"
 	"crystal/internal/ssb"
+	"crystal/internal/trace"
 )
 
 var (
@@ -81,6 +87,7 @@ var (
 	flagData     = flag.String("data", "", "load a dataset written by datagen instead of generating")
 	flagDevCache = flag.Int64("devicecache", 0, "device residency cache capacity in bytes for packed columns (0 = the V100's 32 GB, negative = disabled)")
 	flagFleetMem = flag.Int64("fleetmem", 0, "per-fleet-device memory capacity in bytes for &gpus=N requests (0 = the V100's 32 GB; small values make shards spill)")
+	flagTrace    = flag.Bool("trace", true, "trace every request into the flight recorder (GET /trace); latency histograms on /metrics work either way")
 )
 
 func main() {
@@ -112,18 +119,13 @@ func main() {
 		Workers:                *flagWorkers,
 		DeviceCacheBytes:       *flagDevCache,
 		FleetDeviceMemoryBytes: *flagFleetMem,
+		Trace:                  *flagTrace,
 	})
 	log.Printf("serving on %s with %d workers", *flagAddr, svc.Workers())
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", handleQuery(svc))
-	mux.HandleFunc("/sql", handleSQL(svc))
-	mux.HandleFunc("/engines", handleEngines)
-	mux.HandleFunc("/stats", handleStats(svc))
-
 	srv := &http.Server{
 		Addr:              *flagAddr,
-		Handler:           mux,
+		Handler:           newMux(svc),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
@@ -144,6 +146,19 @@ func main() {
 	if !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+}
+
+// newMux routes the server's endpoints; split from main so the metrics
+// smoke test can drive the exact handler set the binary serves.
+func newMux(svc *serve.Service) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", handleQuery(svc))
+	mux.HandleFunc("/sql", handleSQL(svc))
+	mux.HandleFunc("/engines", handleEngines)
+	mux.HandleFunc("/stats", handleStats(svc))
+	mux.HandleFunc("/metrics", handleMetrics(svc))
+	mux.HandleFunc("/trace", handleTrace(svc))
+	return mux
 }
 
 // queryResponse is the JSON shape of one /query or /sql result.
@@ -183,6 +198,9 @@ type queryResponse struct {
 	Placement string                   `json:"placement,omitempty"`
 	CPUFrac   float64                  `json:"cpu_frac,omitempty"`
 	Executors []queries.ExecutorResult `json:"executors,omitempty"`
+	// TraceID is the flight-recorder handle of this request's trace when
+	// the server traces (-trace): GET /trace?id=<TraceID> replays it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func handleQuery(svc *serve.Service) http.HandlerFunc {
@@ -318,6 +336,7 @@ func serveRequest(svc *serve.Service, w http.ResponseWriter, r *http.Request, re
 		Placement:     resp.Placement,
 		CPUFrac:       resp.CPUFrac,
 		Executors:     resp.Executors,
+		TraceID:       resp.TraceID,
 	}
 	writeJSON(w, out)
 }
@@ -393,6 +412,77 @@ func handleStats(svc *serve.Service) http.HandlerFunc {
 			return
 		}
 		writeJSON(w, st)
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition: every service
+// counter plus the per-(engine, placement) latency histograms, rendered
+// from one consistent snapshot of the stats accumulator.
+func handleMetrics(svc *serve.Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := svc.WriteMetrics(w); err != nil {
+			log.Printf("writing metrics: %v", err)
+		}
+	}
+}
+
+// traceSummary is one flight-recorder entry in the /trace listing.
+type traceSummary struct {
+	ID        string  `json:"id"`
+	Query     string  `json:"query"`
+	Engine    string  `json:"engine,omitempty"`
+	Placement string  `json:"placement,omitempty"`
+	Cached    bool    `json:"cached,omitempty"`
+	SimMS     float64 `json:"sim_ms"`
+	WallMS    float64 `json:"wall_ms"`
+}
+
+func summarize(ts []*trace.Trace) []traceSummary {
+	out := make([]traceSummary, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, traceSummary{
+			ID:        t.ID,
+			Query:     t.Query,
+			Engine:    t.Engine,
+			Placement: t.Placement,
+			Cached:    t.Cached,
+			SimMS:     t.Sim * 1e3,
+			WallMS:    float64(t.Wall) / float64(time.Millisecond),
+		})
+	}
+	return out
+}
+
+// handleTrace serves the flight recorder: ?id= replays one trace (JSON,
+// or the EXPLAIN ANALYZE tree with &format=text); without an id it lists
+// the recent and slowest retained traces.
+func handleTrace(svc *serve.Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := svc.TraceRecorder()
+		if rec == nil {
+			httpError(w, http.StatusNotFound, errors.New("tracing is disabled: restart with -trace"))
+			return
+		}
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			writeJSON(w, map[string]any{
+				"recent":  summarize(rec.Recent()),
+				"slowest": summarize(rec.Slowest()),
+			})
+			return
+		}
+		tr := rec.Get(id)
+		if tr == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("trace %q not found (evicted or never recorded)", id))
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, trace.Render(tr))
+			return
+		}
+		writeJSON(w, tr)
 	}
 }
 

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"crystal/internal/serve"
+	"crystal/internal/ssb"
+	"crystal/internal/trace"
+)
+
+// TestMetricsSmoke is the end-to-end observability smoke test (make
+// metrics-smoke): boot the real handler set, drive mixed traffic through
+// /query, then scrape /metrics and validate the exposition, follow a
+// trace_id through /trace in both formats, and check the no-id listing.
+func TestMetricsSmoke(t *testing.T) {
+	svc := serve.New(ssb.GenerateRows(1<<12), "smoke", serve.Options{Workers: 2, Trace: true})
+	defer svc.Close()
+	srv := httptest.NewServer(newMux(svc))
+	defer srv.Close()
+
+	get := func(path string, wantStatus int) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s: status %d, want %d\n%s", path, resp.StatusCode, wantStatus, body)
+		}
+		return string(body)
+	}
+
+	var lastTraceID string
+	for _, path := range []string{
+		"/query?id=q1.1&engine=cpu",
+		"/query?id=q2.1&engine=gpu&gpus=2&partitions=8",
+		"/query?id=q4.1&placement=hybrid&gpus=2&interconnect=nvlink",
+		"/query?id=q1.1&engine=cpu", // result-cache hit
+	} {
+		var qr queryResponse
+		if err := json.Unmarshal([]byte(get(path, http.StatusOK)), &qr); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if qr.TraceID == "" {
+			t.Fatalf("GET %s: no trace_id in response", path)
+		}
+		lastTraceID = qr.TraceID
+	}
+
+	// /metrics: valid exposition with the latency histogram grid.
+	metrics := get("/metrics", http.StatusOK)
+	if err := trace.Validate(metrics); err != nil {
+		t.Fatalf("invalid /metrics exposition: %v", err)
+	}
+	for _, want := range []string{
+		"# TYPE ssb_requests_total counter",
+		"# TYPE ssb_request_wall_seconds histogram",
+		`engine="cpu",placement="classic"`,
+		`placement="hybrid"`,
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /trace?id=: the JSON trace round-trips, the text format renders the
+	// EXPLAIN ANALYZE tree.
+	var tr trace.Trace
+	if err := json.Unmarshal([]byte(get("/trace?id="+lastTraceID, http.StatusOK)), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.ID != lastTraceID || tr.Root == nil {
+		t.Fatalf("trace %s round-tripped wrong: %+v", lastTraceID, tr)
+	}
+	text := get("/trace?id="+lastTraceID+"&format=text", http.StatusOK)
+	if !strings.Contains(text, "q1.1") || !strings.Contains(text, "└─") {
+		t.Errorf("text trace missing tree rendering:\n%s", text)
+	}
+
+	// /trace without id lists the recorder's retained traces.
+	var listing struct {
+		Recent  []traceSummary `json:"recent"`
+		Slowest []traceSummary `json:"slowest"`
+	}
+	if err := json.Unmarshal([]byte(get("/trace", http.StatusOK)), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Recent) != 4 || len(listing.Slowest) == 0 {
+		t.Errorf("listing has %d recent / %d slowest, want 4 / >0",
+			len(listing.Recent), len(listing.Slowest))
+	}
+
+	get("/trace?id=t999", http.StatusNotFound)
+}

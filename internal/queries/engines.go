@@ -353,6 +353,7 @@ func (pl *Plan) runCoprocessor(ms *morselRun) *Result {
 	res.ResidentCols = resident
 	transfer := device.TransferTime(bytes)
 	exec := res.Seconds
+	res.KernelSeconds = exec
 	if transfer > exec {
 		res.Seconds = transfer
 	}

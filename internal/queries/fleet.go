@@ -2,6 +2,7 @@ package queries
 
 import (
 	"crystal/internal/fleet"
+	"crystal/internal/trace"
 )
 
 // FleetDevice is one device's share of a fleet execution: what it was
@@ -52,6 +53,8 @@ type FleetResult struct {
 	// group-bys and vanishes on scan-bound flights.
 	MergeBytes   int64
 	MergeSeconds float64
+	// Trace is the run's span tree, nil unless opts.Trace asked for one.
+	Trace *trace.Span
 }
 
 // RunFleet executes the compiled plan across fl: the fact table's
@@ -95,6 +98,7 @@ func (p *Plan) RunFleet(fl fleet.Spec, opts RunOptions) (*FleetResult, error) {
 		Interconnect: fl.Link.Name,
 		MergeBytes:   sr.MergeBytes,
 		MergeSeconds: sr.MergeSeconds,
+		Trace:        sr.Trace,
 	}
 	for _, er := range sr.Executors {
 		out.Devices = append(out.Devices, FleetDevice{

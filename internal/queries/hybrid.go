@@ -1,10 +1,13 @@
 package queries
 
 import (
+	"time"
+
 	"crystal/internal/device"
 	"crystal/internal/fleet"
 	"crystal/internal/sched"
 	"crystal/internal/ssb"
+	"crystal/internal/trace"
 )
 
 // HybridResult is the outcome of one hybrid CPU+GPU co-execution: the
@@ -30,6 +33,8 @@ type HybridResult struct {
 	// MergeSeconds its transfer time.
 	MergeBytes   int64
 	MergeSeconds float64
+	// Trace is the run's span tree, nil unless opts.Trace asked for one.
+	Trace *trace.Span
 }
 
 // ScheduleHybrid splits the morsels between the host CPU engine and the
@@ -53,6 +58,10 @@ func (p *Plan) ScheduleHybrid(fl fleet.Spec, frac float64, opts RunOptions) (sch
 	fl, err := fl.Normalized()
 	if err != nil {
 		return sched.Schedule{}, 0, err
+	}
+	var t0 time.Time
+	if opts.Trace {
+		t0 = time.Now()
 	}
 	if frac < 0 {
 		frac = sched.CPUFraction(device.I76900(), fl.Device, fl.GPUs)
@@ -99,6 +108,10 @@ func (p *Plan) ScheduleHybrid(fl fleet.Spec, frac float64, opts RunOptions) (sch
 			Merge:    true,
 		})
 	}
+	if opts.Trace {
+		s.Trace = true
+		s.BuildWall = time.Since(t0)
+	}
 	return s, frac, nil
 }
 
@@ -132,5 +145,6 @@ func (p *Plan) RunHybrid(fl fleet.Spec, frac float64, opts RunOptions) (*HybridR
 		Executors:    sr.Executors,
 		MergeBytes:   sr.MergeBytes,
 		MergeSeconds: sr.MergeSeconds,
+		Trace:        sr.Trace,
 	}, nil
 }

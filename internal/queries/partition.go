@@ -82,6 +82,11 @@ type FleetOptions struct {
 type RunOptions struct {
 	Partition PartitionOptions
 	Fleet     FleetOptions
+	// Trace asks the run for a span tree (ScheduledResult.Trace et al.):
+	// per-assignment kernel/transfer/merge spans carrying simulated
+	// seconds, wall clock and bytes moved. Off by default; the untraced
+	// path allocates nothing for tracing.
+	Trace bool
 }
 
 // MatchesZone reports whether the filter could match any value in the zone:

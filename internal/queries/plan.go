@@ -170,6 +170,12 @@ type Result struct {
 	Groups  map[int64]int64
 	// Seconds is the engine's simulated execution time.
 	Seconds float64
+	// KernelSeconds is the pure execution component of Seconds for runs
+	// whose transfer overlaps execution (the coprocessor): Seconds is
+	// max(KernelSeconds, transfer time). On-device engines leave it zero —
+	// their Seconds is all kernel. Like Morsels/Pruned it describes
+	// execution, not rows: Equal ignores it.
+	KernelSeconds float64
 	// Morsels is the number of fact-table partitions the run was split into
 	// (1 for a monolithic run); Pruned counts the morsels zone maps skipped.
 	// Both describe execution, not the rows, so Equal ignores them.
@@ -218,6 +224,7 @@ func (r *Result) Clone() *Result {
 	out := &Result{
 		QueryID:       r.QueryID,
 		Seconds:       r.Seconds,
+		KernelSeconds: r.KernelSeconds,
 		Morsels:       r.Morsels,
 		Pruned:        r.Pruned,
 		Packed:        r.Packed,

@@ -1,10 +1,13 @@
 package queries
 
 import (
+	"time"
+
 	"crystal/internal/device"
 	"crystal/internal/fleet"
 	"crystal/internal/sched"
 	"crystal/internal/ssb"
+	"crystal/internal/trace"
 )
 
 // ExecutorResult is one executor's slice of a scheduled run: what it was
@@ -50,6 +53,12 @@ type ScheduledResult struct {
 	// MergeSeconds its transfer time.
 	MergeBytes   int64
 	MergeSeconds float64
+	// Trace is the run's span tree, nil unless the schedule asked for
+	// tracing (RunOptions.Trace): a run span with schedule, per-assignment
+	// execute (kernel/transfer children) and merge spans whose simulated
+	// seconds and byte attributions reproduce this result exactly
+	// (trace.Verify holds by construction).
+	Trace *trace.Span
 }
 
 // restrict narrows the run to the given morsel indices: foreign morsels
@@ -129,13 +138,24 @@ func (x engineExecutor) Execute(a sched.Assignment) sched.Partial {
 			pruned++
 		}
 	}
+	// Split the overlapped clock for trace attribution: on-device engines
+	// are all kernel; the coprocessor recomputes its transfer term from the
+	// same bytes and bandwidth model, so max(kernel, ship) == Seconds
+	// exactly.
+	kernel, ship := res.Seconds, 0.0
+	if x.e == EngineCoproc {
+		kernel = res.KernelSeconds
+		ship = device.TransferTime(res.TransferBytes)
+	}
 	return sched.Partial{
-		Groups:       res.Groups,
-		Seconds:      res.Seconds,
-		Rows:         ms.scanned,
-		Pruned:       pruned,
-		ShipBytes:    res.TransferBytes,
-		ResidentCols: res.ResidentCols,
+		Groups:        res.Groups,
+		Seconds:       res.Seconds,
+		KernelSeconds: kernel,
+		ShipSeconds:   ship,
+		Rows:          ms.scanned,
+		Pruned:        pruned,
+		ShipBytes:     res.TransferBytes,
+		ResidentCols:  res.ResidentCols,
 	}
 }
 
@@ -233,9 +253,11 @@ func (x *gpuDeviceExecutor) Execute(a sched.Assignment) sched.Partial {
 	// Spill shipment overlaps with execution, coprocessor style: the
 	// slower of the two bounds the device.
 	part.Groups = resD.Groups
-	part.Seconds = resD.Seconds
-	if t := x.link.TransferTime(part.ShipBytes); t > part.Seconds {
-		part.Seconds = t
+	part.KernelSeconds = resD.Seconds
+	part.ShipSeconds = x.link.TransferTime(part.ShipBytes)
+	part.Seconds = part.KernelSeconds
+	if part.ShipSeconds > part.Seconds {
+		part.Seconds = part.ShipSeconds
 	}
 	return part
 }
@@ -243,12 +265,16 @@ func (x *gpuDeviceExecutor) Execute(a sched.Assignment) sched.Partial {
 // ScheduleEngine places every morsel on a single engine executor — the
 // schedule behind Run and RunPartitioned (the coprocessor path included).
 func (p *Plan) ScheduleEngine(e Engine, opts RunOptions) sched.Schedule {
+	var t0 time.Time
+	if opts.Trace {
+		t0 = time.Now()
+	}
 	ms := p.morselRun(opts)
 	all := make([]int, len(ms.morsels))
 	for i := range all {
 		all[i] = i
 	}
-	return sched.Schedule{
+	s := sched.Schedule{
 		Assignments: []sched.Assignment{{
 			Executor: engineExecutor{p: p, ms: ms, e: e},
 			Morsels:  all,
@@ -256,6 +282,11 @@ func (p *Plan) ScheduleEngine(e Engine, opts RunOptions) sched.Schedule {
 		Morsels: len(ms.morsels),
 		Packed:  ms.packed != nil,
 	}
+	if opts.Trace {
+		s.Trace = true
+		s.BuildWall = time.Since(t0)
+	}
+	return s
 }
 
 // ScheduleFleet range-shards the morsels over the fleet's devices
@@ -266,6 +297,10 @@ func (p *Plan) ScheduleFleet(fl fleet.Spec, opts RunOptions) (sched.Schedule, er
 	fl, err := fl.Normalized()
 	if err != nil {
 		return sched.Schedule{}, err
+	}
+	var t0 time.Time
+	if opts.Trace {
+		t0 = time.Now()
 	}
 	if opts.Partition.Partitions < fl.GPUs {
 		opts.Partition.Partitions = fl.GPUs
@@ -295,6 +330,10 @@ func (p *Plan) ScheduleFleet(fl fleet.Spec, opts RunOptions) (sched.Schedule, er
 			Merge:    true,
 		})
 	}
+	if opts.Trace {
+		s.Trace = true
+		s.BuildWall = time.Since(t0)
+	}
 	return s, nil
 }
 
@@ -313,12 +352,35 @@ func (p *Plan) RunScheduled(s sched.Schedule) (*ScheduledResult, error) {
 	q := p.Query
 	out := &ScheduledResult{}
 	merged := &Result{QueryID: q.ID, Groups: map[int64]int64{}}
+	// Tracing is opt-in per schedule; the untraced path must not allocate a
+	// single span, so every trace touch below is nil-guarded.
+	var runSpan *trace.Span
+	var runStart time.Time
+	if s.Trace {
+		runStart = time.Now()
+		runSpan = &trace.Span{Phase: trace.PhaseRun, Children: []*trace.Span{
+			{Phase: trace.PhaseSchedule, Wall: s.BuildWall},
+		}}
+	}
 	var makespan float64
 	pruned := 0
 	for i := range s.Assignments {
 		a := s.Assignments[i]
 		er := ExecutorResult{Kind: a.Executor.Kind(), Device: a.Executor.Device(), Morsels: len(a.Morsels)}
+		var span *trace.Span
+		if runSpan != nil {
+			span = &trace.Span{
+				Name:    sched.Label(er.Kind, er.Device),
+				Phase:   trace.PhaseExecute,
+				Morsels: len(a.Morsels),
+			}
+			runSpan.Children = append(runSpan.Children, span)
+		}
 		if len(a.Morsels) > 0 { // empty assignment: idle executor, no launch, no time
+			var execStart time.Time
+			if span != nil {
+				execStart = time.Now()
+			}
 			part := a.Executor.Execute(a)
 			er.Pruned = part.Pruned
 			er.Rows = part.Rows
@@ -338,6 +400,21 @@ func (p *Plan) RunScheduled(s sched.Schedule) (*ScheduledResult, error) {
 			pruned += part.Pruned
 			merged.TransferBytes += part.ShipBytes
 			merged.ResidentCols += part.ResidentCols
+			if span != nil {
+				span.Wall = time.Since(execStart)
+				span.Sim = part.Seconds
+				span.Bytes = part.ShipBytes
+				span.Rows = part.Rows
+				span.Pruned = part.Pruned
+				span.Children = append(span.Children, &trace.Span{
+					Phase: trace.PhaseKernel, Sim: part.KernelSeconds,
+				})
+				if part.ShipBytes > 0 || part.ShipSeconds > 0 {
+					span.Children = append(span.Children, &trace.Span{
+						Phase: trace.PhaseTransfer, Sim: part.ShipSeconds, Bytes: part.ShipBytes,
+					})
+				}
+			}
 		}
 		out.Executors = append(out.Executors, er)
 	}
@@ -354,5 +431,15 @@ func (p *Plan) RunScheduled(s sched.Schedule) (*ScheduledResult, error) {
 	merged.Pruned = pruned
 	merged.Packed = s.Packed
 	out.Result = merged
+	if runSpan != nil {
+		if out.MergeBytes > 0 {
+			runSpan.Children = append(runSpan.Children, &trace.Span{
+				Phase: trace.PhaseMerge, Sim: out.MergeSeconds, Bytes: out.MergeBytes,
+			})
+		}
+		runSpan.Sim = merged.Seconds
+		runSpan.Wall = time.Since(runStart)
+		out.Trace = runSpan
+	}
 	return out, nil
 }

@@ -34,6 +34,7 @@ package sched
 
 import (
 	"fmt"
+	"time"
 
 	"crystal/internal/device"
 	"crystal/internal/fleet"
@@ -52,6 +53,16 @@ const (
 	KindCoproc Kind = "coproc"
 )
 
+// Label names an executor for telemetry and trace spans: the kind alone
+// for host executors ("cpu", "coproc"), kind plus fleet index for
+// devices ("gpu0", "gpu3").
+func Label(k Kind, device int) string {
+	if device < 0 {
+		return string(k)
+	}
+	return fmt.Sprintf("%s%d", k, device)
+}
+
 // Partial is one executor's contribution to a scheduled run: its partial
 // aggregate table plus the telemetry the runner folds into the merged
 // result and the per-executor stats.
@@ -60,8 +71,14 @@ type Partial struct {
 	// sums, so merging partials by key-wise addition is exact.
 	Groups map[int64]int64
 	// Seconds is the executor's simulated time, spill shipment overlap
-	// included.
+	// included: max(KernelSeconds, ShipSeconds).
 	Seconds float64
+	// KernelSeconds is the pure execution component (scan, probe,
+	// aggregate) and ShipSeconds the interconnect shipment component of
+	// Seconds; the two overlap, so Seconds is their max, not their sum.
+	// Executors that move no bytes leave ShipSeconds zero.
+	KernelSeconds float64
+	ShipSeconds   float64
 	// Rows is the fact rows the executor actually scanned (zone-pruned
 	// morsels excluded); Pruned counts its assigned morsels that zone maps
 	// skipped.
@@ -115,6 +132,13 @@ type Schedule struct {
 	// Packed reports whether the run scans the bit-packed fact encoding
 	// (stamped onto the merged result).
 	Packed bool
+	// Trace asks the runner to build a span tree for the execution; when
+	// false the runner allocates nothing for tracing.
+	Trace bool
+	// BuildWall is the host wall-clock time the schedule builder spent
+	// (morsel resolution, pruning, split/shard construction); stamped only
+	// when Trace is set, and surfaced as the trace's schedule span.
+	BuildWall time.Duration
 }
 
 // Validate checks the schedule's core invariant: every morsel index in

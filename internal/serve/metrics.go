@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"io"
+
+	"crystal/internal/trace"
+)
+
+// WriteMetrics renders the service's counters, latency histograms and
+// device-cache gauges as Prometheus text exposition (the GET /metrics
+// surface). Metric names follow one scheme: an ssb_ prefix, _total for
+// counters, _bytes/_seconds/_columns units, and the latency histograms
+// labeled by (engine, placement) — the same grid Stats.Latency reports
+// percentiles for. Everything renders from one single-lock snapshot of
+// the stats accumulator, so counts and sums are mutually consistent.
+func (s *Service) WriteMetrics(w io.Writer) error {
+	st := s.snapshotStats()
+	e := trace.NewExposition(w)
+
+	cells := sortedLatency(st.latency)
+	reqSamples := make([]trace.Sample, 0, len(cells))
+	wallHists := make([]trace.HistSample, 0, len(cells))
+	queueHists := make([]trace.HistSample, 0, len(cells))
+	simHists := make([]trace.HistSample, 0, len(cells))
+	for _, cell := range cells {
+		labels := []string{"engine", cell.engine, "placement", cell.placement}
+		reqSamples = append(reqSamples, trace.Sample{Labels: labels, Value: float64(cell.acc.requests)})
+		wallHists = append(wallHists, trace.HistSample{Labels: labels, Hist: &cell.acc.wall})
+		queueHists = append(queueHists, trace.HistSample{Labels: labels, Hist: &cell.acc.queue})
+		simHists = append(simHists, trace.HistSample{Labels: labels, Hist: &cell.acc.sim})
+	}
+	e.Counter("ssb_requests_total", "Requests served, by engine and placement.", reqSamples)
+	e.Counter("ssb_errors_total", "Requests rejected or failed.",
+		[]trace.Sample{{Value: float64(st.errors)}})
+	e.Histogram("ssb_request_wall_seconds",
+		"Execution wall clock per request (queue wait excluded), by engine and placement.", wallHists)
+	e.Histogram("ssb_queue_wait_seconds",
+		"Time requests sat in the admission queue before a worker picked them up.", queueHists)
+	e.Histogram("ssb_sim_seconds",
+		"Simulated device seconds per request under the bandwidth model.", simHists)
+
+	e.Counter("ssb_plan_cache_hits_total", "Compiled-plan cache hits.",
+		[]trace.Sample{{Value: float64(st.planHits)}})
+	e.Counter("ssb_plan_cache_misses_total", "Compiled-plan cache misses.",
+		[]trace.Sample{{Value: float64(st.planMisses)}})
+	e.Counter("ssb_result_cache_hits_total", "Result cache hits.",
+		[]trace.Sample{{Value: float64(st.resultHits)}})
+	e.Counter("ssb_result_cache_misses_total", "Result cache misses.",
+		[]trace.Sample{{Value: float64(st.resultMisses)}})
+
+	e.Counter("ssb_transfer_bytes_total",
+		"Interconnect traffic shipped, by path: coprocessor PCIe, fleet spill, placement-routed shipment.",
+		[]trace.Sample{
+			{Labels: []string{"path", "coproc"}, Value: float64(st.transferBytes)},
+			{Labels: []string{"path", "fleet"}, Value: float64(st.fleetSpillBytes)},
+			{Labels: []string{"path", "hybrid"}, Value: float64(st.hybridShipBytes)},
+		})
+	e.Counter("ssb_merge_bytes_total",
+		"Partial-aggregate merge traffic that crossed the interconnect, by path.",
+		[]trace.Sample{
+			{Labels: []string{"path", "fleet"}, Value: float64(st.fleetMergeBytes)},
+			{Labels: []string{"path", "hybrid"}, Value: float64(st.hybridMergeBytes)},
+		})
+
+	s.mu.RLock()
+	workers := float64(s.opts.Workers)
+	s.mu.RUnlock()
+	s.cacheMu.Lock()
+	cachedPlans, cachedResults := float64(s.plans.len()), float64(s.results.len())
+	s.cacheMu.Unlock()
+	e.Gauge("ssb_workers", "Execution pool size.", []trace.Sample{{Value: workers}})
+	e.Gauge("ssb_cached_plans", "Compiled plans resident in the plan cache.",
+		[]trace.Sample{{Value: cachedPlans}})
+	e.Gauge("ssb_cached_results", "Responses resident in the result cache.",
+		[]trace.Sample{{Value: cachedResults}})
+
+	if s.devCache != nil {
+		dc := s.devCache.snapshot()
+		e.Gauge("ssb_device_cache_capacity_bytes",
+			"Simulated device memory dedicated to pinning packed columns.",
+			[]trace.Sample{{Value: float64(dc.capacity)}})
+		e.Gauge("ssb_device_cache_used_bytes", "Bytes of packed columns currently resident.",
+			[]trace.Sample{{Value: float64(dc.used)}})
+		e.Gauge("ssb_device_cache_columns", "Packed columns currently resident.",
+			[]trace.Sample{{Value: float64(dc.cols)}})
+		e.Counter("ssb_residency_hits_total",
+			"Column transfers elided because the column was device-resident.",
+			[]trace.Sample{{Value: float64(dc.hits)}})
+		e.Counter("ssb_residency_misses_total", "Residency lookups that had to ship the column.",
+			[]trace.Sample{{Value: float64(dc.misses)}})
+		e.Counter("ssb_residency_evictions_total", "Columns evicted from device residency.",
+			[]trace.Sample{{Value: float64(dc.evictions)}})
+	}
+	return e.Err()
+}

@@ -47,6 +47,7 @@ import (
 	"crystal/internal/queries"
 	sqlfe "crystal/internal/sql"
 	"crystal/internal/ssb"
+	"crystal/internal/trace"
 )
 
 // ErrClosed is returned by submissions to a closed service.
@@ -149,7 +150,16 @@ type Response struct {
 	Placement string
 	CPUFrac   float64
 	Executors []queries.ExecutorResult
-	Err       error
+	// QueueWait is the time the request sat in the queue before a worker
+	// picked it up (not included in Wall, which clocks execution only).
+	QueueWait time.Duration
+	// TraceID and Trace are set when the service traces (Options.Trace):
+	// the flight-recorder handle (GET /trace?id=...) and the request's
+	// span tree. Traces are built fresh per request and never served from
+	// the result cache.
+	TraceID string
+	Trace   *trace.Trace
+	Err     error
 }
 
 // Options configures a Service.
@@ -186,6 +196,18 @@ type Options struct {
 	// shard region this knob constrains. Residency-dependent responses
 	// bypass the result cache, like the coprocessor's residency path.
 	FleetDeviceMemoryBytes int64
+	// Trace enables span-tree tracing: every executed request produces a
+	// trace.Trace (admit → bind → plan → run with per-assignment
+	// kernel/transfer/merge spans), attached to the Response and retained
+	// by the bounded flight recorder. Off by default; when off, the hot
+	// path allocates nothing for tracing (pinned by an allocs/op
+	// benchmark).
+	Trace bool
+	// TraceRecent and TraceSlowest bound the flight recorder: the ring of
+	// most recent traces (default 64) and the top-K slowest by wall clock
+	// (default 16).
+	TraceRecent  int
+	TraceSlowest int
 }
 
 func (o *Options) withDefaults() Options {
@@ -210,6 +232,12 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.DeviceCacheBytes == 0 {
 		out.DeviceCacheBytes = device.V100().MemoryBytes
+	}
+	if out.TraceRecent <= 0 {
+		out.TraceRecent = 64
+	}
+	if out.TraceSlowest <= 0 {
+		out.TraceSlowest = 16
 	}
 	return out
 }
@@ -240,8 +268,11 @@ type planEntry struct {
 }
 
 type job struct {
-	req  Request
-	done chan Response
+	req Request
+	// enqueued is when Submit put the job on the queue; the worker's
+	// pickup delta is the request's queue wait.
+	enqueued time.Time
+	done     chan Response
 }
 
 // Service executes SSB query requests concurrently over one dataset.
@@ -293,6 +324,11 @@ type Service struct {
 	fleetMu     sync.Mutex
 	fleetCaches []*deviceCache
 
+	// recorder is the bounded flight recorder of recent and slowest
+	// traces; nil unless Options.Trace is set, and the nil check is what
+	// keeps the untraced hot path allocation-free.
+	recorder *trace.Recorder
+
 	// morsels bounds intra-query helper parallelism across every in-flight
 	// request (see Options.MorselHelpers).
 	morsels gate
@@ -318,6 +354,9 @@ func New(ds *ssb.Dataset, version string, opts Options) *Service {
 	if s.opts.DeviceCacheBytes > 0 {
 		s.devCache = newDeviceCache(s.opts.DeviceCacheBytes, s.gen)
 	}
+	if s.opts.Trace {
+		s.recorder = trace.NewRecorder(s.opts.TraceRecent, s.opts.TraceSlowest)
+	}
 	s.morsels = make(gate, s.opts.MorselHelpers)
 	s.stats.engines = map[queries.Engine]*engineAccum{}
 	s.jobs = make(chan job, s.opts.QueueDepth)
@@ -326,7 +365,7 @@ func New(ds *ssb.Dataset, version string, opts Options) *Service {
 		go func() {
 			defer s.wg.Done()
 			for j := range s.jobs {
-				j.done <- s.execute(j.req)
+				j.done <- s.execute(j.req, time.Since(j.enqueued))
 			}
 		}()
 	}
@@ -335,6 +374,10 @@ func New(ds *ssb.Dataset, version string, opts Options) *Service {
 
 // Workers returns the execution pool size.
 func (s *Service) Workers() int { return s.opts.Workers }
+
+// TraceRecorder returns the service's flight recorder of recent and
+// slowest traces, or nil when tracing is disabled (Options.Trace).
+func (s *Service) TraceRecorder() *trace.Recorder { return s.recorder }
 
 // Version returns the current dataset version.
 func (s *Service) Version() string {
@@ -449,7 +492,7 @@ func (s *Service) submit(ctx context.Context, req Request) (<-chan Response, err
 	s.mu.RUnlock()
 	defer s.pending.Done()
 	select {
-	case s.jobs <- job{req: req, done: done}:
+	case s.jobs <- job{req: req, enqueued: time.Now(), done: done}:
 		return done, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -567,8 +610,9 @@ func (s *Service) resolve(ds *ssb.Dataset, gen uint64, req Request) (queries.Que
 	}
 }
 
-// execute runs one request on the calling worker goroutine.
-func (s *Service) execute(req Request) Response {
+// execute runs one request on the calling worker goroutine. queueWait is
+// how long the request sat in the queue before this worker picked it up.
+func (s *Service) execute(req Request, queueWait time.Duration) Response {
 	start := time.Now()
 
 	// Canonicalize the engine so aliases ("gpu") hit the same cache entries
@@ -630,7 +674,7 @@ func (s *Service) execute(req Request) Response {
 	default:
 		req.Interconnect = ""
 	}
-	resp := Response{Request: req, Adhoc: req.SQL != "", Packed: req.Packed}
+	resp := Response{Request: req, Adhoc: req.SQL != "", Packed: req.Packed, QueueWait: queueWait}
 
 	s.mu.RLock()
 	ds, version, gen := s.ds, s.version, s.gen
@@ -663,7 +707,11 @@ func (s *Service) execute(req Request) Response {
 		resp.Request = req
 	}
 
+	// bindWall times query resolution for the trace's bind span; stamped
+	// unconditionally (two clock reads), consumed only when tracing.
+	bindStart := time.Now()
 	q, canon, err := s.resolve(ds, gen, req)
+	bindWall := time.Since(bindStart)
 	if err != nil {
 		resp.Err = err
 		s.recordError()
@@ -722,6 +770,9 @@ func (s *Service) execute(req Request) Response {
 			resp.PlanCached = true
 			resp.ResultCached = true
 			resp.Wall = time.Since(start)
+			if s.recorder != nil {
+				s.finishTrace(&resp, start, queueWait, bindWall, 0, nil)
+			}
 			s.recordStats(resp)
 			return resp
 		}
@@ -745,10 +796,13 @@ func (s *Service) execute(req Request) Response {
 	}
 	s.cacheMu.Unlock()
 
+	planStart := time.Now()
 	entry.once.Do(func() { entry.plan = queries.Compile(ds, q) })
+	planWall := time.Since(planStart)
 	opts := queries.RunOptions{}
 	opts.Partition.Partitions = req.Partitions
 	opts.Partition.Limiter = s.morsels
+	opts.Trace = s.recorder != nil
 	if req.Packed {
 		opts.Partition.Packed = s.packedFact(gen, ds)
 		if fleetResidency {
@@ -757,6 +811,7 @@ func (s *Service) execute(req Request) Response {
 			opts.Partition.Residency = boundResidency{cache: s.devCache, gen: gen}
 		}
 	}
+	var runSpan *trace.Span
 	switch {
 	case req.Placement != "":
 		fl := fleet.Spec{GPUs: req.GPUs, Link: link}
@@ -793,6 +848,7 @@ func (s *Service) execute(req Request) Response {
 		resp.Interconnect = hr.Interconnect
 		resp.Executors = hr.Executors
 		resp.MergeBytes = hr.MergeBytes
+		runSpan = hr.Trace
 	case req.GPUs > 0:
 		dev := device.V100()
 		if s.opts.FleetDeviceMemoryBytes > 0 {
@@ -811,8 +867,18 @@ func (s *Service) execute(req Request) Response {
 		resp.Interconnect = fr.Interconnect
 		resp.Devices = fr.Devices
 		resp.MergeBytes = fr.MergeBytes
+		runSpan = fr.Trace
 	default:
-		resp.Result = entry.plan.RunPartitioned(req.Engine, opts)
+		// Classic engine dispatch runs through the same scheduled path
+		// RunPartitioned wraps, unwrapped here so the run's span tree is
+		// available when tracing.
+		sr, err := entry.plan.RunScheduled(entry.plan.ScheduleEngine(req.Engine, opts))
+		if err != nil {
+			// Unreachable: ScheduleEngine covers every morsel exactly once.
+			panic("serve: invalid engine schedule: " + err.Error())
+		}
+		resp.Result = sr.Result
+		runSpan = sr.Trace
 	}
 	resp.Result.QueryID = q.ID
 	resp.SimSeconds = resp.Result.Seconds
@@ -821,6 +887,9 @@ func (s *Service) execute(req Request) Response {
 	resp.TransferBytes = resp.Result.TransferBytes
 	resp.ResidentCols = resp.Result.ResidentCols
 	resp.Wall = time.Since(start)
+	if s.recorder != nil {
+		s.finishTrace(&resp, start, queueWait, bindWall, planWall, runSpan)
+	}
 
 	// Cache only results that are still current: the dataset may have been
 	// swapped while this request executed. (A swap between the check and the
@@ -836,12 +905,56 @@ func (s *Service) execute(req Request) Response {
 		cached.Result = resp.Result.Clone()
 		cached.Devices = append([]queries.FleetDevice(nil), resp.Devices...)
 		cached.Executors = append([]queries.ExecutorResult(nil), resp.Executors...)
+		// Traces are per-request observations, never replayed from cache.
+		cached.Trace = nil
+		cached.TraceID = ""
+		cached.QueueWait = 0
 		s.cacheMu.Lock()
 		s.results.put(resultKey, &cached)
 		s.cacheMu.Unlock()
 	}
 	s.recordStats(resp)
 	return resp
+}
+
+// finishTrace assembles the request's span tree — admit, bind, plan and
+// the run span the scheduled execution built (nil for a result-cache hit,
+// which gets a cache-hit marker instead) — and hands it to the flight
+// recorder, stamping the Response with the recorded ID. Called only when
+// tracing is enabled.
+func (s *Service) finishTrace(resp *Response, start time.Time, queueWait, bindWall, planWall time.Duration, runSpan *trace.Span) {
+	root := &trace.Span{
+		Phase: trace.PhaseRequest,
+		Children: []*trace.Span{
+			{Phase: trace.PhaseAdmit, Wall: queueWait},
+			{Phase: trace.PhaseBind, Wall: bindWall},
+		},
+	}
+	if runSpan != nil {
+		root.Children = append(root.Children,
+			&trace.Span{Phase: trace.PhasePlan, Wall: planWall, Cached: resp.PlanCached},
+			runSpan)
+		root.Sim = runSpan.Sim
+	} else {
+		// Result-cache hit: the response replays stored telemetry, but no
+		// simulated execution happened in this request.
+		root.Children = append(root.Children, &trace.Span{Phase: trace.PhaseCacheHit, Cached: true})
+	}
+	root.Wall = queueWait + time.Since(start)
+	tr := &trace.Trace{
+		Query:        resp.Query.ID,
+		Engine:       EngineAlias(resp.Request.Engine),
+		Placement:    resp.Placement,
+		GPUs:         resp.GPUs,
+		Interconnect: resp.Interconnect,
+		Cached:       resp.ResultCached,
+		Start:        start.Add(-queueWait),
+		Wall:         root.Wall,
+		Sim:          root.Sim,
+		Root:         root,
+	}
+	resp.TraceID = s.recorder.Add(tr)
+	resp.Trace = tr
 }
 
 func (s *Service) generation() uint64 {

@@ -6,6 +6,7 @@ import (
 
 	"crystal/internal/bench"
 	"crystal/internal/queries"
+	"crystal/internal/trace"
 )
 
 // engineAccum accumulates per-engine latency under the service mutex.
@@ -13,6 +14,33 @@ type engineAccum struct {
 	requests    int64
 	simSeconds  float64
 	wallSeconds float64
+}
+
+// latencyAccum accumulates one (engine, placement) cell's latency
+// distributions: execution wall clock, queue wait, and simulated seconds,
+// each in a fixed-bucket log histogram (trace.Histogram), so percentiles
+// and the Prometheus exposition come from the same counters. The
+// histograms are updated under statsMu like every other tally.
+type latencyAccum struct {
+	requests int64
+	wall     trace.Histogram
+	queue    trace.Histogram
+	sim      trace.Histogram
+}
+
+// placementLabel buckets a response for the latency histograms: the
+// resolved placement for scheduler-routed requests, "fleet" for classic
+// multi-GPU dispatch, "classic" for plain engine dispatch. Returns only
+// static or already-allocated strings — the hot path must not allocate.
+func placementLabel(resp *Response) string {
+	switch {
+	case resp.Placement != "":
+		return resp.Placement
+	case resp.GPUs > 0:
+		return "fleet"
+	default:
+		return "classic"
+	}
 }
 
 // hybridExecAccum accumulates one scheduler executor's served traffic
@@ -82,6 +110,11 @@ type statsAccum struct {
 	hybridResidentCol int64
 	hybridMergeBytes  int64
 	hybridExecutors   map[string]*hybridExecAccum
+
+	// latency is the per-(engine alias, placement label) histogram grid.
+	// Two map levels instead of a joined key so the steady-state record
+	// path performs no string concatenation (and therefore no allocation).
+	latency map[string]map[string]*latencyAccum
 }
 
 // executorLabel names one scheduler executor for the stats breakdown:
@@ -191,6 +224,66 @@ func (a *statsAccum) record(resp Response) {
 	e.requests++
 	e.simSeconds += resp.SimSeconds
 	e.wallSeconds += resp.Wall.Seconds()
+
+	alias := EngineAlias(resp.Request.Engine)
+	place := placementLabel(&resp)
+	if a.latency == nil {
+		a.latency = map[string]map[string]*latencyAccum{}
+	}
+	byPlace := a.latency[alias]
+	if byPlace == nil {
+		byPlace = map[string]*latencyAccum{}
+		a.latency[alias] = byPlace
+	}
+	l := byPlace[place]
+	if l == nil {
+		l = &latencyAccum{}
+		byPlace[place] = l
+	}
+	l.requests++
+	l.wall.Observe(resp.Wall.Seconds())
+	l.queue.Observe(resp.QueueWait.Seconds())
+	l.sim.Observe(resp.SimSeconds)
+}
+
+// snapshot deep-copies the accumulator so Stats and the metrics
+// exposition can render without holding statsMu: every map, slice and
+// histogram is cloned in this one critical section — the single-lock
+// snapshot that makes multi-field aggregates (counts vs. their sums,
+// per-executor rows vs. totals) mutually consistent in the copy.
+func (a *statsAccum) snapshot() statsAccum {
+	out := *a
+	out.engines = make(map[queries.Engine]*engineAccum, len(a.engines))
+	for k, v := range a.engines {
+		c := *v
+		out.engines[k] = &c
+	}
+	out.fleetDevices = append([]fleetDeviceAccum(nil), a.fleetDevices...)
+	if a.placements != nil {
+		out.placements = make(map[string]int64, len(a.placements))
+		for k, v := range a.placements {
+			out.placements[k] = v
+		}
+	}
+	if a.hybridExecutors != nil {
+		out.hybridExecutors = make(map[string]*hybridExecAccum, len(a.hybridExecutors))
+		for k, v := range a.hybridExecutors {
+			c := *v
+			out.hybridExecutors[k] = &c
+		}
+	}
+	if a.latency != nil {
+		out.latency = make(map[string]map[string]*latencyAccum, len(a.latency))
+		for alias, byPlace := range a.latency {
+			cp := make(map[string]*latencyAccum, len(byPlace))
+			for place, l := range byPlace {
+				c := *l // trace.Histogram is a value: copying clones the counts
+				cp[place] = &c
+			}
+			out.latency[alias] = cp
+		}
+	}
+	return out
 }
 
 // FleetDeviceStats reports one fleet device's served traffic: every fleet
@@ -236,6 +329,26 @@ type EngineStats struct {
 	// SimMS and WallMS are the mean per-request latencies in milliseconds.
 	SimMS  float64 `json:"sim_ms"`
 	WallMS float64 `json:"wall_ms"`
+}
+
+// LatencyStats reports one (engine, placement) cell's latency
+// distribution: request count and p50/p95/p99 percentiles (milliseconds,
+// linear interpolation within the log buckets) for the execution wall
+// clock, the queue wait and the simulated seconds. Gating and the bench
+// tables stay on means; percentiles are observability surface only.
+type LatencyStats struct {
+	Engine     string  `json:"engine"`
+	Placement  string  `json:"placement"`
+	Requests   int64   `json:"requests"`
+	WallP50MS  float64 `json:"wall_p50_ms"`
+	WallP95MS  float64 `json:"wall_p95_ms"`
+	WallP99MS  float64 `json:"wall_p99_ms"`
+	QueueP50MS float64 `json:"queue_p50_ms"`
+	QueueP95MS float64 `json:"queue_p95_ms"`
+	QueueP99MS float64 `json:"queue_p99_ms"`
+	SimP50MS   float64 `json:"sim_p50_ms"`
+	SimP95MS   float64 `json:"sim_p95_ms"`
+	SimP99MS   float64 `json:"sim_p99_ms"`
 }
 
 // Stats is a point-in-time snapshot of the service counters.
@@ -318,9 +431,25 @@ type Stats struct {
 	CachedResults int     `json:"cached_results"`
 
 	Engines []EngineStats `json:"engines"`
+
+	// Latency is the per-(engine, placement) latency percentile grid,
+	// sorted by engine then placement for stable output.
+	Latency []LatencyStats `json:"latency,omitempty"`
 }
 
-// Stats snapshots the current counters.
+// snapshotStats deep-copies the running tally under a single statsMu
+// acquisition. Stats and the metrics exposition render from the copy, so
+// concurrent recordStats calls can never tear a multi-field aggregate in
+// flight.
+func (s *Service) snapshotStats() statsAccum {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats.snapshot()
+}
+
+// Stats snapshots the current counters. All tallies come from one
+// single-lock snapshot of the accumulator; the dataset version and cache
+// occupancies are single fields read under their own locks.
 func (s *Service) Stats() Stats {
 	out := Stats{Workers: s.opts.Workers}
 	s.mu.RLock()
@@ -330,26 +459,25 @@ func (s *Service) Stats() Stats {
 	out.CachedPlans = s.plans.len()
 	out.CachedResults = s.results.len()
 	s.cacheMu.Unlock()
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	out.Requests = s.stats.requests
-	out.NamedRequests = s.stats.named
-	out.AdhocRequests = s.stats.adhoc
-	out.PartitionedRequests = s.stats.partitioned
-	out.Morsels = s.stats.morsels
-	out.PrunedMorsels = s.stats.pruned
-	out.PruneRate = rate(s.stats.pruned, s.stats.morsels-s.stats.pruned)
-	out.PackedRequests = s.stats.packed
-	out.TransferBytes = s.stats.transferBytes
-	out.ResidentCols = s.stats.residentCols
-	out.FleetRequests = s.stats.fleetRequests
-	out.FleetMorsels = s.stats.fleetMorsels
-	out.FleetPruned = s.stats.fleetPruned
-	out.FleetRows = s.stats.fleetRows
-	out.FleetSpillBytes = s.stats.fleetSpillBytes
-	out.FleetResidentCols = s.stats.fleetResidentCols
-	out.FleetMergeBytes = s.stats.fleetMergeBytes
-	for d, a := range s.stats.fleetDevices {
+	st := s.snapshotStats()
+	out.Requests = st.requests
+	out.NamedRequests = st.named
+	out.AdhocRequests = st.adhoc
+	out.PartitionedRequests = st.partitioned
+	out.Morsels = st.morsels
+	out.PrunedMorsels = st.pruned
+	out.PruneRate = rate(st.pruned, st.morsels-st.pruned)
+	out.PackedRequests = st.packed
+	out.TransferBytes = st.transferBytes
+	out.ResidentCols = st.residentCols
+	out.FleetRequests = st.fleetRequests
+	out.FleetMorsels = st.fleetMorsels
+	out.FleetPruned = st.fleetPruned
+	out.FleetRows = st.fleetRows
+	out.FleetSpillBytes = st.fleetSpillBytes
+	out.FleetResidentCols = st.fleetResidentCols
+	out.FleetMergeBytes = st.fleetMergeBytes
+	for d, a := range st.fleetDevices {
 		out.FleetDevices = append(out.FleetDevices, FleetDeviceStats{
 			Device:       d,
 			Requests:     a.requests,
@@ -361,20 +489,17 @@ func (s *Service) Stats() Stats {
 			SimSeconds:   a.simSeconds,
 		})
 	}
-	if len(s.stats.placements) > 0 {
-		out.PlacementRequests = make(map[string]int64, len(s.stats.placements))
-		for p, n := range s.stats.placements {
-			out.PlacementRequests[p] = n
-		}
+	if len(st.placements) > 0 {
+		out.PlacementRequests = st.placements // snapshot's own copy
 	}
-	out.HybridRequests = s.stats.hybridRequests
-	out.HybridMorsels = s.stats.hybridMorsels
-	out.HybridPruned = s.stats.hybridPruned
-	out.HybridRows = s.stats.hybridRows
-	out.HybridShipBytes = s.stats.hybridShipBytes
-	out.HybridResidentCols = s.stats.hybridResidentCol
-	out.HybridMergeBytes = s.stats.hybridMergeBytes
-	for label, h := range s.stats.hybridExecutors {
+	out.HybridRequests = st.hybridRequests
+	out.HybridMorsels = st.hybridMorsels
+	out.HybridPruned = st.hybridPruned
+	out.HybridRows = st.hybridRows
+	out.HybridShipBytes = st.hybridShipBytes
+	out.HybridResidentCols = st.hybridResidentCol
+	out.HybridMergeBytes = st.hybridMergeBytes
+	for label, h := range st.hybridExecutors {
 		out.HybridExecutors = append(out.HybridExecutors, HybridExecutorStats{
 			Label:        label,
 			Kind:         h.kind,
@@ -406,16 +531,16 @@ func (s *Service) Stats() Stats {
 		out.ResidentEvictions = dc.evictions
 		out.ResidencyHitRate = rate(dc.hits, dc.misses)
 	}
-	out.Errors = s.stats.errors
-	out.PlanHits = s.stats.planHits
-	out.PlanMisses = s.stats.planMisses
-	out.ResultHits = s.stats.resultHits
-	out.ResultMisses = s.stats.resultMisses
+	out.Errors = st.errors
+	out.PlanHits = st.planHits
+	out.PlanMisses = st.planMisses
+	out.ResultHits = st.resultHits
+	out.ResultMisses = st.resultMisses
 	out.PlanHitRate = rate(out.PlanHits, out.PlanMisses)
 	out.ResultHitRate = rate(out.ResultHits, out.ResultMisses)
 	// Report engines in the fixed evaluation order so output is stable.
 	for _, e := range queries.Engines() {
-		a := s.stats.engines[e]
+		a := st.engines[e]
 		if a == nil {
 			continue
 		}
@@ -427,6 +552,47 @@ func (s *Service) Stats() Stats {
 			WallMS:   a.wallSeconds / float64(a.requests) * 1e3,
 		})
 	}
+	for _, cell := range sortedLatency(st.latency) {
+		l := cell.acc
+		out.Latency = append(out.Latency, LatencyStats{
+			Engine:     cell.engine,
+			Placement:  cell.placement,
+			Requests:   l.requests,
+			WallP50MS:  l.wall.Quantile(0.50) * 1e3,
+			WallP95MS:  l.wall.Quantile(0.95) * 1e3,
+			WallP99MS:  l.wall.Quantile(0.99) * 1e3,
+			QueueP50MS: l.queue.Quantile(0.50) * 1e3,
+			QueueP95MS: l.queue.Quantile(0.95) * 1e3,
+			QueueP99MS: l.queue.Quantile(0.99) * 1e3,
+			SimP50MS:   l.sim.Quantile(0.50) * 1e3,
+			SimP95MS:   l.sim.Quantile(0.95) * 1e3,
+			SimP99MS:   l.sim.Quantile(0.99) * 1e3,
+		})
+	}
+	return out
+}
+
+// latencyCell is one (engine, placement) histogram cell in sorted order.
+type latencyCell struct {
+	engine, placement string
+	acc               *latencyAccum
+}
+
+// sortedLatency flattens the latency grid sorted by engine then placement
+// so every rendering (Stats JSON, Prometheus exposition) is stable.
+func sortedLatency(grid map[string]map[string]*latencyAccum) []latencyCell {
+	var out []latencyCell
+	for engine, byPlace := range grid {
+		for place, acc := range byPlace {
+			out = append(out, latencyCell{engine: engine, placement: place, acc: acc})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].engine != out[j].engine {
+			return out[i].engine < out[j].engine
+		}
+		return out[i].placement < out[j].placement
+	})
 	return out
 }
 

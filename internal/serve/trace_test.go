@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"crystal/internal/queries"
+	"crystal/internal/trace"
+)
+
+// mixedRequests covers every dispatch shape the service routes: classic
+// engine dispatch, classic multi-GPU fleet, and the scheduler placements.
+func mixedRequests() []Request {
+	return []Request{
+		{QueryID: "q1.1", Engine: queries.EngineCPU},
+		{QueryID: "q2.1", Engine: queries.EngineCoproc, Packed: true},
+		{QueryID: "q3.1", Engine: queries.EngineGPU, GPUs: 2, Partitions: 8},
+		{QueryID: "q4.1", Placement: PlacementHybrid, GPUs: 2, Interconnect: "nvlink"},
+		{QueryID: "q1.2", Placement: PlacementCPU},
+		{QueryID: "q2.2", Placement: PlacementGPU, GPUs: 2},
+	}
+}
+
+// TestTraceThroughService: with Options.Trace on, every response carries a
+// recorded trace whose run span satisfies the tracer's invariants and
+// whose simulated seconds equal the response's.
+func TestTraceThroughService(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 2, Trace: true})
+	defer s.Close()
+
+	for _, req := range mixedRequests() {
+		req.NoCache = true
+		resp, err := s.Do(context.Background(), req)
+		if err != nil || resp.Err != nil {
+			t.Fatalf("%+v: %v / %v", req, err, resp.Err)
+		}
+		if resp.TraceID == "" || resp.Trace == nil {
+			t.Fatalf("%+v: traced service returned no trace", req)
+		}
+		got := s.TraceRecorder().Get(resp.TraceID)
+		if got != resp.Trace {
+			t.Errorf("%s: recorder lookup returned a different trace", resp.TraceID)
+		}
+		root := resp.Trace.Root
+		if root.Phase != trace.PhaseRequest || root.Child(trace.PhaseAdmit) == nil || root.Child(trace.PhaseBind) == nil {
+			t.Errorf("%s: malformed request span: %+v", resp.TraceID, root)
+		}
+		run := root.Child(trace.PhaseRun)
+		if run == nil {
+			t.Fatalf("%s: no run span on an executed request", resp.TraceID)
+		}
+		if err := trace.Verify(run); err != nil {
+			t.Errorf("%s (%+v): %v", resp.TraceID, req, err)
+		}
+		if resp.Trace.Sim != resp.SimSeconds {
+			t.Errorf("%s: trace sim %g != response sim %g", resp.TraceID, resp.Trace.Sim, resp.SimSeconds)
+		}
+		if resp.QueueWait < 0 {
+			t.Errorf("%s: negative queue wait", resp.TraceID)
+		}
+		if resp.Trace.Query != req.QueryID {
+			t.Errorf("trace query %q != request %q", resp.Trace.Query, req.QueryID)
+		}
+	}
+	if n := s.TraceRecorder().Len(); n == 0 {
+		t.Error("flight recorder retained nothing")
+	}
+}
+
+// TestTraceCacheHit: a result-cache hit gets its own trace — a cache-hit
+// marker instead of a run span, never a replay of the original's spans.
+func TestTraceCacheHit(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 1, Trace: true})
+	defer s.Close()
+
+	req := Request{QueryID: "q1.1", Engine: queries.EngineCPU}
+	first, err := s.Do(context.Background(), req)
+	if err != nil || first.Err != nil {
+		t.Fatal(err, first.Err)
+	}
+	second, err := s.Do(context.Background(), req)
+	if err != nil || second.Err != nil {
+		t.Fatal(err, second.Err)
+	}
+	if !second.ResultCached {
+		t.Fatal("second identical request missed the result cache")
+	}
+	if second.TraceID == "" || second.TraceID == first.TraceID {
+		t.Errorf("cache hit trace id %q (first %q): want a fresh trace", second.TraceID, first.TraceID)
+	}
+	if !second.Trace.Cached {
+		t.Error("cache-hit trace not marked cached")
+	}
+	hit := second.Trace.Root.Child(trace.PhaseCacheHit)
+	if hit == nil || !hit.Cached {
+		t.Error("cache-hit trace has no cache-hit span")
+	}
+	if second.Trace.Root.Child(trace.PhaseRun) != nil {
+		t.Error("cache-hit trace replays a run span")
+	}
+}
+
+// TestTraceOffByDefault: without Options.Trace the service records
+// nothing and responses carry no trace surface at all.
+func TestTraceOffByDefault(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 1})
+	defer s.Close()
+	if s.TraceRecorder() != nil {
+		t.Fatal("untraced service built a flight recorder")
+	}
+	resp, err := s.Do(context.Background(), Request{QueryID: "q1.1", Engine: queries.EngineGPU})
+	if err != nil || resp.Err != nil {
+		t.Fatal(err, resp.Err)
+	}
+	if resp.TraceID != "" || resp.Trace != nil {
+		t.Error("untraced response carries a trace")
+	}
+}
+
+// TestStatsAndMetricsUnderLoad hammers Stats and the metrics exposition
+// from reader goroutines while mixed-placement traffic executes (run
+// under -race in CI): the single-lock snapshot must never tear, and the
+// final tallies must be exact.
+func TestStatsAndMetricsUnderLoad(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 4, Trace: true})
+	defer s.Close()
+
+	const rounds = 10
+	reqs := mixedRequests()
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				st := s.Stats()
+				var latReqs int64
+				for _, l := range st.Latency {
+					latReqs += l.Requests
+				}
+				if latReqs > st.Requests {
+					t.Errorf("torn snapshot: %d latency observations for %d requests", latReqs, st.Requests)
+					return
+				}
+				if err := s.WriteMetrics(io.Discard); err != nil {
+					t.Errorf("WriteMetrics: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	var clients sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		clients.Add(1)
+		go func(c int) {
+			defer clients.Done()
+			for i := 0; i < rounds; i++ {
+				req := reqs[(i+c)%len(reqs)]
+				req.NoCache = true
+				if resp, err := s.Do(context.Background(), req); err != nil || resp.Err != nil {
+					t.Errorf("%+v: %v / %v", req, err, resp.Err)
+					return
+				}
+			}
+		}(c)
+	}
+	clients.Wait()
+	close(done)
+	readers.Wait()
+
+	st := s.Stats()
+	if want := int64(4 * rounds); st.Requests != want {
+		t.Errorf("requests = %d, want %d", st.Requests, want)
+	}
+	var latReqs int64
+	for _, l := range st.Latency {
+		latReqs += l.Requests
+		if l.WallP50MS > l.WallP95MS || l.WallP95MS > l.WallP99MS {
+			t.Errorf("%s/%s: percentiles not monotone: %g %g %g",
+				l.Engine, l.Placement, l.WallP50MS, l.WallP95MS, l.WallP99MS)
+		}
+	}
+	if latReqs != st.Requests {
+		t.Errorf("latency grid holds %d observations for %d requests", latReqs, st.Requests)
+	}
+}
+
+// TestMetricsExposition: the /metrics payload is valid Prometheus text
+// exposition carrying the per-(engine, placement) latency histograms, and
+// its request counter agrees with Stats.
+func TestMetricsExposition(t *testing.T) {
+	s := New(testData(), "v1", Options{Workers: 2, Trace: true})
+	defer s.Close()
+	for _, req := range mixedRequests() {
+		if resp, err := s.Do(context.Background(), req); err != nil || resp.Err != nil {
+			t.Fatalf("%+v: %v / %v", req, err, resp.Err)
+		}
+	}
+
+	var b strings.Builder
+	if err := s.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := trace.Validate(out); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`ssb_requests_total{engine="cpu",placement="classic"} 1`,
+		`ssb_requests_total{engine="gpu",placement="fleet"} 1`,
+		`ssb_request_wall_seconds_bucket{engine="cpu",placement="classic",le="+Inf"} 1`,
+		`ssb_request_wall_seconds_count{engine="cpu",placement="classic"} 1`,
+		"# TYPE ssb_queue_wait_seconds histogram",
+		"# TYPE ssb_sim_seconds histogram",
+		`placement="hybrid"`,
+		"ssb_workers 2",
+		"# TYPE ssb_transfer_bytes_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The exposition's request counter must agree with Stats — both render
+	// from the same accumulator.
+	st := s.Stats()
+	var totalLat int64
+	for _, l := range st.Latency {
+		totalLat += l.Requests
+	}
+	if totalLat != st.Requests {
+		t.Errorf("latency grid %d != requests %d", totalLat, st.Requests)
+	}
+}

@@ -1,0 +1,296 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exposition writes Prometheus text exposition format (version 0.0.4)
+// without depending on a client library. Metrics are written in the
+// order they were added; label sets within a metric in the order they
+// were observed. The zero value is not usable — use NewExposition.
+type Exposition struct {
+	w   io.Writer
+	err error
+}
+
+// NewExposition returns an exposition writer targeting w. Write errors
+// are sticky; check Err once at the end.
+func NewExposition(w io.Writer) *Exposition {
+	return &Exposition{w: w}
+}
+
+// Err returns the first write error, if any.
+func (e *Exposition) Err() error { return e.err }
+
+func (e *Exposition) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+func (e *Exposition) header(name, help, typ string) {
+	e.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// labelStr renders {k="v",...} from alternating key, value pairs, or ""
+// when empty.
+func labelStr(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("{")
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteString(`"`)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// Counter writes one counter metric with a set of label-value samples.
+// Each sample is (labels as alternating key/value pairs, value).
+func (e *Exposition) Counter(name, help string, samples []Sample) {
+	e.header(name, help, "counter")
+	for _, s := range samples {
+		e.printf("%s%s %s\n", name, labelStr(s.Labels), formatValue(s.Value))
+	}
+}
+
+// Gauge writes one gauge metric with a set of label-value samples.
+func (e *Exposition) Gauge(name, help string, samples []Sample) {
+	e.header(name, help, "gauge")
+	for _, s := range samples {
+		e.printf("%s%s %s\n", name, labelStr(s.Labels), formatValue(s.Value))
+	}
+}
+
+// Sample is one labeled value of a counter or gauge.
+type Sample struct {
+	Labels []string // alternating key, value
+	Value  float64
+}
+
+// HistSample is one labeled histogram series.
+type HistSample struct {
+	Labels []string // alternating key, value
+	Hist   *Histogram
+}
+
+// Histogram writes one histogram metric: cumulative _bucket series per
+// label set (ending with le="+Inf"), plus _sum and _count.
+func (e *Exposition) Histogram(name, help string, samples []HistSample) {
+	e.header(name, help, "histogram")
+	for _, s := range samples {
+		var cum uint64
+		counts := s.Hist.Counts()
+		for i, bound := range bucketBounds {
+			cum += counts[i]
+			kv := append(append([]string{}, s.Labels...), "le", formatValue(bound))
+			e.printf("%s_bucket%s %d\n", name, labelStr(kv), cum)
+		}
+		cum += counts[NumBuckets]
+		kv := append(append([]string{}, s.Labels...), "le", "+Inf")
+		e.printf("%s_bucket%s %d\n", name, labelStr(kv), cum)
+		e.printf("%s_sum%s %s\n", name, labelStr(s.Labels), formatValue(s.Hist.Sum()))
+		e.printf("%s_count%s %d\n", name, labelStr(s.Labels), s.Hist.Count())
+	}
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Validate parses Prometheus text exposition and checks it is
+// well-formed: every sample belongs to a # TYPE-declared metric, sample
+// lines parse, histogram buckets are cumulative and non-decreasing, every
+// histogram ends with le="+Inf", and _count equals the +Inf bucket. The
+// metrics-smoke test scrapes /metrics through this. Returns the first
+// problem found, or nil.
+func Validate(text string) error {
+	type histState struct {
+		// per label-set (excluding le): last cumulative bucket, whether
+		// +Inf was seen, and the _count value if seen.
+		last  map[string]float64
+		inf   map[string]float64
+		count map[string]float64
+	}
+	types := map[string]string{}
+	hists := map[string]*histState{}
+	declared := func(name string) (string, bool) {
+		if t, ok := types[name]; ok {
+			return t, ok
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suffix); ok {
+				if t, ok := types[base]; ok && t == "histogram" {
+					return t, true
+				}
+			}
+		}
+		return "", false
+	}
+
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE line %q", lineNo+1, line)
+			}
+			name, typ := fields[2], fields[3]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineNo+1, typ)
+			}
+			types[name] = typ
+			if typ == "histogram" {
+				hists[name] = &histState{
+					last:  map[string]float64{},
+					inf:   map[string]float64{},
+					count: map[string]float64{},
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo+1, err)
+		}
+		if _, ok := declared(name); !ok {
+			return fmt.Errorf("line %d: sample %q has no # TYPE declaration", lineNo+1, name)
+		}
+		if base, ok := strings.CutSuffix(name, "_bucket"); ok {
+			if h, isHist := hists[base]; isHist {
+				le, rest := splitLE(labels)
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo+1)
+				}
+				if prev, seen := h.last[rest]; seen && value < prev {
+					return fmt.Errorf("line %d: %s bucket counts decrease (%g < %g)", lineNo+1, base, value, prev)
+				}
+				h.last[rest] = value
+				if le == "+Inf" {
+					h.inf[rest] = value
+				}
+				continue
+			}
+		}
+		if base, ok := strings.CutSuffix(name, "_count"); ok {
+			if h, isHist := hists[base]; isHist {
+				_, rest := splitLE(labels)
+				h.count[rest] = value
+			}
+		}
+	}
+	for name, h := range hists {
+		for series := range h.last {
+			inf, ok := h.inf[series]
+			if !ok {
+				return fmt.Errorf("histogram %s{%s} has no +Inf bucket", name, series)
+			}
+			if count, ok := h.count[series]; ok && count != inf {
+				return fmt.Errorf("histogram %s{%s}: _count %g != +Inf bucket %g", name, series, count, inf)
+			}
+		}
+	}
+	return nil
+}
+
+// parseSample splits a sample line into name, label string, and value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		name, labels, rest = line[:i], line[i+1:j], strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", 0, fmt.Errorf("sample %q has no value", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("sample %q: bad value: %v", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// splitLE extracts the le label value from a label string and returns it
+// alongside the remaining labels in a canonical (sorted) form.
+func splitLE(labels string) (le, rest string) {
+	if labels == "" {
+		return "", ""
+	}
+	parts := splitLabels(labels)
+	others := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if v, ok := strings.CutPrefix(p, "le="); ok {
+			le = strings.Trim(v, `"`)
+			continue
+		}
+		others = append(others, p)
+	}
+	sort.Strings(others)
+	return le, strings.Join(others, ",")
+}
+
+// splitLabels splits k="v" pairs on commas outside quotes.
+func splitLabels(s string) []string {
+	var parts []string
+	start, inQuote := 0, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				parts = append(parts, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		parts = append(parts, strings.TrimSpace(s[start:]))
+	}
+	return parts
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestExpositionRoundTrip(t *testing.T) {
+	var h1, h2 Histogram
+	h1.Observe(3e-6)
+	h1.Observe(0.5)
+	h2.Observe(1e9) // +Inf bucket
+
+	var b strings.Builder
+	e := NewExposition(&b)
+	e.Counter("ssb_requests_total", "Requests served.", []Sample{
+		{Labels: []string{"engine", "cpu", "placement", "classic"}, Value: 12},
+		{Labels: []string{"engine", "gpu", "placement", "hybrid"}, Value: 3},
+	})
+	e.Gauge("ssb_workers", "Pool size.", []Sample{{Value: 4}})
+	e.Histogram("ssb_request_wall_seconds", "Wall clock.", []HistSample{
+		{Labels: []string{"engine", "cpu"}, Hist: &h1},
+		{Labels: []string{"engine", "gpu"}, Hist: &h2},
+	})
+	if err := e.Err(); err != nil {
+		t.Fatalf("exposition error: %v", err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE ssb_requests_total counter",
+		`ssb_requests_total{engine="cpu",placement="classic"} 12`,
+		"# TYPE ssb_workers gauge",
+		"ssb_workers 4",
+		"# TYPE ssb_request_wall_seconds histogram",
+		`ssb_request_wall_seconds_bucket{engine="cpu",le="+Inf"} 2`,
+		`ssb_request_wall_seconds_count{engine="cpu"} 2`,
+		`ssb_request_wall_seconds_sum{engine="cpu"} 0.500003`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := Validate(out); err != nil {
+		t.Errorf("Validate rejects our own exposition: %v", err)
+	}
+}
+
+func TestExpositionLabelEscaping(t *testing.T) {
+	var b strings.Builder
+	e := NewExposition(&b)
+	e.Counter("x_total", "h", []Sample{
+		{Labels: []string{"k", "a\"b\\c\nd"}, Value: 1},
+	})
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `k="a\"b\\c\nd"`) {
+		t.Errorf("label not escaped: %s", b.String())
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"undeclared sample", "foo_total 1\n", "no # TYPE"},
+		{"malformed TYPE", "# TYPE foo\n", "malformed TYPE"},
+		{"unknown type", "# TYPE foo frobnicator\n", "unknown metric type"},
+		{"bad value", "# TYPE foo counter\nfoo zebra\n", "bad value"},
+		{"no value", "# TYPE foo counter\nfoo{a=\"b\"}\n", "no value"},
+		{"unbalanced braces", "# TYPE foo counter\nfoo}{ 1\n", "unbalanced"},
+		{
+			"decreasing buckets",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="1"} 5` + "\n" +
+				`h_bucket{le="2"} 3` + "\n" +
+				`h_bucket{le="+Inf"} 5` + "\n",
+			"decrease",
+		},
+		{
+			"missing +Inf",
+			"# TYPE h histogram\n" + `h_bucket{le="1"} 5` + "\n",
+			"+Inf",
+		},
+		{
+			"count mismatch",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 5` + "\n" +
+				"h_count 4\n",
+			"_count",
+		},
+		{"bucket without le", "# TYPE h histogram\n" + `h_bucket{x="1"} 5` + "\n", "le label"},
+	}
+	for _, tc := range cases {
+		err := Validate(tc.text)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	if err := Validate("# just a comment\n\n# TYPE ok gauge\nok 1\n"); err != nil {
+		t.Errorf("Validate rejects valid text: %v", err)
+	}
+}
+
+func TestExpositionStickyError(t *testing.T) {
+	e := NewExposition(failWriter{})
+	e.Gauge("g", "h", []Sample{{Value: 1}})
+	if e.Err() == nil {
+		t.Error("write error not surfaced")
+	}
+	// Further writes are no-ops, error stays.
+	e.Counter("c_total", "h", []Sample{{Value: 2}})
+	if e.Err() == nil {
+		t.Error("sticky error lost")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) {
+	return 0, errors.New("boom")
+}

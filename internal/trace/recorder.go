@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Recorder is a bounded flight recorder: it keeps a ring of the most
+// recent traces plus the top-K slowest by wall clock, and serves lookups
+// by ID. Memory is strictly bounded — a trace is dropped as soon as it
+// leaves both the ring and the slow set. Recorder is safe for concurrent
+// use; Add is O(ring + K) worst case and never blocks on anything but its
+// own mutex, so it is admission-safe.
+type Recorder struct {
+	mu      sync.Mutex
+	seq     uint64
+	recent  []*Trace // ring, oldest first once full
+	start   int      // ring head
+	size    int      // live entries in recent
+	slowest []*Trace // sorted slowest-first, len <= topK
+	byID    map[string]*Trace
+	ringCap int
+	topK    int
+}
+
+// NewRecorder returns a recorder keeping the last ringCap traces and the
+// topK slowest. Non-positive values fall back to 64 and 16.
+func NewRecorder(ringCap, topK int) *Recorder {
+	if ringCap <= 0 {
+		ringCap = 64
+	}
+	if topK <= 0 {
+		topK = 16
+	}
+	return &Recorder{
+		recent:  make([]*Trace, ringCap),
+		byID:    make(map[string]*Trace, ringCap+topK),
+		ringCap: ringCap,
+		topK:    topK,
+	}
+}
+
+// Add records a trace, assigns it an ID ("t1", "t2", ...), and returns
+// the ID. The trace must not be mutated after Add.
+func (r *Recorder) Add(t *Trace) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	r.seq++
+	t.ID = "t" + strconv.FormatUint(r.seq, 10)
+	r.byID[t.ID] = t
+
+	// Ring insert, evicting the oldest once full.
+	var evicted *Trace
+	if r.size < r.ringCap {
+		r.recent[(r.start+r.size)%r.ringCap] = t
+		r.size++
+	} else {
+		evicted = r.recent[r.start]
+		r.recent[r.start] = t
+		r.start = (r.start + 1) % r.ringCap
+	}
+
+	// Slow set: insert in sorted position, trim to topK.
+	i := sort.Search(len(r.slowest), func(i int) bool {
+		return r.slowest[i].Wall < t.Wall
+	})
+	if i < r.topK {
+		r.slowest = append(r.slowest, nil)
+		copy(r.slowest[i+1:], r.slowest[i:])
+		r.slowest[i] = t
+		if len(r.slowest) > r.topK {
+			dropped := r.slowest[r.topK]
+			r.slowest = r.slowest[:r.topK]
+			r.drop(dropped)
+		}
+	}
+	if evicted != nil {
+		r.drop(evicted)
+	}
+	return t.ID
+}
+
+// drop removes the trace from byID unless it is still referenced by the
+// ring or the slow set. Caller holds r.mu.
+func (r *Recorder) drop(t *Trace) {
+	for i := 0; i < r.size; i++ {
+		if r.recent[(r.start+i)%r.ringCap] == t {
+			return
+		}
+	}
+	for _, s := range r.slowest {
+		if s == t {
+			return
+		}
+	}
+	delete(r.byID, t.ID)
+}
+
+// Get returns the trace with the given ID, or nil if it has been evicted
+// or never existed.
+func (r *Recorder) Get(id string) *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byID[id]
+}
+
+// Recent returns the retained traces, newest first.
+func (r *Recorder) Recent() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, r.size)
+	for i := r.size - 1; i >= 0; i-- {
+		out = append(out, r.recent[(r.start+i)%r.ringCap])
+	}
+	return out
+}
+
+// Slowest returns the top-K slowest traces by wall clock, slowest first.
+func (r *Recorder) Slowest() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, len(r.slowest))
+	copy(out, r.slowest)
+	return out
+}
+
+// Len returns the number of distinct traces currently retained.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}

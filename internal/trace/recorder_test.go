@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mkTrace(query string, wall time.Duration) *Trace {
+	return &Trace{Query: query, Wall: wall, Root: &Span{Phase: PhaseRequest}}
+}
+
+func TestRecorderIDsAndGet(t *testing.T) {
+	r := NewRecorder(4, 2)
+	id1 := r.Add(mkTrace("q1.1", time.Millisecond))
+	id2 := r.Add(mkTrace("q1.2", 2*time.Millisecond))
+	if id1 != "t1" || id2 != "t2" {
+		t.Fatalf("ids = %s, %s", id1, id2)
+	}
+	if got := r.Get(id1); got == nil || got.Query != "q1.1" {
+		t.Errorf("Get(%s) = %+v", id1, got)
+	}
+	if r.Get("t999") != nil {
+		t.Error("Get of unknown id != nil")
+	}
+}
+
+func TestRecorderBounds(t *testing.T) {
+	const ring, topK = 8, 4
+	r := NewRecorder(ring, topK)
+	for i := 0; i < 100; i++ {
+		// Wall climbs, so the slow set always holds the latest topK — all
+		// of which are also in the ring, exercising the shared-reference
+		// path of drop.
+		r.Add(mkTrace(fmt.Sprintf("q%d", i), time.Duration(i)*time.Microsecond))
+	}
+	if got := len(r.Recent()); got != ring {
+		t.Errorf("Recent len = %d, want %d", got, ring)
+	}
+	if got := len(r.Slowest()); got != topK {
+		t.Errorf("Slowest len = %d, want %d", got, topK)
+	}
+	if got := r.Len(); got > ring+topK {
+		t.Errorf("retained %d traces, want <= %d", got, ring+topK)
+	}
+	// Newest first in Recent, slowest first in Slowest.
+	recent := r.Recent()
+	if recent[0].Query != "q99" || recent[ring-1].Query != fmt.Sprintf("q%d", 100-ring) {
+		t.Errorf("Recent order wrong: %s .. %s", recent[0].Query, recent[ring-1].Query)
+	}
+	slow := r.Slowest()
+	for i := 1; i < len(slow); i++ {
+		if slow[i].Wall > slow[i-1].Wall {
+			t.Errorf("Slowest not sorted at %d", i)
+		}
+	}
+	if slow[0].Query != "q99" {
+		t.Errorf("slowest = %s, want q99", slow[0].Query)
+	}
+	// Evicted traces must no longer resolve.
+	if r.Get("t1") != nil {
+		t.Error("t1 survived eviction from both ring and slow set")
+	}
+}
+
+func TestRecorderSlowSetOutlivesRing(t *testing.T) {
+	r := NewRecorder(2, 2)
+	slowID := r.Add(mkTrace("slow", time.Hour))
+	for i := 0; i < 10; i++ {
+		r.Add(mkTrace("fast", time.Nanosecond))
+	}
+	// "slow" left the ring long ago but must still be pinned by the slow set.
+	if got := r.Get(slowID); got == nil || got.Query != "slow" {
+		t.Fatalf("slow trace evicted: %+v", got)
+	}
+	if r.Slowest()[0].Query != "slow" {
+		t.Error("slow set lost its head")
+	}
+}
+
+func TestRecorderDefaults(t *testing.T) {
+	r := NewRecorder(0, -1)
+	if r.ringCap != 64 || r.topK != 16 {
+		t.Errorf("defaults = %d/%d, want 64/16", r.ringCap, r.topK)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(16, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := r.Add(mkTrace("q", time.Duration(g*1000+i)))
+				r.Get(id)
+				r.Recent()
+				r.Slowest()
+				r.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Len(); got > 16+4 {
+		t.Errorf("retained %d traces after concurrent load, want <= 20", got)
+	}
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Render returns an EXPLAIN ANALYZE-style tree for the trace: one line
+// per span with its simulated time, host wall time, and byte/row
+// attribution, indented with box-drawing connectors. ssbench -explain and
+// the /trace endpoint's text format both print this.
+//
+//	q4.1 placement=hybrid gpus=2 link=nvlink  sim=1.93ms wall=210µs
+//	└─ run  sim=1.93ms
+//	   ├─ schedule
+//	   ├─ execute cpu  sim=1.52ms rows=196608 morsels=6
+//	   │  └─ kernel  sim=1.52ms
+//	   ├─ execute gpu0  sim=1.87ms rows=311296 morsels=10
+//	   │  ├─ kernel  sim=0.41ms
+//	   │  └─ transfer  sim=1.87ms bytes=12.0MB
+//	   └─ merge  sim=1.2µs bytes=9.6KB
+func Render(t *Trace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", t.Query)
+	if t.Engine != "" {
+		fmt.Fprintf(&b, " engine=%s", t.Engine)
+	}
+	if t.Placement != "" {
+		fmt.Fprintf(&b, " placement=%s", t.Placement)
+	}
+	if t.GPUs > 0 {
+		fmt.Fprintf(&b, " gpus=%d", t.GPUs)
+	}
+	if t.Interconnect != "" {
+		fmt.Fprintf(&b, " link=%s", t.Interconnect)
+	}
+	fmt.Fprintf(&b, "  sim=%s wall=%s\n", simStr(t.Sim), wallStr(t.Wall))
+	if t.Root != nil {
+		for i, c := range t.Root.Children {
+			renderSpan(&b, c, "", i == len(t.Root.Children)-1)
+		}
+	}
+	return b.String()
+}
+
+func renderSpan(b *strings.Builder, s *Span, prefix string, last bool) {
+	conn, childPrefix := "├─ ", prefix+"│  "
+	if last {
+		conn, childPrefix = "└─ ", prefix+"   "
+	}
+	b.WriteString(prefix)
+	b.WriteString(conn)
+	b.WriteString(string(s.Phase))
+	if s.Name != "" {
+		b.WriteString(" ")
+		b.WriteString(s.Name)
+	}
+	if s.Cached {
+		b.WriteString(" (cached)")
+	}
+	if s.Sim > 0 {
+		fmt.Fprintf(b, "  sim=%s", simStr(s.Sim))
+	}
+	if s.Wall > 0 {
+		fmt.Fprintf(b, " wall=%s", wallStr(s.Wall))
+	}
+	if s.Bytes > 0 {
+		fmt.Fprintf(b, " bytes=%s", byteStr(s.Bytes))
+	}
+	if s.Rows > 0 {
+		fmt.Fprintf(b, " rows=%d", s.Rows)
+	}
+	if s.Morsels > 0 {
+		fmt.Fprintf(b, " morsels=%d", s.Morsels)
+		if s.Pruned > 0 {
+			fmt.Fprintf(b, " pruned=%d", s.Pruned)
+		}
+	}
+	b.WriteString("\n")
+	for i, c := range s.Children {
+		renderSpan(b, c, childPrefix, i == len(s.Children)-1)
+	}
+}
+
+// simStr formats simulated seconds at millisecond scale, the unit the
+// paper's figures use.
+func simStr(sec float64) string {
+	switch {
+	case sec == 0:
+		return "0"
+	case sec < 1e-3:
+		return fmt.Sprintf("%.3gµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.4gms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.4gs", sec)
+	}
+}
+
+func wallStr(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+func byteStr(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

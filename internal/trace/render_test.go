@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRender(t *testing.T) {
+	run := sampleRun()
+	tr := &Trace{
+		Query: "q4.1", Placement: "hybrid", GPUs: 2, Interconnect: "nvlink",
+		Wall: 210 * time.Microsecond, Sim: run.Sim,
+		Root: &Span{
+			Phase: PhaseRequest,
+			Children: []*Span{
+				{Phase: PhaseAdmit, Wall: 3 * time.Microsecond},
+				{Phase: PhasePlan, Cached: true},
+				run,
+			},
+		},
+	}
+	out := Render(tr)
+	for _, want := range []string{
+		"q4.1 placement=hybrid gpus=2 link=nvlink",
+		"wall=210µs",
+		"├─ admit",
+		"├─ plan (cached)",
+		"└─ run",
+		"├─ execute cpu",
+		"│  └─ kernel",
+		"├─ execute gpu0",
+		"│  ├─ kernel",
+		"│  └─ transfer",
+		"bytes=4.0KB",
+		"rows=200",
+		"morsels=6 pruned=1",
+		"└─ merge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderEngineHeader(t *testing.T) {
+	out := Render(&Trace{Query: "q2.1", Engine: "gpu", Sim: 1.5e-3})
+	if !strings.Contains(out, "engine=gpu") || !strings.Contains(out, "sim=1.5ms") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+}
+
+func TestUnitFormatting(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{simStr(0), "0"},
+		{simStr(2.5e-6), "2.5µs"},
+		{simStr(1.5e-3), "1.5ms"},
+		{simStr(2.25), "2.25s"},
+		{byteStr(12), "12B"},
+		{byteStr(4 << 10), "4.0KB"},
+		{byteStr(3 << 20), "3.0MB"},
+		{byteStr(5 << 30), "5.0GB"},
+		{wallStr(1500 * time.Nanosecond), "2µs"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package trace is the observability layer of the repo: a span-tree tracer
+// for scheduled query executions, log-bucketed latency histograms, a
+// bounded flight recorder of recent and slowest traces, and helpers for
+// rendering traces as EXPLAIN ANALYZE trees and counters as Prometheus
+// text exposition.
+//
+// A trace mirrors the life of one request through the unified scheduler:
+//
+//	request
+//	├─ admit      (queue wait — wall only, no simulated time)
+//	├─ bind       (SQL/catalog resolution)
+//	├─ plan       (hash-table compile, or a plan-cache hit)
+//	└─ run        (queries.Plan.RunScheduled)
+//	   ├─ schedule            (split/shard construction — host work)
+//	   ├─ execute cpu         (one span per sched.Assignment)
+//	   │  └─ kernel
+//	   ├─ execute gpu0
+//	   │  ├─ kernel
+//	   │  └─ transfer         (spilled columns over the interconnect)
+//	   └─ merge               (partial aggregates crossing the link)
+//
+// Every span carries both clocks — simulated seconds from the bandwidth
+// model and host wall-clock time — plus a bytes-moved attribution. The
+// tracer is verified by construction against the totals the runner already
+// reports (the sum invariants Verify checks and the queries-layer tests
+// pin for all four placements):
+//
+//   - the run span's Sim equals Result.Seconds exactly: the makespan over
+//     the execute spans plus the merge span;
+//   - each execute span's Sim equals its ExecutorResult.Seconds exactly,
+//     and is the max of its kernel and transfer children (shipment
+//     overlaps execution, coprocessor style);
+//   - transfer-span bytes sum to Result.TransferBytes and the merge
+//     span's bytes equal MergeBytes — every metered byte is attributed to
+//     exactly one span.
+//
+// Wall-clock time is attributed to the span whose host work it is; child
+// kernel/transfer spans model device phases the host does not execute
+// separately, so their wall is zero by convention.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Phase classifies a span within the request tree.
+type Phase string
+
+// The phases of a request trace, in tree order.
+const (
+	// PhaseRequest is the root: one served request end to end.
+	PhaseRequest Phase = "request"
+	// PhaseAdmit is the queue wait between submission and a worker
+	// picking the request up. Wall only; no simulated time.
+	PhaseAdmit Phase = "admit"
+	// PhaseBind is query resolution: catalog lookup or SQL compile+plan.
+	PhaseBind Phase = "bind"
+	// PhasePlan is the hash-table build (or a plan-cache hit).
+	PhasePlan Phase = "plan"
+	// PhaseRun is one scheduled execution (queries.Plan.RunScheduled).
+	PhaseRun Phase = "run"
+	// PhaseSchedule is schedule construction: the hybrid split or the
+	// fleet shard map. Host work; no simulated time.
+	PhaseSchedule Phase = "schedule"
+	// PhaseExecute is one assignment on one executor; its Sim is the
+	// executor's overlapped clock (max of kernel and transfer).
+	PhaseExecute Phase = "execute"
+	// PhaseKernel is the executor's pure device execution (scan, probe,
+	// aggregate).
+	PhaseKernel Phase = "kernel"
+	// PhaseTransfer is the interconnect shipment of host-resident
+	// columns, overlapped with the kernel.
+	PhaseTransfer Phase = "transfer"
+	// PhaseMerge is the host-side merge of partial aggregates that
+	// crossed the link.
+	PhaseMerge Phase = "merge"
+	// PhaseCacheHit marks a request served from the result cache: no
+	// run span, no simulated re-execution.
+	PhaseCacheHit Phase = "cache-hit"
+)
+
+// Span is one node of a trace: a named phase carrying both clocks and its
+// share of the run's byte traffic.
+type Span struct {
+	// Name labels the span within its phase (the executor label for
+	// execute spans: "cpu", "gpu0", "coproc"...).
+	Name string `json:"name,omitempty"`
+	// Phase classifies the span.
+	Phase Phase `json:"phase"`
+	// Sim is the span's simulated seconds under the bandwidth model.
+	Sim float64 `json:"sim_seconds"`
+	// Wall is the host wall-clock time of the span's own work.
+	Wall time.Duration `json:"wall_ns"`
+	// Bytes is the interconnect traffic attributed to this span
+	// (transfer and merge spans; 0 elsewhere).
+	Bytes int64 `json:"bytes,omitempty"`
+	// Rows is the fact rows the span's executor actually scanned.
+	Rows int64 `json:"rows,omitempty"`
+	// Morsels and Pruned describe an execute span's assignment: morsels
+	// owned and morsels its zone maps skipped.
+	Morsels int `json:"morsels,omitempty"`
+	Pruned  int `json:"pruned,omitempty"`
+	// Cached marks a phase short-circuited by a cache (a plan span served
+	// from the plan cache, a request span served from the result cache).
+	Cached bool `json:"cached,omitempty"`
+	// Children are the sub-phases in tree order.
+	Children []*Span `json:"children,omitempty"`
+}
+
+// Child returns the first child with the given phase, or nil.
+func (s *Span) Child(p Phase) *Span {
+	for _, c := range s.Children {
+		if c.Phase == p {
+			return c
+		}
+	}
+	return nil
+}
+
+// Walk visits the span and every descendant in depth-first order.
+func (s *Span) Walk(f func(*Span)) {
+	f(s)
+	for _, c := range s.Children {
+		c.Walk(f)
+	}
+}
+
+// SumSim returns the total simulated seconds of every span with the given
+// phase in the subtree. Summing PhaseExecute over a run span reproduces
+// the per-executor seconds total the serving stats report.
+func (s *Span) SumSim(p Phase) float64 {
+	var sum float64
+	s.Walk(func(sp *Span) {
+		if sp.Phase == p {
+			sum += sp.Sim
+		}
+	})
+	return sum
+}
+
+// SumBytes returns the total bytes attributed to every span with the
+// given phase in the subtree.
+func (s *Span) SumBytes(p Phase) int64 {
+	var sum int64
+	s.Walk(func(sp *Span) {
+		if sp.Phase == p {
+			sum += sp.Bytes
+		}
+	})
+	return sum
+}
+
+// MaxSim returns the largest simulated seconds over spans with the given
+// phase — the makespan term for concurrent execute spans.
+func (s *Span) MaxSim(p Phase) float64 {
+	var max float64
+	s.Walk(func(sp *Span) {
+		if sp.Phase == p && sp.Sim > max {
+			max = sp.Sim
+		}
+	})
+	return max
+}
+
+// Trace is one request's span tree plus its identity: what ran, where it
+// ran, and the two end-to-end clocks.
+type Trace struct {
+	// ID is the flight-recorder handle ("t42"); empty until recorded.
+	ID string `json:"id,omitempty"`
+	// Query is the executed query's ID; Engine the engine of classic
+	// dispatch, Placement the resolved placement of scheduler routing.
+	Query     string `json:"query"`
+	Engine    string `json:"engine,omitempty"`
+	Placement string `json:"placement,omitempty"`
+	// GPUs and Interconnect echo the fleet shape, when one was involved.
+	GPUs         int    `json:"gpus,omitempty"`
+	Interconnect string `json:"interconnect,omitempty"`
+	// Cached marks a request served from the result cache (no run span).
+	Cached bool `json:"cached,omitempty"`
+	// Start is when the request was admitted; Wall the end-to-end host
+	// time and Sim the simulated seconds of the root span.
+	Start time.Time     `json:"start"`
+	Wall  time.Duration `json:"wall_ns"`
+	Sim   float64       `json:"sim_seconds"`
+	// Root is the request span.
+	Root *Span `json:"root"`
+}
+
+// floatEq compares simulated seconds allowing only for the associativity
+// slack of summing float64 terms in different orders; the tracer copies
+// the runner's own values, so equality is exact in practice.
+func floatEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if b > a {
+		scale = b
+	}
+	return d <= 1e-12*scale
+}
+
+// Verify checks the tracer's structural invariants on a run span: the
+// run's Sim is the makespan over its execute spans plus its merge span,
+// every execute span is the max of its kernel/transfer children, and
+// every transfer byte is attributed exactly once. It returns the first
+// violation, or nil. The queries-layer tests run it over every placement;
+// Verify is what makes the tracer trustworthy rather than decorative.
+func Verify(run *Span) error {
+	if run == nil {
+		return fmt.Errorf("trace: nil run span")
+	}
+	if run.Phase != PhaseRun {
+		return fmt.Errorf("trace: Verify wants a %s span, got %s", PhaseRun, run.Phase)
+	}
+	var merge float64
+	if m := run.Child(PhaseMerge); m != nil {
+		merge = m.Sim
+	}
+	if want := run.MaxSim(PhaseExecute) + merge; !floatEq(run.Sim, want) {
+		return fmt.Errorf("trace: run sim %.9g != makespan+merge %.9g", run.Sim, want)
+	}
+	for _, c := range run.Children {
+		if c.Phase != PhaseExecute {
+			continue
+		}
+		kernel, transfer := 0.0, 0.0
+		var shipBytes int64
+		for _, cc := range c.Children {
+			switch cc.Phase {
+			case PhaseKernel:
+				kernel = cc.Sim
+			case PhaseTransfer:
+				transfer = cc.Sim
+				shipBytes = cc.Bytes
+			default:
+				return fmt.Errorf("trace: execute span %q has unexpected %s child", c.Name, cc.Phase)
+			}
+		}
+		over := kernel
+		if transfer > over {
+			over = transfer
+		}
+		if !floatEq(c.Sim, over) {
+			return fmt.Errorf("trace: execute span %q sim %.9g != max(kernel %.9g, transfer %.9g)",
+				c.Name, c.Sim, kernel, transfer)
+		}
+		if c.Bytes != shipBytes {
+			return fmt.Errorf("trace: execute span %q bytes %d != transfer child bytes %d",
+				c.Name, c.Bytes, shipBytes)
+		}
+	}
+	return nil
+}

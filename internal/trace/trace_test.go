@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleRun builds a hybrid-shaped run span: a CPU execute (kernel only),
+// a GPU execute bounded by its transfer, and a merge.
+func sampleRun() *Span {
+	return &Span{
+		Phase: PhaseRun,
+		Sim:   2.0e-3 + 1.0e-6, // makespan (gpu0) + merge
+		Children: []*Span{
+			{Phase: PhaseSchedule, Wall: 5 * time.Microsecond},
+			{
+				Phase: PhaseExecute, Name: "cpu", Sim: 1.5e-3, Rows: 100, Morsels: 4,
+				Children: []*Span{{Phase: PhaseKernel, Sim: 1.5e-3}},
+			},
+			{
+				Phase: PhaseExecute, Name: "gpu0", Sim: 2.0e-3, Bytes: 4096, Rows: 200, Morsels: 6, Pruned: 1,
+				Children: []*Span{
+					{Phase: PhaseKernel, Sim: 0.4e-3},
+					{Phase: PhaseTransfer, Sim: 2.0e-3, Bytes: 4096},
+				},
+			},
+			{Phase: PhaseMerge, Sim: 1.0e-6, Bytes: 160},
+		},
+	}
+}
+
+func TestSpanHelpers(t *testing.T) {
+	run := sampleRun()
+	if got := run.SumSim(PhaseExecute); got != 3.5e-3 {
+		t.Errorf("SumSim(execute) = %g, want 3.5e-3", got)
+	}
+	if got := run.MaxSim(PhaseExecute); got != 2.0e-3 {
+		t.Errorf("MaxSim(execute) = %g, want 2e-3", got)
+	}
+	if got := run.SumBytes(PhaseTransfer); got != 4096 {
+		t.Errorf("SumBytes(transfer) = %d, want 4096", got)
+	}
+	if got := run.SumBytes(PhaseMerge); got != 160 {
+		t.Errorf("SumBytes(merge) = %d, want 160", got)
+	}
+	if run.Child(PhaseMerge) == nil || run.Child(PhaseAdmit) != nil {
+		t.Error("Child lookups wrong")
+	}
+	n := 0
+	run.Walk(func(*Span) { n++ })
+	if n != 8 {
+		t.Errorf("Walk visited %d spans, want 8", n)
+	}
+}
+
+func TestVerifyAcceptsWellFormedRun(t *testing.T) {
+	if err := Verify(sampleRun()); err != nil {
+		t.Fatalf("Verify(sampleRun) = %v", err)
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Span)
+		want   string
+	}{
+		{"wrong root sim", func(r *Span) { r.Sim = 9 }, "makespan"},
+		{"execute not max of children", func(r *Span) { r.Children[1].Sim = 1.7e-3 }, "max(kernel"},
+		{"bytes mismatch", func(r *Span) { r.Children[2].Bytes = 1 }, "bytes"},
+		{"unexpected child", func(r *Span) {
+			r.Children[1].Children = append(r.Children[1].Children, &Span{Phase: PhaseMerge})
+		}, "unexpected"},
+	}
+	for _, tc := range cases {
+		run := sampleRun()
+		tc.mutate(run)
+		err := Verify(run)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Verify = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	if err := Verify(nil); err == nil {
+		t.Error("Verify(nil) = nil, want error")
+	}
+	if err := Verify(&Span{Phase: PhaseRequest}); err == nil {
+		t.Error("Verify(non-run span) = nil, want error")
+	}
+	// An execute span whose sim mismatch is within float slack still passes.
+	run := sampleRun()
+	run.Sim += run.Sim * 1e-14
+	if err := Verify(run); err != nil {
+		t.Errorf("Verify rejects float-associativity slack: %v", err)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := &Trace{
+		ID: "t7", Query: "q4.1", Placement: "hybrid", GPUs: 2, Interconnect: "nvlink",
+		Wall: 123 * time.Microsecond, Sim: 2.001e-3, Root: sampleRun(),
+	}
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != tr.ID || back.Query != tr.Query || back.Sim != tr.Sim {
+		t.Errorf("roundtrip mismatch: %+v", back)
+	}
+	if got := back.Root.SumBytes(PhaseTransfer); got != 4096 {
+		t.Errorf("roundtrip lost span bytes: %d", got)
+	}
+}

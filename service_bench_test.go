@@ -66,6 +66,35 @@ func BenchmarkServiceThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceTraceAllocs pins the zero-cost-when-disabled contract of
+// the tracer: with Options.Trace off (the default) the request hot path
+// allocates not a single span — allocs/op must match what the service did
+// before tracing existed, and the trace=on arm shows the opt-in price
+// (span tree + flight-recorder insert). Compare the two arms' allocs/op;
+// a regression in the off arm means tracing leaked onto the default path.
+func BenchmarkServiceTraceAllocs(b *testing.B) {
+	ds := serveData()
+	req := serve.Request{QueryID: "q1.1", Engine: queries.EngineCPU, NoCache: true}
+	ctx := context.Background()
+	for _, traced := range []bool{false, true} {
+		b.Run(fmt.Sprintf("trace=%v", traced), func(b *testing.B) {
+			s := serve.New(ds, "bench", serve.Options{Workers: 1, Trace: traced})
+			defer s.Close()
+			if _, err := s.Do(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := s.Do(ctx, req)
+				if err != nil || resp.Err != nil {
+					b.Fatal(err, resp.Err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkServiceCachedThroughput is the same workload with the result
 // cache enabled: after the first pass every request is a cache hit, which
 // is the serving layer's fast path for repeated dashboards-style traffic.
