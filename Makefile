@@ -11,13 +11,15 @@ COVER_FLOOR_SSB     ?= 88.0
 COVER_FLOOR_FLEET   ?= 90.0
 COVER_FLOOR_SCHED   ?= 90.0
 COVER_FLOOR_TRACE   ?= 90.0
+COVER_FLOOR_SERVE   ?= 96.0
+COVER_FLOOR_LOADGEN ?= 90.0
 
-.PHONY: all build test lint fuzz cover docs bench-smoke bench-baseline bench-check metrics-smoke serve ci
+.PHONY: all build test lint fuzz cover docs bench-smoke bench-baseline bench-check metrics-smoke load-smoke serve ci
 
 # Markdown files the docs gate link-checks, and the packages whose godoc
 # must render (a missing or syntactically broken doc comment fails go doc).
 DOCS_MD   = README.md docs/ARCHITECTURE.md
-DOC_PKGS  = ./internal/pack ./internal/device ./internal/serve ./internal/fleet ./internal/sched ./internal/trace
+DOC_PKGS  = ./internal/pack ./internal/device ./internal/serve ./internal/fleet ./internal/sched ./internal/trace ./internal/loadgen
 
 all: build test
 
@@ -64,7 +66,9 @@ cover:
 	check ./internal/ssb $(COVER_FLOOR_SSB); \
 	check ./internal/fleet $(COVER_FLOOR_FLEET); \
 	check ./internal/sched $(COVER_FLOOR_SCHED); \
-	check ./internal/trace $(COVER_FLOOR_TRACE)
+	check ./internal/trace $(COVER_FLOOR_TRACE); \
+	check ./internal/serve $(COVER_FLOOR_SERVE); \
+	check ./internal/loadgen $(COVER_FLOOR_LOADGEN)
 
 lint:
 	$(GO) vet ./...
@@ -93,7 +97,14 @@ bench-check:
 metrics-smoke:
 	$(GO) test ./cmd/ssbserve -run TestMetricsSmoke -count=1 -v
 
+# Overload gate: a 30-second seeded 3x-overload run through the loadgen
+# simulator (measured saturation, then open-loop Poisson traffic) asserting
+# the shed-rate and p99 bounds plus request conservation — the wall-clock
+# end of the invariants TestOverloadGracefulDegradation pins in-process.
+load-smoke:
+	LOAD_SMOKE_SECONDS=30 $(GO) test ./internal/loadgen -run TestLoadSmoke -count=1 -v -timeout 10m
+
 serve:
 	$(GO) run ./cmd/ssbserve
 
-ci: build lint test cover fuzz docs bench-smoke bench-check metrics-smoke
+ci: build lint test cover fuzz docs bench-smoke bench-check metrics-smoke load-smoke

@@ -12,6 +12,13 @@
 // not measurement noise. A >5% simulated-seconds regression on any fleet
 // size or any placement fails the check; improvements pass with a reminder
 // to re-baseline.
+//
+// It also maintains BENCH_serve.json, the wall-clock serving-overload
+// baseline: goodput and p99 at 1x and 10x of measured saturation for the
+// cpu, gpu and hybrid scheduler placements (see serve.go). Those values
+// are machine-dependent, so -check re-measures and gates on shape
+// invariants (no congestion collapse, coalescing and shedding engage,
+// deadline-bounded p99) rather than comparing wall clocks.
 package main
 
 import (
@@ -193,6 +200,16 @@ func run() error {
 	}
 	fmt.Printf("wrote %s (%d rows, %d morsels):\n", *flagHybridFile, curHybrid.Rows, curHybrid.Partitions)
 	printHybrid(curHybrid.Links)
+	curServe, err := measureServe()
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(*flagServeFile, curServe); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows, %d workers, queue %d):\n",
+		*flagServeFile, curServe.Rows, curServe.Workers, curServe.QueueDepth)
+	printServe(curServe)
 	return nil
 }
 
@@ -270,6 +287,24 @@ func check() error {
 	}
 	if improved {
 		fmt.Println("improved more than 5% on some fleet size or placement: consider `make bench-baseline` to lock it in")
+	}
+	sdata, err := os.ReadFile(*flagServeFile)
+	if err != nil {
+		return fmt.Errorf("reading serving baseline (run `make bench-baseline` first): %w", err)
+	}
+	var sbase serveBaseline
+	if err := json.Unmarshal(sdata, &sbase); err != nil {
+		return fmt.Errorf("parsing %s: %w", *flagServeFile, err)
+	}
+	curServe, err := measureServe()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checking %s overload invariants (%d rows, %d workers, queue %d; wall-clock values informational):\n",
+		*flagServeFile, curServe.Rows, curServe.Workers, curServe.QueueDepth)
+	printServe(curServe)
+	if err := checkServe(sbase, curServe); err != nil {
+		return err
 	}
 	fmt.Println("bench gate passed")
 	return nil

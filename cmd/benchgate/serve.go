@@ -1,0 +1,193 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"time"
+
+	"crystal/internal/loadgen"
+	"crystal/internal/serve"
+	"crystal/internal/ssb"
+)
+
+// The serving baseline records wall-clock overload behavior — goodput and
+// p99 at 1x and 10x of measured saturation, per scheduler placement — in
+// BENCH_serve.json. Unlike the simulated-seconds gates, these numbers are
+// machine-dependent, so the check does NOT compare them against the
+// checked-in values: it re-measures and gates on shape invariants that
+// hold on any machine — no congestion collapse (10x goodput stays within
+// a factor of saturation), coalescing engages under overload, shedding
+// engages and accounts for every refused request, and admitted p99 stays
+// bounded by the deadline. The recorded values document the reference
+// machine for humans reading the diff.
+var (
+	flagServeFile = flag.String("serve-file", "BENCH_serve.json", "serving overload baseline file")
+	flagServeDur  = flag.Duration("serve-dur", time.Second, "open-loop phase span per multiplier")
+)
+
+// Serving-baseline shape: fixed knobs so the workload is identical across
+// -write and -check runs apart from the machine's wall clock.
+const (
+	serveRows     = 1 << 14
+	serveWorkers  = 4
+	serveQueue    = 16
+	serveSeed     = 2026
+	serveDeadline = time.Second
+	// collapseFloor is the minimum 10x-goodput / saturation-goodput ratio:
+	// overload must not destroy throughput for the admitted work. Healthy
+	// runs sit near or above 1.0 (cached completions are cheap); collapse
+	// shows up as orders of magnitude, so the floor is deliberately loose.
+	collapseFloor = 0.5
+)
+
+var serveMultipliers = []float64{1, 10}
+
+// servePhase is one open-loop phase's record.
+type servePhase struct {
+	Multiplier   float64 `json:"multiplier"`
+	Offered      int64   `json:"offered"`
+	Completed    int64   `json:"completed"`
+	Shed         int64   `json:"shed"`
+	Expired      int64   `json:"expired"`
+	Failed       int64   `json:"failed"`
+	Coalesced    int64   `json:"coalesced"`
+	GoodputQPS   float64 `json:"goodput_qps"`
+	ShedRate     float64 `json:"shed_rate"`
+	CoalesceRate float64 `json:"coalesce_rate"`
+	P99Ms        float64 `json:"p99_ms"`
+}
+
+// servePlacement is one placement's sweep.
+type servePlacement struct {
+	Placement     string       `json:"placement"`
+	SaturationQPS float64      `json:"saturation_qps"`
+	Phases        []servePhase `json:"phases"`
+}
+
+// serveBaseline is the checked-in serving overload document.
+type serveBaseline struct {
+	Rows       int              `json:"rows"`
+	Workers    int              `json:"workers"`
+	QueueDepth int              `json:"queue_depth"`
+	Seed       int64            `json:"seed"`
+	DeadlineMs float64          `json:"deadline_ms"`
+	Note       string           `json:"note"`
+	Placements []servePlacement `json:"placements"`
+}
+
+func measureServe() (serveBaseline, error) {
+	out := serveBaseline{
+		Rows:       serveRows,
+		Workers:    serveWorkers,
+		QueueDepth: serveQueue,
+		Seed:       serveSeed,
+		DeadlineMs: float64(serveDeadline) / float64(time.Millisecond),
+		Note:       "wall-clock values are informational (reference machine); the gate re-measures and checks shape invariants only",
+	}
+	ds := ssb.GenerateRows(serveRows)
+	newService := func() *serve.Service {
+		return serve.New(ds, "bench", serve.Options{
+			Workers:    serveWorkers,
+			QueueDepth: serveQueue,
+			Shed:       true,
+			// Smaller than the ad-hoc pool so the result cache churns and
+			// coalescing windows persist past cold start.
+			ResultCacheSize: 64,
+		})
+	}
+	for _, placement := range []string{"cpu", "gpu", "hybrid"} {
+		cfg := loadgen.Config{
+			Seed:          serveSeed,
+			AdhocFraction: 0.6,
+			AdhocPool:     128,
+			Placement:     placement,
+			Deadline:      serveDeadline,
+		}
+		sweep, err := loadgen.RunSweep(context.Background(), newService, cfg, loadgen.SweepOptions{
+			Multipliers:   serveMultipliers,
+			PhaseDuration: *flagServeDur,
+		})
+		if err != nil {
+			return out, fmt.Errorf("placement %s: %w", placement, err)
+		}
+		entry := servePlacement{Placement: placement, SaturationQPS: sweep.SaturationQPS}
+		for _, r := range sweep.Phases {
+			entry.Phases = append(entry.Phases, servePhase{
+				Multiplier:   r.Multiplier,
+				Offered:      r.Offered,
+				Completed:    r.Completed,
+				Shed:         r.Shed,
+				Expired:      r.Expired,
+				Failed:       r.Failed,
+				Coalesced:    r.Coalesced,
+				GoodputQPS:   r.GoodputQPS,
+				ShedRate:     r.ShedRate,
+				CoalesceRate: r.CoalesceRate,
+				P99Ms:        float64(r.P99) / float64(time.Millisecond),
+			})
+		}
+		out.Placements = append(out.Placements, entry)
+	}
+	return out, nil
+}
+
+// checkServe gates the freshly measured sweep on its shape invariants and
+// verifies the baseline document still describes the same experiment.
+func checkServe(base, cur serveBaseline) error {
+	if base.Rows != cur.Rows || base.Workers != cur.Workers || base.QueueDepth != cur.QueueDepth || base.Seed != cur.Seed {
+		return fmt.Errorf("serving baseline shape changed (rows/workers/queue/seed %d/%d/%d/%d vs %d/%d/%d/%d); re-baseline",
+			base.Rows, base.Workers, base.QueueDepth, base.Seed, cur.Rows, cur.Workers, cur.QueueDepth, cur.Seed)
+	}
+	if len(base.Placements) != len(cur.Placements) {
+		return fmt.Errorf("placement set changed (%d vs %d); re-baseline", len(cur.Placements), len(base.Placements))
+	}
+	for i, p := range cur.Placements {
+		if b := base.Placements[i]; b.Placement != p.Placement {
+			return fmt.Errorf("placement entry %d is %s, baseline has %s; re-baseline", i, p.Placement, b.Placement)
+		}
+		if p.SaturationQPS <= 0 {
+			return fmt.Errorf("%s: no saturation throughput measured", p.Placement)
+		}
+		for _, ph := range p.Phases {
+			label := fmt.Sprintf("%s at %.0fx", p.Placement, ph.Multiplier)
+			if got := ph.Completed + ph.Shed + ph.Expired + ph.Failed; got != ph.Offered {
+				return fmt.Errorf("%s: outcomes %d != offered %d (silent drop or double-send)", label, got, ph.Offered)
+			}
+			if ph.Failed != 0 {
+				return fmt.Errorf("%s: %d requests failed outside the shed/expired protocol", label, ph.Failed)
+			}
+			if ph.Completed == 0 {
+				return fmt.Errorf("%s: nothing completed", label)
+			}
+			if ph.Multiplier < 2 {
+				continue
+			}
+			// Overload-phase invariants.
+			if ph.Shed == 0 {
+				return fmt.Errorf("%s: shed nothing; admission control is not engaging", label)
+			}
+			if ph.Coalesced == 0 {
+				return fmt.Errorf("%s: coalesced nothing; single-flight is not engaging", label)
+			}
+			if ph.GoodputQPS < collapseFloor*p.SaturationQPS {
+				return fmt.Errorf("%s: goodput %.1f qps collapsed below %.0f%% of saturation %.1f qps",
+					label, ph.GoodputQPS, collapseFloor*100, p.SaturationQPS)
+			}
+			if maxP99 := 2 * base.DeadlineMs; ph.P99Ms > maxP99 {
+				return fmt.Errorf("%s: admitted p99 %.1fms exceeds twice the %.0fms deadline", label, ph.P99Ms, base.DeadlineMs)
+			}
+		}
+	}
+	return nil
+}
+
+func printServe(b serveBaseline) {
+	for _, p := range b.Placements {
+		fmt.Printf("  %-7s saturation %8.1f qps\n", p.Placement, p.SaturationQPS)
+		for _, ph := range p.Phases {
+			fmt.Printf("    %4.0fx goodput %8.1f qps  shed %5.1f%%  coalesce %4.1f%% (%d)  p99 %8.1fms\n",
+				ph.Multiplier, ph.GoodputQPS, 100*ph.ShedRate, 100*ph.CoalesceRate, ph.Coalesced, ph.P99Ms)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"crystal/internal/bench"
+	"crystal/internal/loadgen"
+	"crystal/internal/serve"
+	"crystal/internal/ssb"
+)
+
+// The -load mode runs the seeded overload simulator against an in-process
+// serving stack instead of the paper tables: it measures closed-loop
+// saturation, then drives open-loop Poisson traffic at multiples of that
+// rate and reports goodput, shed rate, coalesce rate and latency
+// percentiles per phase. Deterministic under -load-seed apart from
+// wall-clock measurement; it uses its own small generated dataset (real
+// executions back every admitted request, so SF-scale data would measure
+// the dataset, not the serving layer).
+var (
+	loadRun       = flag.Bool("load", false, "run the overload load simulator instead of the paper tables")
+	loadMult      = flag.String("load-mult", "1,3,10", "comma-separated offered-load multiples of measured saturation")
+	loadSeed      = flag.Int64("load-seed", 2026, "workload seed (schedules are byte-deterministic per seed)")
+	loadDur       = flag.Duration("load-dur", 2*time.Second, "scheduled span of each open-loop phase")
+	loadRows      = flag.Int("load-rows", 1<<14, "fact rows of the load-test dataset")
+	loadWorkers   = flag.Int("load-workers", 4, "serving worker pool size")
+	loadQueue     = flag.Int("load-queue", 16, "pending-queue depth (shedding past it)")
+	loadDeadline  = flag.Duration("load-deadline", time.Second, "per-request queue-wait deadline")
+	loadAdhoc     = flag.Float64("load-adhoc", 0.6, "fraction of requests carrying seeded ad-hoc SQL instead of a catalog query")
+	loadPlacement = flag.String("load-placement", "", "route requests through the unified scheduler on this placement (cpu, gpu, hybrid or auto; empty = classic CPU engine)")
+	loadJSON      = flag.Bool("load-json", false, "emit the full sweep as JSON instead of the report table")
+)
+
+func parseMultipliers(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		m, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || m <= 0 {
+			return nil, fmt.Errorf("bad -load-mult entry %q (want positive numbers)", f)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func runLoad() error {
+	mults, err := parseMultipliers(*loadMult)
+	if err != nil {
+		return err
+	}
+	ds := ssb.GenerateRows(*loadRows)
+	newService := func() *serve.Service {
+		return serve.New(ds, "load", serve.Options{
+			Workers:    *loadWorkers,
+			QueueDepth: *loadQueue,
+			Shed:       true,
+			// Smaller than the ad-hoc pool: the LRU churns, so misses —
+			// and therefore coalescing windows — persist all phase
+			// instead of only at cold start.
+			ResultCacheSize: 64,
+		})
+	}
+	cfg := loadgen.Config{
+		Seed:          *loadSeed,
+		AdhocFraction: *loadAdhoc,
+		AdhocPool:     128,
+		Placement:     *loadPlacement,
+		Deadline:      *loadDeadline,
+	}
+	sweep, err := loadgen.RunSweep(context.Background(), newService, cfg, loadgen.SweepOptions{
+		Multipliers:   mults,
+		PhaseDuration: *loadDur,
+	})
+	if err != nil {
+		return err
+	}
+	if *loadJSON {
+		data, err := json.MarshalIndent(sweep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	target := "engine=cpu"
+	if *loadPlacement != "" {
+		target = "placement=" + *loadPlacement
+	}
+	bench.Banner(os.Stdout, fmt.Sprintf(
+		"overload sweep: %d rows, %d workers, queue %d, %s, seed %d",
+		*loadRows, *loadWorkers, *loadQueue, target, *loadSeed))
+	fmt.Printf("saturation (closed loop at worker count): %.1f qps\n", sweep.SaturationQPS)
+	fmt.Printf("  %s\n", sweep.Saturation)
+	fmt.Println("open-loop phases (Poisson arrivals at multiples of saturation):")
+	for _, r := range sweep.Phases {
+		fmt.Printf("  %s\n", r)
+	}
+	fmt.Println()
+	fmt.Println("shed requests fail fast with ErrOverloaded (HTTP 429 from ssbserve); expired")
+	fmt.Println("requests waited past their deadline and were dropped at worker pickup without")
+	fmt.Println("executing; coalesced completions shared a concurrent identical execution")
+	return nil
+}

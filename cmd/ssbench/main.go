@@ -6,7 +6,13 @@
 //	-case21 the Section 5.3 q2.1 case study (model vs measured)
 //	-cost   the Section 5.4 dollar-cost comparison (Table 3)
 //	-sql    one ad-hoc SQL statement, compiled by internal/sql, on every engine
-//	-all    everything (except -sql, -explain and -percentiles)
+//	-load   the seeded overload simulator against an in-process serving stack
+//	-all    everything (except -sql, -explain, -percentiles and -load)
+//
+// -load measures closed-loop saturation, then offers open-loop Poisson
+// traffic with Zipf query popularity at -load-mult multiples of that rate
+// and reports goodput, shed rate, coalesce rate and p50/p99 per phase
+// (see internal/loadgen; -load-json emits the sweep as JSON).
 //
 // -explain q4.1 runs the named query traced through the unified scheduler
 // on the cpu, gpu and hybrid placements (over -interconnect, GPU arms
@@ -85,6 +91,15 @@ const paperSF = 20
 
 func main() {
 	flag.Parse()
+	if *loadRun {
+		// The load simulator brings its own small dataset and serving
+		// stack; none of the paper-table machinery below applies.
+		if err := runLoad(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if !(*fig3 || *fig16 || *case21 || *cost || *multi || *plans || *gpus > 0 || *hybrid ||
 		*sqlStmt != "" || *explain != "" || *pcts) {
 		*all = true

@@ -41,6 +41,15 @@
 // The response carries the resolved placement, the CPU arm's live-row
 // share (cpu_frac) and per-executor telemetry (executors).
 //
+// Both accept &deadline= (a Go duration, e.g. 500ms) and &priority=N for
+// admission control. With -shed, a submission past -queuedepth fails fast
+// with HTTP 429 and a Retry-After header — unless a strictly
+// lower-priority request is pending, which is evicted (429) to admit the
+// newcomer. A request whose queue wait exceeds its deadline is dropped at
+// worker pickup with HTTP 504, never executed. Without -shed a full queue
+// applies backpressure instead. Concurrent identical requests coalesce
+// into one execution ("coalesced" in the response and /stats).
+//
 // The service schedules requests across a bounded worker pool and caches
 // SQL bindings, compiled plans and recent results, so repeated queries are
 // served from memory while simulated engine times stay identical to a cold
@@ -88,7 +97,13 @@ var (
 	flagDevCache = flag.Int64("devicecache", 0, "device residency cache capacity in bytes for packed columns (0 = the V100's 32 GB, negative = disabled)")
 	flagFleetMem = flag.Int64("fleetmem", 0, "per-fleet-device memory capacity in bytes for &gpus=N requests (0 = the V100's 32 GB; small values make shards spill)")
 	flagTrace    = flag.Bool("trace", true, "trace every request into the flight recorder (GET /trace); latency histograms on /metrics work either way")
+	flagQueue    = flag.Int("queuedepth", 0, "pending-request queue depth (0 = 4x workers)")
+	flagShed     = flag.Bool("shed", false, "shed load past the queue depth (HTTP 429) instead of blocking submissions")
 )
+
+// retryAfterSeconds is the Retry-After hint on 429 responses: one second
+// comfortably outlives a full queue drain at any realistic depth.
+const retryAfterSeconds = "1"
 
 func main() {
 	flag.Parse()
@@ -117,6 +132,8 @@ func main() {
 
 	svc := serve.New(ds, version, serve.Options{
 		Workers:                *flagWorkers,
+		QueueDepth:             *flagQueue,
+		Shed:                   *flagShed,
 		DeviceCacheBytes:       *flagDevCache,
 		FleetDeviceMemoryBytes: *flagFleetMem,
 		Trace:                  *flagTrace,
@@ -172,6 +189,9 @@ type queryResponse struct {
 	WallMS       float64 `json:"wall_ms"`
 	PlanCached   bool    `json:"plan_cached"`
 	ResultCached bool    `json:"result_cached"`
+	// Coalesced marks a response that shared a concurrent identical
+	// request's execution (single-flight) rather than running itself.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// Partitions echoes the requested morsel count; Morsels and
 	// PrunedMorsels report how many the scan was split into and how many
 	// zone maps skipped.
@@ -289,6 +309,22 @@ func serveRequest(svc *serve.Service, w http.ResponseWriter, r *http.Request, re
 		}
 		req.Placement = p
 	}
+	if v := r.URL.Query().Get("deadline"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad deadline value %q: want a positive duration like 500ms", v))
+			return
+		}
+		req.Deadline = d
+	}
+	if v := r.URL.Query().Get("priority"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad priority value %q: want an integer (higher preempts lower when shedding)", v))
+			return
+		}
+		req.Priority = p
+	}
 	if v := r.URL.Query().Get("interconnect"); v != "" {
 		// Validate eagerly, like every other parameter — and refuse the
 		// combination that would otherwise silently run on one device.
@@ -305,9 +341,18 @@ func serveRequest(svc *serve.Service, w http.ResponseWriter, r *http.Request, re
 	resp, err := svc.Do(r.Context(), req)
 	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(err, r.Context().Err()) {
+		switch {
+		case errors.Is(err, serve.ErrOverloaded):
+			// Shed by admission control: the client should back off and
+			// retry; Retry-After carries the hint.
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			status = http.StatusTooManyRequests
+		case errors.Is(err, serve.ErrExpired):
+			// Admitted but its deadline lapsed in the queue; never executed.
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, r.Context().Err()):
 			status = http.StatusRequestTimeout
-		} else if resp.Err != nil {
+		case resp.Err != nil:
 			status = http.StatusBadRequest
 		}
 		httpError(w, status, err)
@@ -323,6 +368,7 @@ func serveRequest(svc *serve.Service, w http.ResponseWriter, r *http.Request, re
 		WallMS:        float64(resp.Wall) / float64(time.Millisecond),
 		PlanCached:    resp.PlanCached,
 		ResultCached:  resp.ResultCached,
+		Coalesced:     resp.Coalesced,
 		Partitions:    resp.Request.Partitions,
 		Morsels:       resp.Morsels,
 		PrunedMorsels: resp.Pruned,

@@ -6,7 +6,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"crystal/internal/serve"
 	"crystal/internal/ssb"
@@ -102,4 +104,92 @@ func TestMetricsSmoke(t *testing.T) {
 	}
 
 	get("/trace?id=t999", http.StatusNotFound)
+}
+
+// TestOverloadHTTP pins the admission-control HTTP mapping on a shedding
+// single-worker service: a request storm yields only 200s and 429s (each
+// 429 carrying Retry-After), an unmeetable deadline maps to 504 without
+// executing, and malformed deadline/priority parameters are 400s.
+func TestOverloadHTTP(t *testing.T) {
+	// ExecDelay pins every uncached execution to 2ms so the storm below
+	// must overrun a depth-1 queue on any machine, not drain it.
+	svc := serve.New(ssb.GenerateRows(1<<12), "overload", serve.Options{
+		Workers: 1, QueueDepth: 1, Shed: true, ExecDelay: 2 * time.Millisecond,
+	})
+	defer svc.Close()
+	srv := httptest.NewServer(newMux(svc))
+	defer srv.Close()
+
+	const storm = 30
+	statuses := make([]int, storm)
+	retryAfter := make([]string, storm)
+	var wg sync.WaitGroup
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/query?id=q4.1&engine=cpu&nocache=1&priority=1")
+			if err != nil {
+				t.Errorf("storm request %d: %v", i, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+	var ok, shed int
+	for i, st := range statuses {
+		switch st {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+			if retryAfter[i] == "" {
+				t.Error("429 response missing its Retry-After header")
+			}
+		default:
+			t.Errorf("storm request %d: status %d, want 200 or 429", i, st)
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("storm of %d against a depth-1 queue: %d ok / %d shed, want both nonzero", storm, ok, shed)
+	}
+	st := svc.Stats()
+	if st.Shed != int64(shed) {
+		t.Errorf("stats recorded %d shed, HTTP clients observed %d 429s", st.Shed, shed)
+	}
+
+	// A deadline no queue wait can meet: dropped at pickup, 504, and the
+	// response body names the expiry.
+	resp, err := http.Get(srv.URL + "/query?id=q1.1&engine=cpu&nocache=1&deadline=1ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("unmeetable deadline: status %d, want 504\n%s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "deadline expired") {
+		t.Errorf("504 body does not name the expiry: %s", body)
+	}
+
+	for _, path := range []string{
+		"/query?id=q1.1&deadline=banana",
+		"/query?id=q1.1&deadline=-1s",
+		"/query?id=q1.1&priority=high",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
 }

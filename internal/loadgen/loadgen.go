@@ -1,0 +1,222 @@
+// Package loadgen is the seeded workload simulator for the serving
+// layer: it synthesizes request streams with Zipf-distributed popularity
+// over the 13-query SSB catalog plus a pool of seeded ad-hoc SQL
+// statements, lays them out as open-loop (fixed arrival rate) or
+// closed-loop (fixed concurrency) traffic, and measures how a
+// serve.Service degrades past saturation — goodput, shed rate, coalesce
+// rate and latency percentiles at configurable multiples of the measured
+// saturation throughput.
+//
+// Everything is deterministic under a fixed Config.Seed: the query
+// sequence, the ad-hoc statement pool and the open-loop arrival offsets
+// are all drawn from one seeded source, so a schedule renders to a
+// byte-identical trace across runs (pinned by a golden-file test) and
+// simulator reports are reproducible in CI. Only the wall-clock
+// measurements vary with the machine.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"crystal/internal/queries"
+	"crystal/internal/serve"
+)
+
+// Config shapes a workload stream.
+type Config struct {
+	// Seed fixes every random choice the workload makes. Two workloads
+	// with equal Config produce byte-identical schedules.
+	Seed int64
+	// ZipfS and ZipfV shape the catalog popularity distribution
+	// (rand.NewZipf; s > 1, v >= 1). Defaults: s = 1.3, v = 1 — a hot
+	// head (q1.1 hottest) with a long tail, the regime where result
+	// caching and single-flight coalescing matter.
+	ZipfS, ZipfV float64
+	// AdhocFraction is the probability a request carries seeded ad-hoc
+	// SQL instead of a catalog query ID (default 0 — catalog only).
+	// Ad-hoc statements are drawn uniformly from a pool of AdhocPool
+	// distinct seeded statements (default 64 when the fraction is set),
+	// so a pool larger than the service's result cache keeps a steady
+	// miss stream alive under overload instead of letting the cache
+	// absorb the whole distribution.
+	AdhocFraction float64
+	AdhocPool     int
+	// Engine is the classic-dispatch engine for generated requests
+	// (default the standalone CPU engine); Placement, when set, routes
+	// them through the unified scheduler instead ("cpu", "gpu",
+	// "hybrid" or "auto") and Engine is left empty.
+	Engine    queries.Engine
+	Placement string
+	// Deadline and Priority are stamped on every generated request.
+	Deadline time.Duration
+	Priority int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.3
+	}
+	if c.ZipfV < 1 {
+		c.ZipfV = 1
+	}
+	if c.AdhocFraction > 0 && c.AdhocPool <= 0 {
+		c.AdhocPool = 64
+	}
+	// The seeded templates yield a few thousand distinct statements;
+	// clamping keeps pool construction total.
+	if c.AdhocPool > 1024 {
+		c.AdhocPool = 1024
+	}
+	if c.Engine == "" && c.Placement == "" {
+		c.Engine = queries.EngineCPU
+	}
+	return c
+}
+
+// Workload is a deterministic request stream. Not safe for concurrent
+// draws — pre-generate with Take or Schedule and deal the requests out.
+type Workload struct {
+	cfg     Config
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	catalog []queries.Query
+	pool    []string
+}
+
+// New builds the workload: the seeded source, the Zipf popularity over
+// the catalog, and (when AdhocFraction > 0) the ad-hoc statement pool.
+func New(cfg Config) *Workload {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{
+		cfg:     cfg,
+		rng:     rng,
+		catalog: queries.All(),
+	}
+	w.zipf = rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(len(w.catalog)-1))
+	if cfg.AdhocFraction > 0 {
+		w.pool = adhocPool(rng, cfg.AdhocPool)
+	}
+	return w
+}
+
+// Pool returns the ad-hoc statement pool (nil when AdhocFraction is 0);
+// callers use it to size result caches relative to the key universe.
+func (w *Workload) Pool() []string { return w.pool }
+
+// Next draws the next request in the stream.
+func (w *Workload) Next() serve.Request {
+	req := serve.Request{
+		Engine:    w.cfg.Engine,
+		Placement: w.cfg.Placement,
+		Deadline:  w.cfg.Deadline,
+		Priority:  w.cfg.Priority,
+	}
+	if w.cfg.AdhocFraction > 0 && w.rng.Float64() < w.cfg.AdhocFraction {
+		req.SQL = w.pool[w.rng.Intn(len(w.pool))]
+	} else {
+		req.QueryID = w.catalog[int(w.zipf.Uint64())].ID
+	}
+	return req
+}
+
+// Take pre-generates the next n requests (for closed-loop clients, which
+// must not share the workload's random source concurrently).
+func (w *Workload) Take(n int) []serve.Request {
+	out := make([]serve.Request, n)
+	for i := range out {
+		out[i] = w.Next()
+	}
+	return out
+}
+
+// Arrival is one open-loop offer: the request and its offset from the
+// start of the run. Open-loop traffic fires on schedule regardless of
+// completions — the arrival process does not slow down when the service
+// does, which is what exposes behavior past saturation.
+type Arrival struct {
+	At  time.Duration
+	Req serve.Request
+}
+
+// Schedule lays out n arrivals at the given mean rate (requests/second)
+// with exponential inter-arrival times — a Poisson process, the standard
+// open-loop model. Deterministic under the workload's seed.
+func (w *Workload) Schedule(n int, rate float64) []Arrival {
+	out := make([]Arrival, n)
+	var at time.Duration
+	for i := range out {
+		at += time.Duration(w.rng.ExpFloat64() / rate * float64(time.Second))
+		out[i] = Arrival{At: at, Req: w.Next()}
+	}
+	return out
+}
+
+// TraceString renders a schedule as one line per arrival — offset,
+// query, engine/placement and options — the byte-exact form the golden
+// replay test pins.
+func TraceString(arrivals []Arrival) string {
+	var b strings.Builder
+	for _, a := range arrivals {
+		fmt.Fprintf(&b, "%12.6fs %s\n", a.At.Seconds(), describe(a.Req))
+	}
+	return b.String()
+}
+
+func describe(req serve.Request) string {
+	var b strings.Builder
+	if req.QueryID != "" {
+		fmt.Fprintf(&b, "query=%s", req.QueryID)
+	} else {
+		fmt.Fprintf(&b, "sql=%q", req.SQL)
+	}
+	if req.Placement != "" {
+		fmt.Fprintf(&b, " placement=%s", req.Placement)
+	} else {
+		fmt.Fprintf(&b, " engine=%s", serve.EngineAlias(req.Engine))
+	}
+	if req.Deadline > 0 {
+		fmt.Fprintf(&b, " deadline=%s", req.Deadline)
+	}
+	if req.Priority != 0 {
+		fmt.Fprintf(&b, " priority=%d", req.Priority)
+	}
+	return b.String()
+}
+
+// adhocPool synthesizes n distinct ad-hoc statements in the internal/sql
+// dialect from seeded numeric-range templates over the fact measures —
+// always valid, always satisfiable shapes, so every draw compiles and
+// the pool's canonical forms churn the result cache instead of erroring.
+func adhocPool(r *rand.Rand, n int) []string {
+	out := make([]string, 0, n)
+	seen := map[string]bool{}
+	for len(out) < n {
+		var sql string
+		switch r.Intn(3) {
+		case 0:
+			lo := 1 + r.Intn(7)
+			sql = fmt.Sprintf(
+				"SELECT SUM(lo.extprice * lo.discount) FROM lineorder WHERE lo.discount BETWEEN %d AND %d AND lo.quantity < %d",
+				lo, lo+1+r.Intn(3), 10+r.Intn(40))
+		case 1:
+			lo := 1 + r.Intn(30)
+			sql = fmt.Sprintf(
+				"SELECT SUM(revenue) FROM lineorder WHERE quantity >= %d AND quantity < %d AND discount <= %d",
+				lo, lo+3+r.Intn(17), 1+r.Intn(9))
+		default:
+			lo := 1 + r.Intn(8)
+			sql = fmt.Sprintf(
+				"SELECT SUM(revenue), d.year FROM lineorder, date WHERE lo_orderdate = d.key AND discount BETWEEN %d AND %d GROUP BY d.year",
+				lo, lo+r.Intn(2))
+		}
+		if !seen[sql] {
+			seen[sql] = true
+			out = append(out, sql)
+		}
+	}
+	return out
+}

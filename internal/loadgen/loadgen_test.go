@@ -1,0 +1,332 @@
+package loadgen
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"crystal/internal/queries"
+	"crystal/internal/serve"
+	sqlfe "crystal/internal/sql"
+	"crystal/internal/ssb"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenConfig is the pinned workload shape for the replay test; any
+// drift in the generator, the Zipf draw order or the trace rendering
+// shows up as a golden diff.
+func goldenConfig() Config {
+	return Config{
+		Seed:          42,
+		AdhocFraction: 0.4,
+		AdhocPool:     16,
+		Engine:        queries.EngineGPU,
+		Deadline:      250 * time.Millisecond,
+	}
+}
+
+// TestGoldenSchedule pins the deterministic replay satellite: a fixed
+// seed must produce a byte-identical request schedule across runs and
+// across machines, so simulator-reported percentiles are reproducible.
+func TestGoldenSchedule(t *testing.T) {
+	got := TraceString(New(goldenConfig()).Schedule(64, 500))
+	golden := filepath.Join("testdata", "schedule.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to write it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("schedule drifted from golden trace:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestScheduleDeterminism rebuilds the same workload twice and a
+// different seed once: identical configs agree byte-for-byte, and the
+// seed actually matters.
+func TestScheduleDeterminism(t *testing.T) {
+	a := TraceString(New(goldenConfig()).Schedule(128, 1000))
+	b := TraceString(New(goldenConfig()).Schedule(128, 1000))
+	if a != b {
+		t.Fatal("two workloads with identical configs produced different schedules")
+	}
+	other := goldenConfig()
+	other.Seed++
+	if c := TraceString(New(other).Schedule(128, 1000)); c == a {
+		t.Fatal("changing the seed did not change the schedule")
+	}
+}
+
+// TestAdhocPoolCompiles compiles every statement the pool can emit:
+// ad-hoc traffic must never manufacture frontend errors.
+func TestAdhocPoolCompiles(t *testing.T) {
+	w := New(Config{Seed: 7, AdhocFraction: 1, AdhocPool: 256})
+	if len(w.Pool()) != 256 {
+		t.Fatalf("pool has %d statements, want 256", len(w.Pool()))
+	}
+	seen := map[string]bool{}
+	for _, sql := range w.Pool() {
+		if seen[sql] {
+			t.Fatalf("pool statement duplicated: %s", sql)
+		}
+		seen[sql] = true
+		if _, err := sqlfe.Compile(sql); err != nil {
+			t.Fatalf("pool statement does not compile: %s: %v", sql, err)
+		}
+	}
+}
+
+// TestZipfPopularity draws a long catalog-only stream and checks the
+// popularity actually skews: the hottest query must dominate the
+// coldest by a wide margin, or caching/coalescing measurements are
+// meaningless.
+func TestZipfPopularity(t *testing.T) {
+	w := New(Config{Seed: 3})
+	counts := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		req := w.Next()
+		if req.QueryID == "" {
+			t.Fatal("catalog-only workload emitted ad-hoc SQL")
+		}
+		counts[req.QueryID]++
+	}
+	hot, cold := 0, 1<<30
+	for _, q := range queries.All() {
+		n := counts[q.ID]
+		if n > hot {
+			hot = n
+		}
+		if n < cold {
+			cold = n
+		}
+	}
+	if hot < 10*cold && cold > 0 {
+		t.Errorf("popularity looks uniform: hottest %d vs coldest %d", hot, cold)
+	}
+	if hot < 1000 {
+		t.Errorf("hottest query drew %d of 4000; Zipf head missing", hot)
+	}
+}
+
+// TestConfigDefaults pins the default knobs the docs promise.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.ZipfS != 1.3 || c.ZipfV != 1 || c.Engine != queries.EngineCPU {
+		t.Errorf("defaults = s=%v v=%v engine=%q", c.ZipfS, c.ZipfV, c.Engine)
+	}
+	if c.AdhocPool != 0 {
+		t.Errorf("catalog-only config grew an ad-hoc pool of %d", c.AdhocPool)
+	}
+	p := Config{AdhocFraction: 0.5}.withDefaults()
+	if p.AdhocPool != 64 {
+		t.Errorf("ad-hoc default pool = %d, want 64", p.AdhocPool)
+	}
+	if cl := (Config{AdhocFraction: 0.5, AdhocPool: 9999}).withDefaults(); cl.AdhocPool != 1024 {
+		t.Errorf("pool clamp = %d, want 1024", cl.AdhocPool)
+	}
+	pl := Config{Placement: "hybrid"}.withDefaults()
+	if pl.Engine != "" {
+		t.Errorf("placement config defaulted an engine %q", pl.Engine)
+	}
+}
+
+var (
+	loadDSOnce sync.Once
+	loadDS     *ssb.Dataset
+)
+
+func loadData() *ssb.Dataset {
+	loadDSOnce.Do(func() { loadDS = ssb.GenerateRows(1 << 13) })
+	return loadDS
+}
+
+func newLoadService() *serve.Service {
+	return serve.New(loadData(), "bench", serve.Options{
+		Workers:         4,
+		QueueDepth:      16,
+		Shed:            true,
+		ResultCacheSize: 32, // smaller than the ad-hoc pool: misses persist
+	})
+}
+
+// TestRunClosed drives a real service closed-loop and checks outcome
+// conservation and the report arithmetic.
+func TestRunClosed(t *testing.T) {
+	svc := newLoadService()
+	defer svc.Close()
+	reqs := New(Config{Seed: 11, AdhocFraction: 0.5, AdhocPool: 64}).Take(64)
+	r := RunClosed(context.Background(), svc, reqs, 4)
+	if r.Mode != "closed" || r.Concurrency != 4 {
+		t.Errorf("report mode/concurrency = %q/%d", r.Mode, r.Concurrency)
+	}
+	if r.Offered != 64 {
+		t.Errorf("offered %d, want 64", r.Offered)
+	}
+	if got := r.Completed + r.Shed + r.Expired + r.Failed; got != r.Offered {
+		t.Errorf("outcomes %d != offered %d", got, r.Offered)
+	}
+	// Closed-loop at the worker count never overruns the queue.
+	if r.Shed != 0 || r.Failed != 0 {
+		t.Errorf("closed loop at worker concurrency shed %d / failed %d", r.Shed, r.Failed)
+	}
+	if r.GoodputQPS <= 0 || r.P50 <= 0 || r.P99 < r.P50 {
+		t.Errorf("latency stats goodput=%v p50=%v p99=%v", r.GoodputQPS, r.P50, r.P99)
+	}
+}
+
+// TestRunOpen fires a scheduled burst open-loop and checks conservation
+// plus that the run honors its context.
+func TestRunOpen(t *testing.T) {
+	svc := newLoadService()
+	defer svc.Close()
+	w := New(Config{Seed: 13, AdhocFraction: 0.5, AdhocPool: 64, Deadline: 5 * time.Second})
+	arrivals := w.Schedule(200, 4000) // a ~50ms burst well past 4 workers
+	r := RunOpen(context.Background(), svc, arrivals)
+	if r.Offered != 200 {
+		t.Errorf("offered %d, want 200", r.Offered)
+	}
+	if got := r.Completed + r.Shed + r.Expired + r.Failed; got != r.Offered {
+		t.Errorf("outcomes %d != offered %d", got, r.Offered)
+	}
+	if r.Failed != 0 {
+		t.Errorf("open-loop run failed %d requests", r.Failed)
+	}
+	if r.Completed == 0 {
+		t.Error("open-loop run completed nothing")
+	}
+	if s := r.String(); s == "" {
+		t.Error("empty report rendering")
+	}
+
+	// A cancelled context stops the offering promptly.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r2 := RunOpen(ctx, svc, w.Schedule(1000, 10))
+	if r2.Offered > 1 {
+		t.Errorf("cancelled open loop still offered %d requests", r2.Offered)
+	}
+}
+
+// TestPercentile pins the nearest-rank read the reports use.
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(sorted, 0.50); got != 5 {
+		t.Errorf("p50 = %v, want 5", got)
+	}
+	if got := percentile(sorted, 0.99); got != 9 {
+		t.Errorf("p99 = %v, want 9", got)
+	}
+}
+
+// TestRunSweep runs a miniature sweep end to end: saturation measured,
+// phases at each multiplier, conservation everywhere.
+func TestRunSweep(t *testing.T) {
+	sweep, err := RunSweep(context.Background(), newLoadService,
+		Config{Seed: 17, AdhocFraction: 0.5, AdhocPool: 64, Deadline: 5 * time.Second},
+		SweepOptions{
+			Multipliers:        []float64{1, 8},
+			SaturationRequests: 64,
+			PhaseDuration:      300 * time.Millisecond,
+			MaxPhaseRequests:   2000,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.SaturationQPS <= 0 {
+		t.Fatal("no saturation throughput measured")
+	}
+	if len(sweep.Phases) != 2 {
+		t.Fatalf("ran %d phases, want 2", len(sweep.Phases))
+	}
+	for _, r := range sweep.Phases {
+		if got := r.Completed + r.Shed + r.Expired + r.Failed; got != r.Offered {
+			t.Errorf("%.0fx phase: outcomes %d != offered %d", r.Multiplier, got, r.Offered)
+		}
+		if r.Failed != 0 {
+			t.Errorf("%.0fx phase failed %d requests", r.Multiplier, r.Failed)
+		}
+		if r.Completed == 0 {
+			t.Errorf("%.0fx phase completed nothing", r.Multiplier)
+		}
+		if r.Mode != "open" || r.RateQPS <= 0 {
+			t.Errorf("%.0fx phase report mode=%q rate=%v", r.Multiplier, r.Mode, r.RateQPS)
+		}
+	}
+	// A cancelled context surfaces as an error, not a hang.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSweep(ctx, newLoadService, Config{Seed: 1}, SweepOptions{}); err == nil {
+		t.Error("cancelled sweep reported no error")
+	}
+}
+
+// TestLoadSmoke is the CI overload gate (`make load-smoke` runs it with
+// LOAD_SMOKE_SECONDS=30): a seeded 3x-overload phase must shed (the
+// queue is a quarter of what sustained 3x needs) without collapsing —
+// goodput stays within a factor of the measured saturation — and the
+// admitted p99 stays bounded by the configured deadline plus execution
+// time. The short default keeps plain `go test ./...` fast.
+func TestLoadSmoke(t *testing.T) {
+	dur := 2 * time.Second
+	if s := os.Getenv("LOAD_SMOKE_SECONDS"); s != "" {
+		secs, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("LOAD_SMOKE_SECONDS=%q: %v", s, err)
+		}
+		dur = time.Duration(secs) * time.Second
+	}
+	const deadline = time.Second
+	sweep, err := RunSweep(context.Background(), newLoadService,
+		Config{Seed: 2026, AdhocFraction: 0.6, AdhocPool: 128, Deadline: deadline},
+		SweepOptions{
+			Multipliers:        []float64{3},
+			SaturationRequests: 256,
+			PhaseDuration:      dur,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sweep.Phases[0]
+	t.Logf("saturation %.0f qps; 3x phase: %s", sweep.SaturationQPS, r)
+	if got := r.Completed + r.Shed + r.Expired + r.Failed; got != r.Offered {
+		t.Fatalf("outcomes %d != offered %d: silent drop", got, r.Offered)
+	}
+	if r.Failed != 0 {
+		t.Fatalf("3x overload failed %d requests (neither completed, shed nor expired)", r.Failed)
+	}
+	if r.Shed+r.Expired == 0 {
+		t.Error("3x overload shed nothing; admission control is not engaging")
+	}
+	if r.ShedRate > 0.9 {
+		t.Errorf("shed rate %.1f%% above 90%%: the service is refusing nearly everything", 100*r.ShedRate)
+	}
+	// No congestion collapse: goodput under overload stays within a
+	// factor of saturation goodput. The loose factor absorbs scheduler
+	// noise and the race detector; collapse shows up as orders of
+	// magnitude, not fractions.
+	if r.GoodputQPS < 0.25*sweep.SaturationQPS {
+		t.Errorf("3x goodput %.0f qps collapsed below a quarter of saturation %.0f qps",
+			r.GoodputQPS, sweep.SaturationQPS)
+	}
+	// Admitted latency is bounded by the deadline (queue wait past it is
+	// shed at pickup) plus execution; 2x covers the execution tail.
+	if r.P99 > 2*deadline {
+		t.Errorf("admitted p99 %v exceeds twice the %v deadline", r.P99, deadline)
+	}
+}

@@ -1,0 +1,301 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"crystal/internal/serve"
+)
+
+// Report is the outcome of one load phase. Counts obey conservation:
+// Offered == Completed + Shed + Expired + Failed — every offered request
+// ends in exactly one bucket, the invariant the overload suite pins.
+type Report struct {
+	// Mode is "open" (fixed arrival rate) or "closed" (fixed
+	// concurrency); Multiplier is the offered-load multiple of the
+	// measured saturation throughput (0 when not rate-targeted);
+	// RateQPS is the offered open-loop rate; Concurrency the
+	// closed-loop client count.
+	Mode        string  `json:"mode"`
+	Multiplier  float64 `json:"multiplier,omitempty"`
+	RateQPS     float64 `json:"rate_qps,omitempty"`
+	Concurrency int     `json:"concurrency,omitempty"`
+
+	Offered   int64 `json:"offered"`
+	Completed int64 `json:"completed"`
+	Shed      int64 `json:"shed"`
+	Expired   int64 `json:"expired"`
+	Failed    int64 `json:"failed"`
+	// Coalesced and ResultHits split the completed responses that
+	// executed nothing themselves: shared a concurrent identical
+	// request's run, or replayed the result cache.
+	Coalesced  int64 `json:"coalesced"`
+	ResultHits int64 `json:"result_hits"`
+
+	Elapsed time.Duration `json:"elapsed"`
+	// GoodputQPS is completed responses per second of elapsed run time;
+	// ShedRate and CoalesceRate are fractions of offered and completed.
+	GoodputQPS   float64 `json:"goodput_qps"`
+	ShedRate     float64 `json:"shed_rate"`
+	CoalesceRate float64 `json:"coalesce_rate"`
+	// P50/P95/P99 are offer-to-response latency percentiles over the
+	// completed (admitted, non-shed) requests — queue wait included,
+	// because that is what a caller experiences.
+	P50 time.Duration `json:"p50"`
+	P95 time.Duration `json:"p95"`
+	P99 time.Duration `json:"p99"`
+}
+
+// String renders the report as one human-readable line.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", r.Mode)
+	if r.Multiplier > 0 {
+		fmt.Fprintf(&b, " %4.1fx", r.Multiplier)
+	}
+	if r.RateQPS > 0 {
+		fmt.Fprintf(&b, " rate=%7.1f/s", r.RateQPS)
+	}
+	if r.Concurrency > 0 {
+		fmt.Fprintf(&b, " clients=%d", r.Concurrency)
+	}
+	fmt.Fprintf(&b, " offered=%d goodput=%7.1f/s shed=%5.1f%% coalesce=%4.1f%% p50=%s p99=%s",
+		r.Offered, r.GoodputQPS, 100*r.ShedRate, 100*r.CoalesceRate,
+		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+	if r.Expired > 0 {
+		fmt.Fprintf(&b, " expired=%d", r.Expired)
+	}
+	if r.Failed > 0 {
+		fmt.Fprintf(&b, " FAILED=%d", r.Failed)
+	}
+	return b.String()
+}
+
+// collector tallies outcomes and completed-request latencies.
+type collector struct {
+	mu        sync.Mutex
+	report    Report
+	latencies []time.Duration
+}
+
+// offer executes one request synchronously through the service and files
+// its outcome. Every path increments exactly one bucket.
+func (c *collector) offer(ctx context.Context, svc *serve.Service, req serve.Request) {
+	start := time.Now()
+	resp, err := svc.Do(ctx, req)
+	lat := time.Since(start)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.report.Offered++
+	switch {
+	case err == nil && resp.Err == nil && resp.Result != nil:
+		c.report.Completed++
+		c.latencies = append(c.latencies, lat)
+		if resp.Coalesced {
+			c.report.Coalesced++
+		}
+		if resp.ResultCached {
+			c.report.ResultHits++
+		}
+	case errors.Is(err, serve.ErrOverloaded):
+		c.report.Shed++
+	case errors.Is(err, serve.ErrExpired):
+		c.report.Expired++
+	default:
+		c.report.Failed++
+	}
+}
+
+// finish derives the rates and percentiles from the raw tallies.
+func (c *collector) finish(elapsed time.Duration) Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.report
+	r.Elapsed = elapsed
+	if elapsed > 0 {
+		r.GoodputQPS = float64(r.Completed) / elapsed.Seconds()
+	}
+	if r.Offered > 0 {
+		r.ShedRate = float64(r.Shed) / float64(r.Offered)
+	}
+	if r.Completed > 0 {
+		r.CoalesceRate = float64(r.Coalesced) / float64(r.Completed)
+	}
+	sort.Slice(c.latencies, func(i, j int) bool { return c.latencies[i] < c.latencies[j] })
+	r.P50 = percentile(c.latencies, 0.50)
+	r.P95 = percentile(c.latencies, 0.95)
+	r.P99 = percentile(c.latencies, 0.99)
+	return r
+}
+
+// percentile reads the q-quantile from an ascending-sorted sample set
+// (nearest-rank; zero for an empty set).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// RunOpen offers the scheduled arrivals at their appointed times — open
+// loop: a late service does not slow the arrival process down, it just
+// accumulates queue (and, under Options.Shed, sheds). Returns when every
+// offered request has an outcome or ctx is cancelled (pending offers are
+// abandoned to their own outcomes; the report covers what was offered).
+func RunOpen(ctx context.Context, svc *serve.Service, arrivals []Arrival) Report {
+	var c collector
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	<-timer.C
+offering:
+	for _, a := range arrivals {
+		if d := a.At - time.Since(start); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break offering
+			}
+		} else if ctx.Err() != nil {
+			break offering
+		}
+		wg.Add(1)
+		go func(req serve.Request) {
+			defer wg.Done()
+			c.offer(ctx, svc, req)
+		}(a.Req)
+	}
+	wg.Wait()
+	return c.finish(time.Since(start))
+}
+
+// RunClosed drives the service with a fixed number of concurrent
+// clients, each issuing its share of the pre-generated requests
+// back-to-back — closed loop: offered load self-limits to service
+// throughput, which is what measures saturation.
+func RunClosed(ctx context.Context, svc *serve.Service, reqs []serve.Request, concurrency int) Report {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	var c collector
+	var wg sync.WaitGroup
+	start := time.Now()
+	for cl := 0; cl < concurrency; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for i := cl; i < len(reqs); i += concurrency {
+				if ctx.Err() != nil {
+					return
+				}
+				c.offer(ctx, svc, reqs[i])
+			}
+		}(cl)
+	}
+	wg.Wait()
+	r := c.finish(time.Since(start))
+	r.Mode = "closed"
+	r.Concurrency = concurrency
+	return r
+}
+
+// SweepOptions sizes an overload sweep.
+type SweepOptions struct {
+	// Multipliers are the offered-load multiples of measured saturation
+	// to run open-loop phases at (default 1, 3, 10).
+	Multipliers []float64
+	// SaturationRequests sizes the closed-loop measurement run (default
+	// 256 requests at the service's worker count).
+	SaturationRequests int
+	// PhaseDuration bounds each open-loop phase's scheduled span
+	// (default 2s): the arrival count is rate x duration, capped by
+	// MaxPhaseRequests (default 20000) to keep extreme rates tractable.
+	PhaseDuration    time.Duration
+	MaxPhaseRequests int
+}
+
+func (o SweepOptions) withDefaults() SweepOptions {
+	if len(o.Multipliers) == 0 {
+		o.Multipliers = []float64{1, 3, 10}
+	}
+	if o.SaturationRequests <= 0 {
+		o.SaturationRequests = 256
+	}
+	if o.PhaseDuration <= 0 {
+		o.PhaseDuration = 2 * time.Second
+	}
+	if o.MaxPhaseRequests <= 0 {
+		o.MaxPhaseRequests = 20000
+	}
+	return o
+}
+
+// Sweep is one overload sweep: the measured saturation baseline and one
+// open-loop phase per requested multiplier.
+type Sweep struct {
+	// SaturationQPS is the closed-loop goodput at the service's own
+	// worker count — the 1x reference every phase rate is a multiple of.
+	SaturationQPS float64  `json:"saturation_qps"`
+	Saturation    Report   `json:"saturation"`
+	Phases        []Report `json:"phases"`
+}
+
+// RunSweep measures saturation with a closed-loop run, then drives one
+// open-loop phase per multiplier at that multiple of the measured rate.
+// newService must return a fresh, isolated Service per phase (cold
+// caches — so every phase sees the same cold-start coalescing and cache
+// warm-up, and phases cannot warm each other); RunSweep closes each one.
+// The cfg seed derives per-phase workload seeds, so the sweep is
+// deterministic end to end apart from wall-clock measurement.
+func RunSweep(ctx context.Context, newService func() *serve.Service, cfg Config, opts SweepOptions) (Sweep, error) {
+	opts = opts.withDefaults()
+	var sweep Sweep
+
+	satSvc := newService()
+	satCfg := cfg
+	satCfg.Seed = cfg.Seed ^ 0x5a17
+	reqs := New(satCfg).Take(opts.SaturationRequests)
+	sat := RunClosed(ctx, satSvc, reqs, satSvc.Workers())
+	satSvc.Close()
+	if err := ctx.Err(); err != nil {
+		return sweep, err
+	}
+	if sat.Completed == 0 || sat.GoodputQPS <= 0 {
+		return sweep, fmt.Errorf("loadgen: saturation run completed nothing (%d failed)", sat.Failed)
+	}
+	sweep.SaturationQPS = sat.GoodputQPS
+	sweep.Saturation = sat
+
+	for i, mult := range opts.Multipliers {
+		rate := mult * sweep.SaturationQPS
+		n := int(rate * opts.PhaseDuration.Seconds())
+		if n < 1 {
+			n = 1
+		}
+		if n > opts.MaxPhaseRequests {
+			n = opts.MaxPhaseRequests
+		}
+		phaseCfg := cfg
+		phaseCfg.Seed = cfg.Seed + int64(i) + 1
+		arrivals := New(phaseCfg).Schedule(n, rate)
+		svc := newService()
+		r := RunOpen(ctx, svc, arrivals)
+		svc.Close()
+		r.Mode = "open"
+		r.Multiplier = mult
+		r.RateQPS = rate
+		sweep.Phases = append(sweep.Phases, r)
+		if err := ctx.Err(); err != nil {
+			return sweep, err
+		}
+	}
+	return sweep, nil
+}

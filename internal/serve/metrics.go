@@ -32,6 +32,15 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	e.Counter("ssb_requests_total", "Requests served, by engine and placement.", reqSamples)
 	e.Counter("ssb_errors_total", "Requests rejected or failed.",
 		[]trace.Sample{{Value: float64(st.errors)}})
+	e.Counter("ssb_shed_total",
+		"Submissions refused or evicted with ErrOverloaded under load shedding.",
+		[]trace.Sample{{Value: float64(st.shed)}})
+	e.Counter("ssb_deadline_expired_total",
+		"Jobs dropped at worker pickup because their deadline elapsed in the queue.",
+		[]trace.Sample{{Value: float64(st.expired)}})
+	e.Counter("ssb_coalesced_total",
+		"Responses that shared a concurrent identical request's execution (single-flight).",
+		[]trace.Sample{{Value: float64(st.coalesced)}})
 	e.Histogram("ssb_request_wall_seconds",
 		"Execution wall clock per request (queue wait excluded), by engine and placement.", wallHists)
 	e.Histogram("ssb_queue_wait_seconds",
@@ -69,6 +78,8 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	cachedPlans, cachedResults := float64(s.plans.len()), float64(s.results.len())
 	s.cacheMu.Unlock()
 	e.Gauge("ssb_workers", "Execution pool size.", []trace.Sample{{Value: workers}})
+	e.Gauge("ssb_queue_pending", "Requests waiting in the admission queue.",
+		[]trace.Sample{{Value: float64(s.queue.len())}})
 	e.Gauge("ssb_cached_plans", "Compiled plans resident in the plan cache.",
 		[]trace.Sample{{Value: cachedPlans}})
 	e.Gauge("ssb_cached_results", "Responses resident in the result cache.",

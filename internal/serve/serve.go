@@ -53,6 +53,18 @@ import (
 // ErrClosed is returned by submissions to a closed service.
 var ErrClosed = errors.New("serve: service is closed")
 
+// ErrOverloaded reports load shedding: under Options.Shed, a submission
+// that finds the pending queue at QueueDepth with no strictly
+// lower-priority request to evict fails fast with this error, and an
+// evicted request receives it as its Response.Err. ssbserve maps it to
+// 429 with a Retry-After header.
+var ErrOverloaded = errors.New("serve: overloaded: pending queue is full")
+
+// ErrExpired is delivered as the Response.Err of a request whose
+// Deadline elapsed while it was still queued: the worker drops the job
+// at pickup instead of executing it dead.
+var ErrExpired = errors.New("serve: deadline expired before execution")
+
 // Request names one unit of work: a query executed on one engine. The
 // query is either named (QueryID, one of the 13 SSB definitions) or ad hoc
 // (SQL, a statement in the internal/sql dialect); exactly one must be set.
@@ -97,8 +109,21 @@ type Request struct {
 	// simulated seconds follow each placement's bandwidth model.
 	Placement string
 	// NoCache bypasses the result cache for this request (the plan cache
-	// still applies); used to force fresh execution for benchmarking.
+	// still applies); used to force fresh execution for benchmarking. A
+	// NoCache request also never coalesces onto another request's
+	// execution — it always runs its own.
 	NoCache bool
+	// Deadline bounds the request's queue wait: a job still queued when
+	// its deadline elapses is dropped at worker pickup with ErrExpired
+	// instead of executed dead. 0 means no deadline. Do derives one from
+	// its context's deadline when the field is unset. The bound covers
+	// queue wait only — a request picked up in time runs to completion.
+	Deadline time.Duration
+	// Priority orders the pending queue: higher priorities are picked up
+	// first, equal priorities FIFO. Under Options.Shed, a full queue
+	// admits a newcomer by shedding a strictly lower-priority pending
+	// request when one exists. 0 is the default class.
+	Priority int
 }
 
 // Response is the outcome of one request.
@@ -121,6 +146,12 @@ type Response struct {
 	// result were served from cache.
 	PlanCached   bool
 	ResultCached bool
+	// Coalesced reports single-flight sharing: this request missed the
+	// result cache but found an identical request (same result-cache key,
+	// same dataset generation) already executing, waited for it, and
+	// replayed its rows and telemetry — charged only its own queue and
+	// wait time, never a second execution.
+	Coalesced bool
 	// Morsels and Pruned report the partitioned-execution outcome: how many
 	// morsels the fact scan was split into (1 for monolithic runs) and how
 	// many of them zone maps skipped.
@@ -175,6 +206,20 @@ type Options struct {
 	BindCacheSize int
 	// QueueDepth bounds the pending-request queue (default 4x Workers).
 	QueueDepth int
+	// Shed switches the full-queue policy from blocking backpressure (the
+	// default: Submit waits for space, honoring its context) to load
+	// shedding: a submission past QueueDepth fails fast with
+	// ErrOverloaded — unless a strictly lower-priority request is
+	// pending, in which case that victim is evicted (its Response.Err is
+	// ErrOverloaded) and the newcomer admitted.
+	Shed bool
+	// ExecDelay adds a fixed wall-clock delay to every real engine
+	// execution (cache hits and coalesced followers are unaffected). The
+	// simulated engines finish in microseconds of wall time, so overload
+	// tests and load experiments use this to emulate a slow backend
+	// deterministically: N slow executions against a bounded queue must
+	// shed on any machine. Zero (the default) adds nothing.
+	ExecDelay time.Duration
 	// MorselHelpers caps the extra goroutines all in-flight requests
 	// together may spawn for intra-query parallelism (morsel scans, GPU
 	// blocks). The executing worker always makes progress without a slot,
@@ -267,12 +312,16 @@ type planEntry struct {
 	plan *queries.Plan
 }
 
-type job struct {
-	req Request
-	// enqueued is when Submit put the job on the queue; the worker's
-	// pickup delta is the request's queue wait.
-	enqueued time.Time
-	done     chan Response
+// flight is one in-progress execution that identical concurrent misses
+// wait on. The leader closes done after publishing either resp (a
+// cache-entry-shaped Response followers clone from, like a cache hit) or
+// err. Registration and completion both happen under cacheMu together
+// with the result-cache lookup, so for any (key, generation) exactly one
+// of three states is ever observable: cached, in flight, or absent.
+type flight struct {
+	done chan struct{}
+	resp *Response
+	err  error
 }
 
 // Service executes SSB query requests concurrently over one dataset.
@@ -300,6 +349,18 @@ type Service struct {
 	plans   *lru // "gen\x00canonical" -> *planEntry
 	results *lru // "gen\x00canonical\x00engine" -> *Response
 	binds   *lru // "gen\x00sql text" -> *boundSQL
+	// flights are the in-progress executions coalesceable misses join,
+	// keyed like the result cache. Guarded by cacheMu — the same lock as
+	// the results LRU — so "check cache, join flight or become leader"
+	// is one atomic step and a (key, generation) can never execute twice.
+	flights map[string]*flight
+
+	// execHook, when set (tests only, before any traffic), observes every
+	// real engine execution with its result-cache key; coalesced and
+	// cache-hit responses never fire it. flightHook observes a follower
+	// just before it waits on an in-progress flight.
+	execHook   func(resultKey string)
+	flightHook func()
 
 	statsMu sync.Mutex
 	stats   statsAccum
@@ -333,10 +394,16 @@ type Service struct {
 	// request (see Options.MorselHelpers).
 	morsels gate
 
-	jobs chan job
-	wg   sync.WaitGroup
+	// queue is the pending-request priority queue workers pop from. In
+	// the default blocking mode, slots is a QueueDepth-sized semaphore:
+	// submit acquires a slot (waiting under its context) before pushing
+	// and the popping worker releases it. Under Options.Shed, slots is
+	// nil and the depth check lives in queue.offer.
+	queue *jobQueue
+	slots chan struct{}
+	wg    sync.WaitGroup
 	// pending counts Submit calls that have passed the closed check but not
-	// yet enqueued; Close waits for them before closing the job channel.
+	// yet enqueued; Close waits for them before closing the queue.
 	pending sync.WaitGroup
 }
 
@@ -359,13 +426,32 @@ func New(ds *ssb.Dataset, version string, opts Options) *Service {
 	}
 	s.morsels = make(gate, s.opts.MorselHelpers)
 	s.stats.engines = map[queries.Engine]*engineAccum{}
-	s.jobs = make(chan job, s.opts.QueueDepth)
+	s.flights = map[string]*flight{}
+	s.queue = newJobQueue()
+	if !s.opts.Shed {
+		s.slots = make(chan struct{}, s.opts.QueueDepth)
+	}
 	s.wg.Add(s.opts.Workers)
 	for w := 0; w < s.opts.Workers; w++ {
 		go func() {
 			defer s.wg.Done()
-			for j := range s.jobs {
-				j.done <- s.execute(j.req, time.Since(j.enqueued))
+			for {
+				j, ok := s.queue.pop()
+				if !ok {
+					return
+				}
+				if s.slots != nil {
+					<-s.slots
+				}
+				wait := time.Since(j.enqueued)
+				if j.req.Deadline > 0 && wait >= j.req.Deadline {
+					// Expired in the queue: executing it would waste a
+					// worker on an answer nobody is waiting for.
+					s.recordExpired()
+					j.done <- Response{Request: j.req, QueueWait: wait, Err: ErrExpired}
+					continue
+				}
+				j.done <- s.execute(j.req, wait)
 			}
 		}()
 	}
@@ -468,15 +554,19 @@ func (s *Service) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	s.pending.Wait()
-	close(s.jobs)
+	s.queue.close()
 	s.wg.Wait()
 }
 
 // Submit enqueues a request on the worker pool and returns a channel that
-// receives the single response. Submit blocks while the queue is full —
-// backpressure, not load shedding.
-func (s *Service) Submit(req Request) (<-chan Response, error) {
-	return s.submit(context.Background(), req)
+// receives the single response. In the default blocking mode a full
+// queue applies backpressure: Submit waits for space, and ctx bounds the
+// wait — the context is checked before and during the enqueue, so a
+// cancelled context never blocks on a full queue. Under Options.Shed a
+// full queue instead fails fast with ErrOverloaded (see Options.Shed for
+// the priority-eviction carve-out).
+func (s *Service) Submit(ctx context.Context, req Request) (<-chan Response, error) {
+	return s.submit(ctx, req)
 }
 
 func (s *Service) submit(ctx context.Context, req Request) (<-chan Response, error) {
@@ -487,12 +577,32 @@ func (s *Service) submit(ctx context.Context, req Request) (<-chan Response, err
 		return nil, ErrClosed
 	}
 	// Registering under the read lock orders this submission before any
-	// Close: the worker pool stays up until the send below lands.
+	// Close: the worker pool stays up until the enqueue below lands.
 	s.pending.Add(1)
 	s.mu.RUnlock()
 	defer s.pending.Done()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	j := &job{req: req, done: done}
+	if s.slots == nil {
+		// Shed mode: admission is decided now, under the queue lock.
+		j.enqueued = time.Now()
+		pushed, victim := s.queue.offer(j, s.opts.QueueDepth)
+		if victim != nil {
+			s.recordShed()
+			victim.done <- Response{Request: victim.req, QueueWait: time.Since(victim.enqueued), Err: ErrOverloaded}
+		}
+		if !pushed {
+			s.recordShed()
+			return nil, ErrOverloaded
+		}
+		return done, nil
+	}
 	select {
-	case s.jobs <- job{req: req, enqueued: time.Now(), done: done}:
+	case s.slots <- struct{}{}:
+		j.enqueued = time.Now()
+		s.queue.push(j)
 		return done, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -502,8 +612,17 @@ func (s *Service) submit(ctx context.Context, req Request) (<-chan Response, err
 // Do executes one request synchronously, honoring ctx cancellation both
 // while the request waits for queue space and while it waits for a worker.
 // A request cancelled after enqueueing still completes in the background;
-// its response is discarded.
+// its response is discarded. When the request sets no Deadline of its
+// own, Do derives one from ctx's deadline, so a deadline-bounded call
+// also sheds dead at worker pickup instead of executing unobserved.
 func (s *Service) Do(ctx context.Context, req Request) (Response, error) {
+	if req.Deadline == 0 {
+		if dl, ok := ctx.Deadline(); ok {
+			if budget := time.Until(dl); budget > 0 {
+				req.Deadline = budget
+			}
+		}
+	}
 	done, err := s.submit(ctx, req)
 	if err != nil {
 		return Response{}, err
@@ -743,39 +862,54 @@ func (s *Service) execute(req Request, queueWait time.Duration) Response {
 	// caches — their seconds are deterministic, so they always cache.
 	resultKey := cacheKey(genKey, canon, string(req.Engine), strconv.Itoa(req.Partitions), packedKey(req.Packed),
 		strconv.Itoa(req.GPUs), req.Interconnect, req.Placement)
-	if !req.NoCache && !coprocResidency {
+	// Cache lookup and single-flight formation are one critical section
+	// under cacheMu: a coalesceable request either hits the cache, joins
+	// the in-progress flight for its key, or registers itself as the
+	// leader — so for any (key, generation) at most one execution ever
+	// runs, no matter how the misses interleave with the leader's fill.
+	if coalesceable := !req.NoCache && !coprocResidency; coalesceable {
 		s.cacheMu.Lock()
-		v, ok := s.results.get(resultKey)
-		s.cacheMu.Unlock()
-		if ok {
-			cached := v.(*Response)
+		if v, ok := s.results.get(resultKey); ok {
+			s.cacheMu.Unlock()
 			// Hand out a copy: callers may mutate Groups in place, and the
 			// cached rows must stay identical to sequential execution. The
 			// id is rewritten because equivalent queries (named vs SQL, or
 			// two SQL spellings) share the entry under their canonical form.
-			resp.Result = cached.Result.Clone()
-			resp.Result.QueryID = q.ID
-			resp.SimSeconds = cached.SimSeconds
-			resp.Morsels = cached.Morsels
-			resp.Pruned = cached.Pruned
-			resp.TransferBytes = cached.TransferBytes
-			resp.ResidentCols = cached.ResidentCols
-			resp.GPUs = cached.GPUs
-			resp.Interconnect = cached.Interconnect
-			resp.Devices = append([]queries.FleetDevice(nil), cached.Devices...)
-			resp.MergeBytes = cached.MergeBytes
-			resp.Placement = cached.Placement
-			resp.CPUFrac = cached.CPUFrac
-			resp.Executors = append([]queries.ExecutorResult(nil), cached.Executors...)
-			resp.PlanCached = true
-			resp.ResultCached = true
-			resp.Wall = time.Since(start)
-			if s.recorder != nil {
-				s.finishTrace(&resp, start, queueWait, bindWall, 0, nil)
-			}
-			s.recordStats(resp)
+			s.replay(&resp, v.(*Response), q, start, queueWait, bindWall, false)
 			return resp
 		}
+		if f, ok := s.flights[resultKey]; ok {
+			s.cacheMu.Unlock()
+			// Follower: an identical request is already executing against
+			// this generation. Wait for the leader and replay its outcome —
+			// this request is charged only the time it spent waiting.
+			if s.flightHook != nil {
+				s.flightHook()
+			}
+			<-f.done
+			if f.err != nil || f.resp == nil {
+				err := f.err
+				if err == nil {
+					err = errors.New("serve: coalesced execution did not complete")
+				}
+				resp.Err = err
+				s.recordError()
+				return resp
+			}
+			s.replay(&resp, f.resp, q, start, queueWait, bindWall, true)
+			return resp
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[resultKey] = f
+		// Deferred so even a panicking leader releases its followers.
+		defer s.completeFlight(f, resultKey, &resp)
+		s.cacheMu.Unlock()
+	}
+	if s.execHook != nil {
+		s.execHook(resultKey)
+	}
+	if s.opts.ExecDelay > 0 {
+		time.Sleep(s.opts.ExecDelay)
 	}
 
 	// Plan lookup: install a once-guarded entry so concurrent misses for
@@ -891,14 +1025,18 @@ func (s *Service) execute(req Request, queueWait time.Duration) Response {
 		s.finishTrace(&resp, start, queueWait, bindWall, planWall, runSpan)
 	}
 
-	// Cache only results that are still current: the dataset may have been
-	// swapped while this request executed. (A swap between the check and the
-	// put is benign — the entry is keyed by the old generation, which no
-	// lookup uses anymore.) Residency-dependent responses are never cached;
-	// see the result-cache comment above.
+	// Store unconditionally, even when the dataset was swapped while this
+	// request executed: the entry is keyed by the generation it ran
+	// against, so no new request (which snapshots the current generation)
+	// can ever look it up — but an in-flight straggler that snapshotted
+	// the same old generation can, and must find it rather than execute
+	// the key a second time. That store-after-swap is what keeps
+	// exactly-one-execution per (key, generation) strict; dead-generation
+	// entries merely age out of the LRU. Residency-dependent responses
+	// are never cached; see the result-cache comment above.
 	cacheable := !coprocResidency &&
 		(!fleetResidency || (resp.TransferBytes == 0 && resp.ResidentCols == 0))
-	if s.generation() == gen && cacheable {
+	if cacheable {
 		// The cache keeps its own copy for the same reason the hit path
 		// clones: the caller owns the returned Result (and Devices).
 		cached := resp
@@ -915,6 +1053,64 @@ func (s *Service) execute(req Request, queueWait time.Duration) Response {
 	}
 	s.recordStats(resp)
 	return resp
+}
+
+// replay fills resp from a stored execution — a result-cache entry or a
+// completed flight's published response — cloning the result and
+// telemetry slices so the caller owns what it receives, then stamps the
+// cache/coalesce flags, finishes the trace and records stats.
+func (s *Service) replay(resp *Response, stored *Response, q queries.Query, start time.Time, queueWait, bindWall time.Duration, coalesced bool) {
+	resp.Result = stored.Result.Clone()
+	resp.Result.QueryID = q.ID
+	resp.SimSeconds = stored.SimSeconds
+	resp.Morsels = stored.Morsels
+	resp.Pruned = stored.Pruned
+	resp.TransferBytes = stored.TransferBytes
+	resp.ResidentCols = stored.ResidentCols
+	resp.GPUs = stored.GPUs
+	resp.Interconnect = stored.Interconnect
+	resp.Devices = append([]queries.FleetDevice(nil), stored.Devices...)
+	resp.MergeBytes = stored.MergeBytes
+	resp.Placement = stored.Placement
+	resp.CPUFrac = stored.CPUFrac
+	resp.Executors = append([]queries.ExecutorResult(nil), stored.Executors...)
+	resp.PlanCached = true
+	resp.ResultCached = !coalesced
+	resp.Coalesced = coalesced
+	resp.Wall = time.Since(start)
+	if s.recorder != nil {
+		s.finishTrace(resp, start, queueWait, bindWall, 0, nil)
+	}
+	s.recordStats(*resp)
+}
+
+// completeFlight publishes the leader's outcome on its flight and
+// releases the followers. The flight is deleted under cacheMu strictly
+// after the leader's cache store in the execute body, so no identical
+// request can ever miss both the cache and the flight table while an
+// execution it should have shared is still running. Deferred from the
+// leader's execute, so even a panic releases followers (they observe a
+// flight with neither resp nor err and synthesize an error).
+func (s *Service) completeFlight(f *flight, key string, resp *Response) {
+	if resp.Err == nil && resp.Result != nil {
+		// Publish a cache-entry-shaped copy: followers clone from it the
+		// same way cache hits clone, and never share mutable state with
+		// the leader's caller.
+		lead := *resp
+		lead.Result = resp.Result.Clone()
+		lead.Devices = append([]queries.FleetDevice(nil), resp.Devices...)
+		lead.Executors = append([]queries.ExecutorResult(nil), resp.Executors...)
+		lead.Trace = nil
+		lead.TraceID = ""
+		lead.QueueWait = 0
+		f.resp = &lead
+	} else {
+		f.err = resp.Err
+	}
+	s.cacheMu.Lock()
+	delete(s.flights, key)
+	s.cacheMu.Unlock()
+	close(f.done)
 }
 
 // finishTrace assembles the request's span tree — admit, bind, plan and
@@ -935,6 +1131,10 @@ func (s *Service) finishTrace(resp *Response, start time.Time, queueWait, bindWa
 			&trace.Span{Phase: trace.PhasePlan, Wall: planWall, Cached: resp.PlanCached},
 			runSpan)
 		root.Sim = runSpan.Sim
+	} else if resp.Coalesced {
+		// Coalesced: the response replays a concurrent leader's execution;
+		// this request's own work was waiting, not running.
+		root.Children = append(root.Children, &trace.Span{Phase: trace.PhaseCoalesced, Cached: false})
 	} else {
 		// Result-cache hit: the response replays stored telemetry, but no
 		// simulated execution happened in this request.
@@ -973,6 +1173,18 @@ func (s *Service) recordError() {
 	s.statsMu.Lock()
 	s.stats.errors++
 	s.stats.requests++
+	s.statsMu.Unlock()
+}
+
+func (s *Service) recordShed() {
+	s.statsMu.Lock()
+	s.stats.shed++
+	s.statsMu.Unlock()
+}
+
+func (s *Service) recordExpired() {
+	s.statsMu.Lock()
+	s.stats.expired++
 	s.statsMu.Unlock()
 }
 

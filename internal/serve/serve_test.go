@@ -294,7 +294,7 @@ func TestCloseRejectsSubmissions(t *testing.T) {
 	}
 	s.Close()
 	s.Close() // idempotent
-	if _, err := s.Submit(Request{QueryID: "q1.1", Engine: queries.EngineCPU}); err != ErrClosed {
+	if _, err := s.Submit(context.Background(), Request{QueryID: "q1.1", Engine: queries.EngineCPU}); err != ErrClosed {
 		t.Errorf("submit after close: err = %v, want ErrClosed", err)
 	}
 }
@@ -324,7 +324,7 @@ func TestDoHonorsContextWhileQueueFull(t *testing.T) {
 	defer s.Close()
 	// Fill the single worker and the single queue slot with uncached work.
 	for i := 0; i < 4; i++ {
-		if _, err := s.Submit(Request{QueryID: "q4.1", Engine: queries.EngineGPU, NoCache: true}); err != nil {
+		if _, err := s.Submit(context.Background(), Request{QueryID: "q4.1", Engine: queries.EngineGPU, NoCache: true}); err != nil {
 			t.Fatal(err)
 		}
 	}

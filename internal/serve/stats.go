@@ -86,6 +86,15 @@ type statsAccum struct {
 	resultMisses  int64
 	engines       map[queries.Engine]*engineAccum
 
+	// Overload discipline: shed counts submissions refused or evicted
+	// with ErrOverloaded (never executed, so not in requests), expired
+	// counts jobs dropped at worker pickup past their deadline, and
+	// coalesced counts responses that shared a concurrent identical
+	// request's execution (a subset of requests).
+	shed      int64
+	expired   int64
+	coalesced int64
+
 	// Fleet tallies: request-level totals plus the per-device breakdown.
 	// The per-device entries always sum to the totals — the invariant the
 	// regression test pins.
@@ -210,6 +219,9 @@ func (a *statsAccum) record(resp Response) {
 		a.planHits++
 	} else {
 		a.planMisses++
+	}
+	if resp.Coalesced {
+		a.coalesced++
 	}
 	if resp.ResultCached {
 		a.resultHits++
@@ -362,6 +374,21 @@ type Stats struct {
 	AdhocRequests int64 `json:"adhoc_requests"`
 	Errors        int64 `json:"errors"`
 
+	// Overload discipline. Shed counts submissions refused or evicted
+	// with ErrOverloaded under Options.Shed; Expired counts jobs dropped
+	// at worker pickup because their Deadline elapsed in the queue.
+	// Neither executes, so neither is included in Requests — the total
+	// offered load is Requests + Shed + Expired. Coalesced counts
+	// responses (a subset of Requests) that rode a concurrent identical
+	// request's execution instead of running their own; CoalesceRate is
+	// their fraction of Requests. Pending is the point-in-time depth of
+	// the admission queue.
+	Shed         int64   `json:"shed"`
+	Expired      int64   `json:"expired"`
+	Coalesced    int64   `json:"coalesced"`
+	CoalesceRate float64 `json:"coalesce_rate"`
+	Pending      int     `json:"pending"`
+
 	// PartitionedRequests counts requests that asked for morsel-driven
 	// execution; Morsels and PrunedMorsels tally their fact-scan partitions
 	// and how many of those zone maps skipped. PruneRate is the fraction
@@ -463,6 +490,13 @@ func (s *Service) Stats() Stats {
 	out.Requests = st.requests
 	out.NamedRequests = st.named
 	out.AdhocRequests = st.adhoc
+	out.Shed = st.shed
+	out.Expired = st.expired
+	out.Coalesced = st.coalesced
+	if st.requests > 0 {
+		out.CoalesceRate = float64(st.coalesced) / float64(st.requests)
+	}
+	out.Pending = s.queue.len()
 	out.PartitionedRequests = st.partitioned
 	out.Morsels = st.morsels
 	out.PrunedMorsels = st.pruned

@@ -75,6 +75,10 @@ const (
 	// PhaseMerge is the host-side merge of partial aggregates that
 	// crossed the link.
 	PhaseMerge Phase = "merge"
+	// PhaseCoalesced marks a request that shared a concurrent identical
+	// request's execution (single-flight): it waited on the leader and
+	// replayed its rows, executing nothing itself.
+	PhaseCoalesced Phase = "coalesced"
 	// PhaseCacheHit marks a request served from the result cache: no
 	// run span, no simulated re-execution.
 	PhaseCacheHit Phase = "cache-hit"
