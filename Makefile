@@ -34,16 +34,19 @@ test:
 
 # Each fuzz target runs its corpus plus ~20s of new inputs: the dataset
 # decoder, the SQL frontend (parse -> canonical print fixed point, bind
-# never panics), zone-map pruning (a pruned morsel never contains a
-# matching row), bit packing (pack -> unpack equals the plain column), and
-# fleet shard assignment (no morsel lost, duplicated, or resident beyond
-# device capacity after spill accounting).
+# never panics; ORDER BY / LIMIT / multi-aggregate grammar included),
+# zone-map pruning (a pruned morsel never contains a matching row), bit
+# packing (pack -> unpack equals the plain column), fleet shard assignment
+# (no morsel lost, duplicated, or resident beyond device capacity after
+# spill accounting), and the 64-bit GPU radix sort (output is a stable
+# sorted permutation of the input on the masked key bits).
 fuzz:
 	$(GO) test ./internal/ssb -run='^$$' -fuzz=FuzzRead -fuzztime=20s
 	$(GO) test ./internal/sql -run='^$$' -fuzz=FuzzParse -fuzztime=20s
 	$(GO) test ./internal/queries -run='^$$' -fuzz=FuzzZoneMap -fuzztime=20s
 	$(GO) test ./internal/pack -run='^$$' -fuzz=FuzzPackRoundTrip -fuzztime=20s
 	$(GO) test ./internal/fleet -run='^$$' -fuzz=FuzzShardAssignment -fuzztime=20s
+	$(GO) test ./internal/gpu -run='^$$' -fuzz=FuzzRadixSort -fuzztime=20s
 
 # Docs gate: every relative link in README/docs resolves, and godoc
 # renders non-empty for the packages above.
@@ -80,11 +83,12 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 # Benchmark gate: bench-baseline records the q1.x flight's simulated
-# seconds and scaling efficiency at 1/2/4/8 GPUs into BENCH_fleet.json and
+# seconds and scaling efficiency at 1/2/4/8 GPUs into BENCH_fleet.json,
 # its cpu/gpu/hybrid placement seconds on both interconnects into
-# BENCH_hybrid.json; bench-check fails when the flight regresses by more
-# than 5% on any fleet size or placement (simulated seconds are
-# deterministic, so the tolerance only absorbs intentional model changes).
+# BENCH_hybrid.json, and top-5 ORDER BY variants per placement into
+# BENCH_sort.json; bench-check fails when anything regresses by more
+# than 5% (simulated seconds are deterministic, so the tolerance only
+# absorbs intentional model changes).
 bench-baseline:
 	$(GO) run ./cmd/benchgate -write
 

@@ -13,6 +13,11 @@
 // size or any placement fails the check; improvements pass with a reminder
 // to re-baseline.
 //
+// It also maintains BENCH_sort.json, the ORDER BY / top-N placement
+// baseline: top-5 ordered variants of one grouped query per flight, timed
+// on the cpu (heap/merge), gpu (radix), fleet (per-device sorted runs,
+// host k-way merge) and hybrid placements, gated with the same tolerance.
+//
 // It also maintains BENCH_serve.json, the wall-clock serving-overload
 // baseline: goodput and p99 at 1x and 10x of measured saturation for the
 // cpu, gpu and hybrid scheduler placements (see serve.go). Those values
@@ -35,6 +40,7 @@ import (
 var (
 	flagFile       = flag.String("file", "BENCH_fleet.json", "fleet baseline file")
 	flagHybridFile = flag.String("hybrid-file", "BENCH_hybrid.json", "hybrid placement baseline file")
+	flagSortFile   = flag.String("sort-file", "BENCH_sort.json", "ORDER BY / top-N placement baseline file")
 	flagRows       = flag.Int("rows", 1<<21, "fact rows of the fixed benchmark dataset")
 	flagWrite      = flag.Bool("write", false, "write the baselines")
 	flagCheck      = flag.Bool("check", false, "check against the baselines")
@@ -157,6 +163,72 @@ func measureHybrid(ds *ssb.Dataset) (hybridBaseline, error) {
 	return out, nil
 }
 
+// sortEntry is one grouped query's ORDER BY ... LIMIT measurement: the
+// top-5 variant's total simulated seconds on each placement (cpu heap/merge,
+// single-GPU radix, 4-GPU fleet sorted-run merge, balanced hybrid).
+type sortEntry struct {
+	Query         string  `json:"query"`
+	CPUSeconds    float64 `json:"cpu_seconds"`
+	GPUSeconds    float64 `json:"gpu_seconds"`
+	FleetSeconds  float64 `json:"fleet_seconds"`
+	HybridSeconds float64 `json:"hybrid_seconds"`
+}
+
+// sortBaseline is the checked-in ORDER BY baseline document.
+type sortBaseline struct {
+	Rows         int         `json:"rows"`
+	FleetGPUs    int         `json:"fleet_gpus"`
+	Limit        int         `json:"limit"`
+	Partitions   int         `json:"partitions"`
+	TolerancePct float64     `json:"tolerance_pct"`
+	Queries      []sortEntry `json:"queries"`
+}
+
+// sortFleetGPUs is the device count of the fleet arm of the sort baseline:
+// enough shards that the sorted-run merge is a real k-way merge.
+const sortFleetGPUs = 4
+
+// measureSort times top-5 ORDER BY variants of one grouped query per SSB
+// flight (ORDER BY the aggregate descending, then the first group column)
+// on every placement, through the same unified scheduler as the other
+// baselines.
+func measureSort(ds *ssb.Dataset) (sortBaseline, error) {
+	out := sortBaseline{
+		Rows: ds.Lineorder.Rows(), FleetGPUs: sortFleetGPUs, Limit: 5,
+		Partitions: hybridPartitions, TolerancePct: tolerance * 100,
+	}
+	opts := queries.RunOptions{}
+	opts.Partition.Partitions = hybridPartitions
+	for _, id := range []string{"q2.1", "q3.1", "q4.1"} {
+		q, err := queries.ByID(id)
+		if err != nil {
+			return out, err
+		}
+		q.OrderBy = []queries.OrderKey{{Item: 0, Desc: true}, {Item: -1, Group: 0}}
+		q.Limit = out.Limit
+		plan := queries.Compile(ds, q)
+		entry := sortEntry{Query: id}
+		fl := fleet.Spec{GPUs: 1, Link: fleet.NVLink()}
+		for _, m := range []struct {
+			frac float64
+			out  *float64
+		}{{1, &entry.CPUSeconds}, {0, &entry.GPUSeconds}, {-1, &entry.HybridSeconds}} {
+			hr, err := plan.RunHybrid(fl, m.frac, opts)
+			if err != nil {
+				return out, err
+			}
+			*m.out = hr.Result.Seconds
+		}
+		fr, err := plan.RunFleet(fleet.Spec{GPUs: sortFleetGPUs, Link: fleet.NVLink()}, opts)
+		if err != nil {
+			return out, err
+		}
+		entry.FleetSeconds = fr.Result.Seconds
+		out.Queries = append(out.Queries, entry)
+	}
+	return out, nil
+}
+
 func main() {
 	flag.Parse()
 	if *flagWrite == *flagCheck {
@@ -200,6 +272,15 @@ func run() error {
 	}
 	fmt.Printf("wrote %s (%d rows, %d morsels):\n", *flagHybridFile, curHybrid.Rows, curHybrid.Partitions)
 	printHybrid(curHybrid.Links)
+	curSort, err := measureSort(ds)
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(*flagSortFile, curSort); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows, top-%d, %d-GPU fleet):\n", *flagSortFile, curSort.Rows, curSort.Limit, curSort.FleetGPUs)
+	printSort(curSort.Queries)
 	curServe, err := measureServe()
 	if err != nil {
 		return err
@@ -282,6 +363,37 @@ func check() error {
 		gate(c.Interconnect+" gpu placement", c.GPUSeconds, b.GPUSeconds)
 		gate(c.Interconnect+" hybrid placement", c.HybridSeconds, b.HybridSeconds)
 	}
+	sdata0, err := os.ReadFile(*flagSortFile)
+	if err != nil {
+		return fmt.Errorf("reading sort baseline (run `make bench-baseline` first): %w", err)
+	}
+	var sortBase sortBaseline
+	if err := json.Unmarshal(sdata0, &sortBase); err != nil {
+		return fmt.Errorf("parsing %s: %w", *flagSortFile, err)
+	}
+	if sortBase.Rows != base.Rows {
+		return fmt.Errorf("baseline row counts disagree (%d fleet vs %d sort); re-baseline", base.Rows, sortBase.Rows)
+	}
+	curSort, err := measureSort(ds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checking against %s (%d rows, top-%d, %d-GPU fleet, %.0f%% tolerance):\n",
+		*flagSortFile, sortBase.Rows, sortBase.Limit, sortBase.FleetGPUs, sortBase.TolerancePct)
+	printSort(curSort.Queries)
+	if len(curSort.Queries) != len(sortBase.Queries) {
+		return fmt.Errorf("sort query set changed (%d vs %d entries); re-baseline", len(curSort.Queries), len(sortBase.Queries))
+	}
+	for i, b := range sortBase.Queries {
+		c := curSort.Queries[i]
+		if c.Query != b.Query {
+			return fmt.Errorf("sort entry %d is %s, baseline has %s; re-baseline", i, c.Query, b.Query)
+		}
+		gate(c.Query+" ordered cpu", c.CPUSeconds, b.CPUSeconds)
+		gate(c.Query+" ordered gpu", c.GPUSeconds, b.GPUSeconds)
+		gate(c.Query+" ordered fleet", c.FleetSeconds, b.FleetSeconds)
+		gate(c.Query+" ordered hybrid", c.HybridSeconds, b.HybridSeconds)
+	}
 	if failed {
 		return fmt.Errorf("q1.x flight regressed more than %.0f%% — investigate, or re-run `make bench-baseline` for an intentional model change", tolerance*100)
 	}
@@ -321,5 +433,12 @@ func printHybrid(es []hybridEntry) {
 	for _, e := range es {
 		fmt.Printf("  %-6s cpu %.6fs  gpu %.6fs  hybrid %.6fs\n",
 			e.Interconnect, e.CPUSeconds, e.GPUSeconds, e.HybridSeconds)
+	}
+}
+
+func printSort(es []sortEntry) {
+	for _, e := range es {
+		fmt.Printf("  %-5s cpu %.6fs  gpu %.6fs  fleet %.6fs  hybrid %.6fs\n",
+			e.Query, e.CPUSeconds, e.GPUSeconds, e.FleetSeconds, e.HybridSeconds)
 	}
 }

@@ -301,7 +301,9 @@ func runPercentiles(ds *ssb.Dataset) {
 
 // runSQL compiles one ad-hoc statement through the SQL frontend, reorders
 // its joins with the cost-based planner (payload order preserved), runs it
-// on every engine, cross-checks the rows, and prints the result table.
+// on every engine and on every scheduler placement (cpu, gpu, fleet,
+// hybrid), cross-checks the rows — order included for ORDER BY statements —
+// and prints the result table.
 func runSQL(ds *ssb.Dataset, scale func(*queries.Result) float64, stmt string) error {
 	q, err := sqlfe.Compile(stmt)
 	if err != nil {
@@ -332,13 +334,65 @@ func runSQL(ds *ssb.Dataset, scale func(*queries.Result) float64, stmt string) e
 				queries.Engines()[i+1], queries.Engines()[0])
 		}
 	}
+
+	// The four scheduler placements must return the same rows in the same
+	// order as the engines (fleet merges per-device sorted runs, hybrid
+	// sorts host-side — both must land on the identical total order).
+	ic, err := fleet.ParseInterconnect(*link)
+	if err != nil {
+		return err
+	}
+	fl := fleet.Spec{GPUs: max(*hgpus, 2), Link: ic}
+	ptb := &bench.Table{Title: "placement times (ms)", Columns: []string{"cpu", "gpu", "fleet", "hybrid"}}
+	var pvals []float64
+	for _, pl := range []string{"cpu", "gpu", "fleet", "hybrid"} {
+		var res *queries.Result
+		switch pl {
+		case "cpu":
+			res = exec(plan, queries.EngineCPU)
+		case "gpu":
+			res = exec(plan, queries.EngineGPU)
+		case "fleet":
+			fr, err := plan.RunFleet(fl, runOpts())
+			if err != nil {
+				return err
+			}
+			res = fr.Result
+		case "hybrid":
+			hr, err := plan.RunHybrid(fl, -1, runOpts())
+			if err != nil {
+				return err
+			}
+			res = hr.Result
+		}
+		if !res.Equal(results[0]) {
+			return fmt.Errorf("placement %s disagrees with the engines on the result rows", pl)
+		}
+		pvals = append(pvals, scale(res))
+	}
+	ptb.AddRow(q.ID, pvals...)
+	ptb.Fprint(os.Stdout)
+
 	rows := q.DecodeRows(results[0])
 	fmt.Printf("\n%d result row(s):\n", len(rows))
+	if len(rows) > 0 {
+		var hdr strings.Builder
+		for _, gp := range q.GroupPayloads() {
+			fmt.Fprintf(&hdr, "%-14s", gp.Payload)
+		}
+		for _, s := range q.AggList() {
+			fmt.Fprintf(&hdr, "%16s", s.SQL())
+		}
+		fmt.Println(hdr.String())
+	}
 	for _, r := range rows {
 		for _, l := range r.Labels {
 			fmt.Printf("%-14s", l)
 		}
-		fmt.Printf("%d\n", r.Sum)
+		for _, v := range r.Vals {
+			fmt.Printf("%16d", v)
+		}
+		fmt.Println()
 	}
 	fmt.Println()
 	return nil

@@ -388,17 +388,21 @@ func serveRequest(svc *serve.Service, w http.ResponseWriter, r *http.Request, re
 }
 
 // decodeRows unpacks the result's packed group keys into per-payload
-// columns followed by the aggregate sum.
+// columns followed by every aggregate value of the statement — in statement
+// order for ORDER BY results (LIMIT already applied), group-key order
+// otherwise.
 func decodeRows(q queries.Query, res *queries.Result) [][]any {
 	n := len(q.GroupPayloads())
-	rows := res.Rows()
+	rows := q.DecodeRows(res)
 	out := make([][]any, 0, len(rows))
-	for _, kv := range rows {
-		row := make([]any, 0, n+1)
-		for _, v := range queries.UnpackGroup(kv[0], n) {
+	for _, r := range rows {
+		row := make([]any, 0, n+len(r.Vals))
+		for _, l := range r.Labels {
+			row = append(row, l)
+		}
+		for _, v := range r.Vals {
 			row = append(row, v)
 		}
-		row = append(row, kv[1])
 		out = append(out, row)
 	}
 	return out

@@ -1,0 +1,163 @@
+package crystal
+
+import (
+	"sync/atomic"
+
+	"crystal/internal/device"
+	"crystal/internal/sim"
+)
+
+// SlotOp is the merge operator of one accumulator slot in a MultiAggTable.
+// SUM and COUNT slots add; MIN/MAX slots converge with a CAS loop, which is
+// how a real GPU kernel implements atomicMin/atomicMax on 64-bit values.
+type SlotOp int
+
+const (
+	SlotAdd SlotOp = iota
+	SlotMin
+	SlotMax
+)
+
+// Identity returns the slot's merge identity (0 for add, the extreme
+// sentinels for min/max).
+func (op SlotOp) Identity() int64 {
+	switch op {
+	case SlotMin:
+		return int64(^uint64(0) >> 1) // math.MaxInt64
+	case SlotMax:
+		return -int64(^uint64(0)>>1) - 1 // math.MinInt64
+	default:
+		return 0
+	}
+}
+
+// Merge combines an accumulated value with a delta under the operator.
+func (op SlotOp) Merge(acc, v int64) int64 {
+	switch op {
+	case SlotMin:
+		if v < acc {
+			return v
+		}
+		return acc
+	case SlotMax:
+		if v > acc {
+			return v
+		}
+		return acc
+	default:
+		return acc + v
+	}
+}
+
+// MultiAggTable is the multi-accumulator generalization of AggTable: each
+// group key owns a fixed vector of 8-byte accumulator slots (one per
+// aggregate slot of the statement — SUM and COUNT take one, AVG takes two).
+// Updates stay atomic per slot, so concurrent GPU blocks can accumulate
+// into the same group exactly like the single-sum table.
+type MultiAggTable struct {
+	keys  []int64
+	vals  []int64 // capacity * slots, flattened
+	ops   []SlotOp
+	slots int
+	mask  uint64
+	n     int64
+}
+
+// NewMultiAggTable creates a table for up to n distinct groups with the
+// given accumulator slot operators (50% fill, capacity a power of two).
+func NewMultiAggTable(n int, ops []SlotOp) *MultiAggTable {
+	capacity := 2
+	for float64(capacity)*0.5 < float64(n) {
+		capacity <<= 1
+	}
+	t := &MultiAggTable{
+		keys:  make([]int64, capacity),
+		vals:  make([]int64, capacity*len(ops)),
+		ops:   append([]SlotOp(nil), ops...),
+		slots: len(ops),
+		mask:  uint64(capacity - 1),
+	}
+	for i := range t.keys {
+		t.keys[i] = aggEmpty
+	}
+	for s := range t.vals {
+		t.vals[s] = t.ops[s%t.slots].Identity()
+	}
+	return t
+}
+
+// Slots returns the number of accumulator slots per group.
+func (t *MultiAggTable) Slots() int { return t.slots }
+
+// Bytes returns the table footprint: an 8-byte key plus 8 bytes per slot
+// for every slot of capacity.
+func (t *MultiAggTable) Bytes() int64 { return int64(len(t.keys)) * int64(8+8*t.slots) }
+
+// Groups returns the number of distinct groups accumulated.
+func (t *MultiAggTable) Groups() int { return int(atomic.LoadInt64(&t.n)) }
+
+func (t *MultiAggTable) slotMerge(idx int, op SlotOp, v int64) {
+	addr := &t.vals[idx]
+	if op == SlotAdd {
+		atomic.AddInt64(addr, v)
+		return
+	}
+	for {
+		cur := atomic.LoadInt64(addr)
+		next := op.Merge(cur, v)
+		if next == cur || atomic.CompareAndSwapInt64(addr, cur, next) {
+			return
+		}
+	}
+}
+
+// Update merges one row's slot deltas into the accumulators for group key.
+func (t *MultiAggTable) Update(key int64, deltas []int64) {
+	if key == aggEmpty {
+		panic("crystal: reserved aggregation key")
+	}
+	h := (uint64(key) * 0x9E3779B97F4A7C15) & t.mask
+	for {
+		k := atomic.LoadInt64(&t.keys[h])
+		if k == key {
+			break
+		}
+		if k == aggEmpty {
+			if atomic.CompareAndSwapInt64(&t.keys[h], aggEmpty, key) {
+				atomic.AddInt64(&t.n, 1)
+				break
+			}
+			continue
+		}
+		h = (h + 1) & t.mask
+	}
+	base := int(h) * t.slots
+	for s := 0; s < t.slots; s++ {
+		t.slotMerge(base+s, t.ops[s], deltas[s])
+	}
+}
+
+// Each calls fn for every (key, accumulator vector) pair in unspecified
+// order. The slice passed to fn aliases the table; callers copy if needed.
+func (t *MultiAggTable) Each(fn func(key int64, acc []int64)) {
+	for i, k := range t.keys {
+		if k != aggEmpty {
+			fn(k, t.vals[i*t.slots:(i+1)*t.slots])
+		}
+	}
+}
+
+// BlockMultiAggUpdate accumulates the selected rows' slot-delta vectors into
+// the global table and meters the random probes exactly like BlockAggUpdate;
+// the per-row struct is wider (8 + 8*slots bytes), which Bytes() reflects.
+func BlockMultiAggUpdate(b *sim.Block, t *MultiAggTable, groupKeys []int64, deltas [][]int64, bitmap []uint8, n int) {
+	var probes int64
+	for i := 0; i < n; i++ {
+		if bitmap != nil && bitmap[i] == 0 {
+			continue
+		}
+		t.Update(groupKeys[i], deltas[i])
+		probes++
+	}
+	b.Pass().AddProbes(device.ProbeSet{Count: probes, StructBytes: t.Bytes()})
+}

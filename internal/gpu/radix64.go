@@ -1,0 +1,164 @@
+package gpu
+
+import (
+	"fmt"
+	"math/bits"
+
+	"crystal/internal/crystal"
+	"crystal/internal/device"
+	"crystal/internal/sim"
+)
+
+// RadixPartition64 is the 64-bit-key variant of RadixPartition used by the
+// ORDER BY pipeline: one stable radix-partitioning pass over (keys, vals) on
+// the bits keys[shift : shift+r). Sort keys are order-preserving uint64
+// encodings of aggregate values, so the key column costs 8 bytes per element
+// instead of 4; the payload stays a 4-byte row index. The pass runs the same
+// three priced phases as RadixPartition: a histogram kernel (streaming key
+// read + per-block counters), a prefix-sum kernel over the (block, partition)
+// matrix, and a shuffle kernel (read key+payload, block-local reorder in
+// shared memory, coalesced partitioned write).
+func RadixPartition64(clk *device.Clock, cfg sim.Config, keys []uint64, vals []int32, r, shift int) ([]uint64, []int32, []int64, error) {
+	if r > MaxStableRadixBits {
+		return nil, nil, nil, fmt.Errorf("gpu: stable radix partition limited to %d bits, got %d", MaxStableRadixBits, r)
+	}
+	if r <= 0 {
+		return nil, nil, nil, fmt.Errorf("gpu: radix bits must be positive, got %d", r)
+	}
+	n := len(keys)
+	cfg.Elems = n
+	numPart := 1 << r
+	mask := uint64(numPart - 1)
+	numBlocks := cfg.NumBlocks()
+
+	// Phase 1: histogram kernel. hist[block][part].
+	hist := make([][]int64, numBlocks)
+	hpass := sim.Run(clk.Spec(), cfg, func(b *sim.Block) {
+		ts := cfg.TileSize()
+		tile := make([]uint64, ts)
+		nn := crystal.BlockLoad(b, keys, tile)
+		h := make([]int64, numPart)
+		for i := 0; i < nn; i++ {
+			h[(tile[i]>>shift)&mask]++
+		}
+		hist[b.ID] = h
+		b.Pass().BytesWritten += int64(numPart) * 4
+	})
+	hpass.Label = "radix64 histogram"
+	clk.Charge(hpass)
+
+	// Phase 2: prefix sum over the (partition, block) histogram matrix to
+	// obtain each block's write offset in every partition.
+	counts := make([]int64, numPart)
+	for _, h := range hist {
+		for p, c := range h {
+			counts[p] += c
+		}
+	}
+	partStart := make([]int64, numPart+1)
+	for p := 0; p < numPart; p++ {
+		partStart[p+1] = partStart[p] + counts[p]
+	}
+	blockOff := make([][]int64, numBlocks)
+	running := make([]int64, numPart)
+	copy(running, partStart[:numPart])
+	for bID := 0; bID < numBlocks; bID++ {
+		off := make([]int64, numPart)
+		copy(off, running)
+		for p := 0; p < numPart; p++ {
+			running[p] += hist[bID][p]
+		}
+		blockOff[bID] = off
+	}
+	histBytes := int64(numBlocks) * int64(numPart) * 4
+	clk.Charge(&device.Pass{Label: "radix64 prefix", BytesRead: histBytes, BytesWritten: histBytes, Kernels: 1})
+
+	// Phase 3: shuffle kernel. Stable: each block scatters into its
+	// prefix-summed offsets, preserving intra-block order.
+	outK := make([]uint64, n)
+	outV := make([]int32, len(vals))
+	spass := sim.Run(clk.Spec(), cfg, func(b *sim.Block) {
+		ts := cfg.TileSize()
+		tk := make([]uint64, ts)
+		tv := make([]int32, ts)
+		nn := crystal.BlockLoad(b, keys, tk)
+		if vals != nil {
+			crystal.BlockLoad(b, vals, tv)
+		}
+		off := append([]int64(nil), blockOff[b.ID]...)
+		// Block-local reorder happens in shared memory (free); the writes
+		// out of shared memory are coalesced runs per partition.
+		for i := 0; i < nn; i++ {
+			p := (tk[i] >> shift) & mask
+			pos := off[p]
+			off[p]++
+			outK[pos] = tk[i]
+			if vals != nil {
+				outV[pos] = tv[i]
+			}
+		}
+		elemBytes := int64(8)
+		if vals != nil {
+			elemBytes = 12
+		}
+		b.Pass().BytesWritten += int64(nn) * elemBytes
+	})
+	spass.Label = "radix64 shuffle"
+	clk.Charge(spass)
+	return outK, outV, counts, nil
+}
+
+// RadixPassWidths splits a key width into stable radix pass widths, widest
+// passes last (mirroring the 6,6,6,7,7 split LSBRadixSort uses for 32 bits).
+// A width of zero (all keys equal) needs no passes.
+func RadixPassWidths(width int) []int {
+	if width <= 0 {
+		return nil
+	}
+	passes := (width + MaxStableRadixBits - 1) / MaxStableRadixBits
+	ws := make([]int, passes)
+	rem := width
+	for i := passes - 1; i >= 0; i-- {
+		r := MaxStableRadixBits
+		if rem < r {
+			r = rem
+		}
+		ws[i] = r
+		rem -= r
+	}
+	return ws
+}
+
+// KeyWidth64 returns the number of significant low bits across keys, i.e.
+// the bit position of the highest set bit plus one. The ORDER BY pipeline
+// rebases keys to (key - min) before sorting, so the width is usually far
+// below 64 and the sort skips the passes a full 64-bit key would need.
+func KeyWidth64(keys []uint64) int {
+	var max uint64
+	for _, k := range keys {
+		if k > max {
+			max = k
+		}
+	}
+	return bits.Len64(max)
+}
+
+// LSBRadixSort64 stable-sorts (keys, vals) by key ascending with the
+// least-significant-bit radix sort of Merrill & Grimshaw, processing only
+// the low `width` bits (callers rebase keys so higher bits are zero). Each
+// stable pass covers at most 7 bits (per-thread register histograms,
+// Section 4.4). Returns the sorted copies; the inputs are not modified.
+func LSBRadixSort64(clk *device.Clock, cfg sim.Config, keys []uint64, vals []int32, width int) ([]uint64, []int32) {
+	k := append([]uint64(nil), keys...)
+	v := append([]int32(nil), vals...)
+	shift := 0
+	for _, r := range RadixPassWidths(width) {
+		var err error
+		k, v, _, err = RadixPartition64(clk, cfg, k, v, r, shift)
+		if err != nil {
+			panic(err) // unreachable: all pass widths are <= MaxStableRadixBits
+		}
+		shift += r
+	}
+	return k, v
+}

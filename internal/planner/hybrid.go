@@ -139,7 +139,7 @@ func hybridArms(fl fleet.Spec, ds *ssb.Dataset, q queries.Query, morsels []ssb.M
 		if sec > makespan {
 			makespan = sec
 		}
-		est.MergeBytes += int64(q.GroupEstimate()) * 16
+		est.MergeBytes += int64(q.GroupEstimate()) * q.AggRowBytes()
 	}
 	est.MergeSeconds = fl.Link.TransferTime(est.MergeBytes)
 	est.Seconds = makespan + est.MergeSeconds
@@ -172,6 +172,13 @@ func HybridCost(fl fleet.Spec, ds *ssb.Dataset, q queries.Query, morsels []ssb.M
 	liveRows := PruneEstimate(morsels, q).ScannedRows
 	est.PureCPUSeconds = scanCostFor(cpu, packed, liveRows, filterCols) + Cost(cpu, liveRows, stats)
 	est.PureGPUSeconds = hybridArms(fl, ds, q, morsels, packed, 0).Seconds
+	// The ORDER BY phase runs where each placement's merged groups live:
+	// host-side for the CPU and mixed-kind hybrid placements (heap-vs-sort,
+	// TopNCost), on the devices for the pure-GPU arm — the same routing
+	// queries.Plan.RunScheduled derives from the schedule's executor kinds.
+	est.Seconds += OrderCost(cpu, q)
+	est.PureCPUSeconds += OrderCost(cpu, q)
+	est.PureGPUSeconds += OrderCost(fl.Device, q)
 	fe, err := FleetCost(fl, ds, q, morsels, packed)
 	if err != nil {
 		return HybridEstimate{}, err

@@ -247,10 +247,13 @@ func FleetCost(fl fleet.Spec, ds *ssb.Dataset, q queries.Query, morsels []ssb.Mo
 		if sec > makespan {
 			makespan = sec
 		}
-		est.MergeBytes += int64(q.GroupEstimate()) * 16
+		est.MergeBytes += int64(q.GroupEstimate()) * q.AggRowBytes()
 	}
 	est.MergeSeconds = fl.Link.TransferTime(est.MergeBytes)
-	est.Seconds = makespan + est.MergeSeconds
+	// ORDER BY queries sort on the fleet's devices after the merge
+	// (per-device runs plus a host merge in the executor; the estimate
+	// prices the dominant radix term).
+	est.Seconds = makespan + est.MergeSeconds + OrderCost(fl.Device, q)
 	return est, nil
 }
 

@@ -24,6 +24,33 @@ func (q *Query) Canonical() string {
 	for _, j := range q.Joins {
 		fmt.Fprintf(&b, ";join=%s/%s/%s/%s", j.Dim, j.FactFK, j.Payload, canonFilters(j.Filters))
 	}
+	// The segments below are appended only when the feature is used, so
+	// every pre-existing query keeps its exact historical key (and therefore
+	// its cache entries and benchmark baselines).
+	if q.Aggs != nil {
+		parts := make([]string, len(q.Aggs))
+		for i, s := range q.Aggs {
+			parts[i] = fmt.Sprintf("%d.%d", s.Func, s.Expr)
+		}
+		fmt.Fprintf(&b, ";aggs=%s", strings.Join(parts, ","))
+	}
+	if len(q.OrderBy) > 0 {
+		parts := make([]string, len(q.OrderBy))
+		for i, k := range q.OrderBy {
+			ref := fmt.Sprintf("a%d", k.Item)
+			if k.Item < 0 {
+				ref = fmt.Sprintf("g%d", k.Group)
+			}
+			if k.Desc {
+				ref += "d"
+			}
+			parts[i] = ref
+		}
+		fmt.Fprintf(&b, ";order=%s", strings.Join(parts, ","))
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, ";limit=%d", q.Limit)
+	}
 	return b.String()
 }
 

@@ -59,6 +59,31 @@ func (q *Query) Validate() error {
 	if n := len(q.GroupPayloads()); n > 3 {
 		return fmt.Errorf("queries: %s has %d group keys; the packed key holds at most 3", q.ID, n)
 	}
+	if q.Aggs != nil && len(q.Aggs) == 0 {
+		return fmt.Errorf("queries: %s has an empty aggregate list", q.ID)
+	}
+	for i, s := range q.Aggs {
+		if s.Func < FuncSum || s.Func > FuncMax {
+			return fmt.Errorf("queries: %s aggregate %d has unknown function %d", q.ID, i, s.Func)
+		}
+		if s.Expr < AggSumRevenue || s.Expr > AggSumProfit {
+			return fmt.Errorf("queries: %s aggregate %d has unknown expression %d", q.ID, i, s.Expr)
+		}
+	}
+	for i, k := range q.OrderBy {
+		if k.Item >= len(q.AggList()) || k.Item < -1 {
+			return fmt.Errorf("queries: %s order key %d references aggregate %d of %d", q.ID, i, k.Item, len(q.AggList()))
+		}
+		if k.Item < 0 && (k.Group < 0 || k.Group >= len(q.GroupPayloads())) {
+			return fmt.Errorf("queries: %s order key %d references group column %d of %d", q.ID, i, k.Group, len(q.GroupPayloads()))
+		}
+	}
+	if q.Limit < 0 {
+		return fmt.Errorf("queries: %s has negative limit %d", q.ID, q.Limit)
+	}
+	if q.Limit > 0 && len(q.OrderBy) == 0 {
+		return fmt.Errorf("queries: %s has LIMIT without ORDER BY; the result order would be undefined", q.ID)
+	}
 	return nil
 }
 
@@ -88,7 +113,12 @@ func contains(ss []string, s string) bool {
 // codes decoded back to SSB literals where the attribute is known.
 func (q *Query) Describe() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "-- %s\nSELECT %s", q.ID, q.Agg.SQL())
+	aggs := q.AggList()
+	sqls := make([]string, len(aggs))
+	for i, s := range aggs {
+		sqls[i] = s.SQL()
+	}
+	fmt.Fprintf(&b, "-- %s\nSELECT %s", q.ID, strings.Join(sqls, ", "))
 	for _, j := range q.GroupPayloads() {
 		fmt.Fprintf(&b, ", %s.%s", j.Dim, j.Payload)
 	}
@@ -106,27 +136,58 @@ func (q *Query) Describe() string {
 			fmt.Fprintf(&b, "\n  AND %s", f.SQL(j.Dim, f.Col, decodeFor(j.Dim, f.Col)))
 		}
 	}
-	if gps := q.GroupPayloads(); len(gps) > 0 {
+	gps := q.GroupPayloads()
+	if len(gps) > 0 {
 		var keys []string
 		for _, j := range gps {
 			keys = append(keys, j.Dim+"."+j.Payload)
 		}
 		fmt.Fprintf(&b, "\nGROUP BY %s", strings.Join(keys, ", "))
 	}
+	if len(q.OrderBy) > 0 {
+		var keys []string
+		for _, k := range q.OrderBy {
+			var ref string
+			if k.Item >= 0 {
+				ref = fmt.Sprint(k.Item + 1) // 1-based select-list ordinal
+			} else {
+				ref = gps[k.Group].Dim + "." + gps[k.Group].Payload
+			}
+			if k.Desc {
+				ref += " DESC"
+			}
+			keys = append(keys, ref)
+		}
+		fmt.Fprintf(&b, "\nORDER BY %s", strings.Join(keys, ", "))
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, "\nLIMIT %d", q.Limit)
+	}
 	b.WriteString(";")
 	return b.String()
 }
 
-// SQL renders the aggregate expression.
-func (a AggKind) SQL() string {
+// exprSQL renders the aggregate input expression without the function.
+func (a AggKind) exprSQL() string {
 	switch a {
 	case AggSumExtDisc:
-		return "SUM(lo.extprice * lo.discount)"
+		return "lo.extprice * lo.discount"
 	case AggSumProfit:
-		return "SUM(lo.revenue - lo.supplycost)"
+		return "lo.revenue - lo.supplycost"
 	default:
-		return "SUM(lo.revenue)"
+		return "lo.revenue"
 	}
+}
+
+// SQL renders the aggregate expression.
+func (a AggKind) SQL() string { return "SUM(" + a.exprSQL() + ")" }
+
+// SQL renders the aggregate (COUNT always prints as COUNT(*)).
+func (s AggSpec) SQL() string {
+	if s.Func == FuncCount {
+		return "COUNT(*)"
+	}
+	return fmt.Sprintf("%s(%s)", s.Func, s.Expr.exprSQL())
 }
 
 // SQL renders a filter as a predicate, using decode to turn dictionary
@@ -173,20 +234,29 @@ func decodeFor(dim, col string) func(int32) string {
 }
 
 // DecodedRow is one result row with its group keys decoded back to
-// SQL-level values (dictionary strings where the attribute has one).
+// SQL-level values (dictionary strings where the attribute has one). Vals
+// carries every aggregate of the statement in order; Sum is Vals[0], kept
+// for the single-aggregate consumers that predate multi-aggregate results.
 type DecodedRow struct {
 	Labels []string
 	Sum    int64
+	Vals   []int64
 }
 
 // DecodeRows renders a result's rows with group keys decoded through the
-// query's payload attributes, sorted by packed key (group-by order).
+// query's payload attributes — in statement order for ORDER BY results,
+// otherwise sorted by packed key (group-by order).
 func (q *Query) DecodeRows(r *Result) []DecodedRow {
 	gps := q.GroupPayloads()
-	rows := r.Rows()
+	var rows []Row
+	if r.Ordered != nil {
+		rows = r.Ordered
+	} else {
+		rows = resultRows(q, r)
+	}
 	out := make([]DecodedRow, len(rows))
 	for i, row := range rows {
-		vals := UnpackGroup(row[0], len(gps))
+		vals := UnpackGroup(row.Key, len(gps))
 		labels := make([]string, len(gps))
 		for j, gp := range gps {
 			if dec := decodeFor(gp.Dim, gp.Payload); dec != nil {
@@ -195,7 +265,7 @@ func (q *Query) DecodeRows(r *Result) []DecodedRow {
 				labels[j] = fmt.Sprint(vals[j])
 			}
 		}
-		out[i] = DecodedRow{Labels: labels, Sum: row[1]}
+		out[i] = DecodedRow{Labels: labels, Sum: row.Vals[0], Vals: append([]int64(nil), row.Vals...)}
 	}
 	return out
 }

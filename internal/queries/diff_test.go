@@ -94,6 +94,100 @@ func TestDifferentialEnginesAgree(t *testing.T) {
 	}
 }
 
+// TestDifferentialOrderedAgree extends the differential harness to the
+// ORDER BY / LIMIT / multi-aggregate surface: seeded Extended queries must
+// be row- AND order-identical (Result.Equal compares the Ordered slice
+// position by position, every aggregate value included) across all six
+// engines, partitioned CPU execution, and seeded-random fleet and hybrid
+// placements. Each LIMIT query is additionally checked against its own
+// unlimited twin — the top-N path (heap or truncated merge) must return
+// exactly the first k rows of the full sort.
+func TestDifferentialOrderedAgree(t *testing.T) {
+	const numQueries = 120
+	r := rand.New(rand.NewSource(20260808))
+	ordered, limited, multi := 0, 0, 0
+	for i := 0; i < numQueries; i++ {
+		q := RandomQuery(r, diffDS, i, GenOptions{Extended: true})
+		if err := q.Validate(); err != nil {
+			t.Fatalf("generator produced invalid query %s: %v\n%s", q.ID, err, q.Describe())
+		}
+		if len(q.OrderBy) > 0 {
+			ordered++
+		}
+		if q.Limit > 0 {
+			limited++
+		}
+		if q.Aggs != nil {
+			multi++
+		}
+		want := normalizeRef(q, Reference(diffDS, q))
+		plan := Compile(diffDS, q)
+		var gpuRun *Result
+		for _, e := range Engines() {
+			got := plan.Run(e)
+			if e == EngineGPU {
+				gpuRun = got
+			}
+			if !got.Equal(want) {
+				t.Errorf("%s disagrees with reference on %s\n%s", e, q.ID, q.Describe())
+			}
+			if got.Seconds <= 0 {
+				t.Errorf("%s/%s: no simulated time", e, q.ID)
+			}
+		}
+		parts := []int{2, 7, 16, 64}[i%4]
+		if got := plan.RunPartitioned(EngineCPU, RunOptions{Partition: PartitionOptions{Partitions: parts}}); !got.Equal(want) {
+			t.Errorf("partitioned CPU (%d morsels) disagrees with reference on %s", parts, q.ID)
+		}
+		gpus := []int{1, 2, 4, 8}[r.Intn(4)]
+		link := fleet.Interconnects()[r.Intn(2)]
+		opts := RunOptions{Partition: PartitionOptions{Partitions: parts}}
+		if r.Intn(2) == 1 {
+			opts.Partition.Packed = diffPacked
+		}
+		fr, err := plan.RunFleet(fleet.Spec{GPUs: gpus, Link: link}, opts)
+		if err != nil {
+			t.Fatalf("fleet run failed on %s: %v", q.ID, err)
+		}
+		if !fr.Result.Equal(want) {
+			t.Errorf("fleet %dx%s packed=%v returned different rows or order on %s\n%s",
+				gpus, link.Name, opts.Partition.Packed != nil, q.ID, q.Describe())
+		}
+		queriestest.SameRows(t, fmt.Sprintf("ordered fleet vs gpu on %s", q.ID), fr.Result, gpuRun)
+		frac := []float64{-1, 0.25, 0.5, 0.75}[r.Intn(4)]
+		hr, err := plan.RunHybrid(fleet.Spec{GPUs: gpus, Link: link}, frac, opts)
+		if err != nil {
+			t.Fatalf("hybrid run failed on %s: %v", q.ID, err)
+		}
+		if !hr.Result.Equal(want) {
+			t.Errorf("hybrid frac=%v %dx%s returned different rows or order on %s\n%s",
+				frac, gpus, link.Name, q.ID, q.Describe())
+		}
+		// Top-N property: the limited result must be the prefix of the full
+		// ordering (rowLess is total, so the prefix is unique).
+		if q.Limit > 0 {
+			full := q
+			full.Limit = 0
+			fres := Compile(diffDS, full).Run(EngineCPU)
+			prefix := truncateRows(&q, fres.Ordered)
+			got := plan.Run(EngineCPU).Ordered
+			if len(got) != len(prefix) {
+				t.Fatalf("%s: top-%d returned %d rows, full sort prefix has %d", q.ID, q.Limit, len(got), len(prefix))
+			}
+			for j := range got {
+				if got[j].Key != prefix[j].Key {
+					t.Errorf("%s: top-%d row %d is key %d, full sort has %d", q.ID, q.Limit, j, got[j].Key, prefix[j].Key)
+				}
+			}
+		}
+	}
+	// The extended generator must actually exercise the new surface.
+	if ordered < numQueries/4 || limited < numQueries/10 || multi < numQueries/4 {
+		t.Errorf("generator too narrow: %d ordered, %d limited, %d multi-aggregate of %d",
+			ordered, limited, multi, numQueries)
+	}
+}
+
 // TestRandomQueryDeterministic: the same seed must reproduce the same
 // query, so a differential failure is replayable from its seed alone.
 func TestRandomQueryDeterministic(t *testing.T) {

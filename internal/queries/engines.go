@@ -133,7 +133,7 @@ func cpuProbePass(st *pipeStats, builds []buildInfo, q Query, filterCyc, probeCy
 		})
 	}
 	// Thread-local aggregation tables are small and cache resident.
-	pass.AddProbes(device.ProbeSet{Count: st.out, StructBytes: int64(aggEstimate(q)) * 16})
+	pass.AddProbes(device.ProbeSet{Count: st.out, StructBytes: int64(aggEstimate(q)) * aggRowBytes(&q)})
 	var cycles float64
 	for _, e := range st.evals {
 		cycles += filterCyc * float64(e)
@@ -148,7 +148,7 @@ func cpuProbePass(st *pipeStats, builds []buildInfo, q Query, filterCyc, probeCy
 	pass.ComputeCycles = cycles
 	// One global-cursor style atomic per vector of 1024 entries.
 	pass.AtomicOps = st.rows / 1024
-	pass.BytesWritten = int64(aggEstimate(q)) * 16
+	pass.BytesWritten = int64(aggEstimate(q)) * aggRowBytes(&q)
 	return pass
 }
 
@@ -214,12 +214,12 @@ func (pl *Plan) runMonet(ms *morselRun) *Result {
 	}
 	agg := &device.Pass{Label: "monet aggregate"}
 	agg.BytesRead = in * int64(4+4*len(q.GroupPayloads()))
-	for _, c := range q.Agg.Columns() {
+	for _, c := range q.AggColumns() {
 		agg.AddProbes(device.ProbeSet{Count: in, StructBytes: st.colFootprint(c), Dependent: true})
 	}
-	agg.AddProbes(device.ProbeSet{Count: in, StructBytes: int64(aggEstimate(q)) * 16, Dependent: true})
-	agg.ComputeCycles = (monetOpCycles + unpack*float64(len(q.Agg.Columns()))) * float64(in)
-	agg.BytesWritten = int64(aggEstimate(q)) * 16
+	agg.AddProbes(device.ProbeSet{Count: in, StructBytes: int64(aggEstimate(q)) * aggRowBytes(&q), Dependent: true})
+	agg.ComputeCycles = (monetOpCycles + unpack*float64(len(q.AggColumns()))) * float64(in)
+	agg.BytesWritten = int64(aggEstimate(q)) * aggRowBytes(&q)
 	clk.Charge(agg)
 
 	res.Seconds = clk.Seconds()
@@ -280,10 +280,10 @@ func (pl *Plan) runOmnisci(ms *morselRun) *Result {
 	}
 	agg := &device.Pass{Label: "omnisci aggregate", Kernels: 1}
 	agg.BytesRead = in * int64(4+4*len(q.GroupPayloads()))
-	for _, c := range q.Agg.Columns() {
+	for _, c := range q.AggColumns() {
 		agg.AddProbes(device.ProbeSet{Count: in, StructBytes: st.colFootprint(c)})
 	}
-	agg.AddProbes(device.ProbeSet{Count: in, StructBytes: int64(aggEstimate(q)) * 16})
+	agg.AddProbes(device.ProbeSet{Count: in, StructBytes: int64(aggEstimate(q)) * aggRowBytes(&q)})
 	agg.AtomicOps = in // one global atomic per aggregated row
 	clk.Charge(agg)
 

@@ -65,6 +65,48 @@ func TestFleetInvarianceCatalog(t *testing.T) {
 	}
 }
 
+// TestFleetOrderedInvariance extends the fleet invariance to ORDER BY:
+// each device radix-sorts its shard of the groups, ships a (LIMIT-truncated)
+// sorted run, and the host k-way merge must land on exactly the
+// single-device order at every shard count, link, and encoding — the
+// sorted-run-merge ≡ single-device-sort property.
+func TestFleetOrderedInvariance(t *testing.T) {
+	for _, base := range All() {
+		q := base
+		q.OrderBy = []OrderKey{{Item: 0, Desc: true}}
+		if len(q.GroupPayloads()) > 0 {
+			q.OrderBy = append(q.OrderBy, OrderKey{Item: -1, Group: 0})
+			q.Limit = 5
+		}
+		plan := Compile(testDS, q)
+		want := plan.Run(EngineGPU)
+		if ref := normalizeRef(q, Reference(testDS, q)); !want.Equal(ref) {
+			t.Fatalf("%s: single-GPU ordered run disagrees with the oracle", q.ID)
+		}
+		for _, gpus := range fleetGPUCounts {
+			for _, link := range fleet.Interconnects() {
+				for _, packed := range []bool{false, true} {
+					opts := RunOptions{Partition: PartitionOptions{Partitions: 16}}
+					if packed {
+						opts.Partition.Packed = testPacked
+					}
+					fr, err := plan.RunFleet(fleet.Spec{GPUs: gpus, Link: link}, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !fr.Result.Equal(want) {
+						t.Errorf("%s/%dx%s/packed=%v: fleet sorted-run merge differs from single-device sort",
+							q.ID, gpus, link.Name, packed)
+					}
+					if fr.Result.Seconds <= 0 {
+						t.Errorf("%s/%dx%s: no simulated time", q.ID, gpus, link.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestFleetScanScaling pins the acceptance bar for the bandwidth model:
 // under the NVLink config, every scan-bound q1.x query must speed up at
 // least 1.8x going from 1 to 2 GPUs, and fleet seconds must be monotone

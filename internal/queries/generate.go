@@ -36,6 +36,12 @@ type GenOptions struct {
 	// wide range), which is what the partition-invariance property needs:
 	// identical simulated seconds require identical scans.
 	WideFilters bool
+	// Extended additionally draws the post-seed statement surface:
+	// multi-aggregate select lists (COUNT/AVG/MIN/MAX alongside SUM),
+	// ORDER BY over aggregates and group columns, and LIMIT. The draws
+	// happen after every base draw, so for any seed the base shape of the
+	// query is identical with Extended on or off.
+	Extended bool
 }
 
 // RandomQuery draws a pseudo-random query over the SSB schema from r:
@@ -72,7 +78,44 @@ func RandomQuery(r *rand.Rand, ds *ssb.Dataset, n int, opt GenOptions) Query {
 		}
 		q.Joins = append(q.Joins, j)
 	}
+	if opt.Extended {
+		extendQuery(r, &q)
+	}
 	return q
+}
+
+// extendQuery draws the ORDER BY / multi-aggregate surface onto a base
+// query: a 1-3 aggregate select list about half the time (single plain SUM
+// statements keep Aggs nil, exactly as the SQL binder normalizes them), up
+// to two ORDER BY keys over the aggregates and group columns, and a LIMIT
+// on half the ordered queries.
+func extendQuery(r *rand.Rand, q *Query) {
+	if r.Intn(2) == 0 {
+		specs := make([]AggSpec, 1+r.Intn(3))
+		for i := range specs {
+			specs[i] = AggSpec{Func: AggFunc(r.Intn(5)), Expr: AggKind(r.Intn(3))}
+		}
+		if len(specs) == 1 && specs[0].Func == FuncSum {
+			q.Agg = specs[0].Expr // the binder's single-SUM normalization
+		} else {
+			q.Aggs = specs
+		}
+	}
+	if r.Intn(2) == 0 {
+		groups := len(q.GroupPayloads())
+		for range 1 + r.Intn(2) {
+			k := OrderKey{Desc: r.Intn(2) == 0}
+			if groups > 0 && r.Intn(3) == 0 {
+				k.Item, k.Group = -1, r.Intn(groups)
+			} else {
+				k.Item = r.Intn(len(q.AggList()))
+			}
+			q.OrderBy = append(q.OrderBy, k)
+		}
+		if r.Intn(2) == 0 {
+			q.Limit = 1 + r.Intn(8)
+		}
+	}
 }
 
 // randomFilter builds a filter whose bounds come from actual column values,

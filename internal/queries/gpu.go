@@ -2,6 +2,7 @@ package queries
 
 import (
 	"fmt"
+	"sync"
 
 	"crystal/internal/crystal"
 	"crystal/internal/device"
@@ -102,14 +103,24 @@ func (pl *Plan) runGPUOn(dev *device.Spec, ms *morselRun) *Result {
 			payloadIdx[i] = -1
 		}
 	}
-	aggCols := q.Agg.Columns()
+	ast := newAggState(&q)
+	aggCols := q.AggColumns()
 	aggSlices := make([]colReader, len(aggCols))
 	for i, c := range aggCols {
 		aggSlices[i] = ms.factReader(&ds.Lineorder, c)
 	}
 
-	aggTable := crystal.NewAggTable(aggEstimate(q))
+	var aggTable *crystal.AggTable
 	var scalarSum sim.Counter // used when the query has no group-by (q1.x)
+	var multiTable *crystal.MultiAggTable
+	var globalAcc []int64 // multi-aggregate global (no group-by) accumulator
+	var accMu sync.Mutex
+	if ast == nil {
+		aggTable = crystal.NewAggTable(aggEstimate(q))
+	} else {
+		multiTable = crystal.NewMultiAggTable(aggEstimate(q), ast.ops)
+		globalAcc = ast.identity()
+	}
 
 	pass := sim.RunBounded(clk.Spec(), cfg, func(b *sim.Block) {
 		if b.ID < len(skips) && skips[b.ID] {
@@ -170,7 +181,64 @@ func (pl *Plan) runGPUOn(dev *device.Spec, ms *morselRun) *Result {
 			crystal.BlockLookup(b, builds[ji].ht, items, m, bitmap, vals, false)
 		}
 
-		// Aggregate inputs.
+		// Aggregate inputs. Multi-aggregate statements load every referenced
+		// column's tile, then build per-row slot-delta vectors for the
+		// multi-accumulator table; the legacy single-SUM path below is
+		// untouched so its traffic stays bit-identical.
+		if ast != nil {
+			colVals := make([][]int32, len(aggCols))
+			for ci := range aggCols {
+				colVals[ci] = make([]int32, ts)
+				m := loadCol(aggSlices[ci])
+				copy(colVals[ci][:m], items[:m])
+			}
+			rowVals := make([]int32, len(aggCols))
+			if numPayloads == 0 {
+				// Hierarchical block reduction: merge rows into block-local
+				// slots, then one global atomic per slot per block.
+				local := ast.identity()
+				row := make([]int64, ast.slots())
+				updated := false
+				for i := 0; i < nn; i++ {
+					if bitmap[i] == 0 {
+						continue
+					}
+					for ci := range aggCols {
+						rowVals[ci] = colVals[ci][i]
+					}
+					ast.rowDeltas(rowVals, row)
+					ast.merge(local, row)
+					updated = true
+				}
+				if updated {
+					b.Pass().AtomicOps += int64(ast.slots())
+					accMu.Lock()
+					ast.merge(globalAcc, local)
+					accMu.Unlock()
+				}
+				return
+			}
+			keys := make([]int64, ts)
+			rowDeltas := make([][]int64, ts)
+			pvals := make([]int32, numPayloads)
+			for i := 0; i < nn; i++ {
+				if bitmap[i] == 0 {
+					continue
+				}
+				for pi := 0; pi < numPayloads; pi++ {
+					pvals[pi] = payloads[pi][i]
+				}
+				keys[i] = PackGroup(pvals)
+				for ci := range aggCols {
+					rowVals[ci] = colVals[ci][i]
+				}
+				d := make([]int64, ast.slots())
+				ast.rowDeltas(rowVals, d)
+				rowDeltas[i] = d
+			}
+			crystal.BlockMultiAggUpdate(b, multiTable, keys, rowDeltas, bitmap, nn)
+			return
+		}
 		deltas := make([]int64, ts)
 		for ci := range aggCols {
 			m := loadCol(aggSlices[ci])
@@ -221,10 +289,18 @@ func (pl *Plan) runGPUOn(dev *device.Spec, ms *morselRun) *Result {
 	clk.Charge(pass)
 
 	res := &Result{QueryID: q.ID, Groups: map[int64]int64{}}
-	if numPayloads == 0 {
+	switch {
+	case ast != nil && numPayloads == 0:
+		res.accs = map[int64][]int64{0: globalAcc}
+	case ast != nil:
+		res.accs = map[int64][]int64{}
+		multiTable.Each(func(k int64, acc []int64) {
+			res.accs[k] = append([]int64(nil), acc...)
+		})
+	case numPayloads == 0:
 		res.Groups[0] = scalarSum.Value()
 		// An empty result still has the single global aggregate row.
-	} else {
+	default:
 		aggTable.Each(func(k, sum int64) { res.Groups[k] = sum })
 	}
 	res.Seconds = clk.Seconds()

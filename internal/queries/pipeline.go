@@ -165,7 +165,7 @@ func (st *pipeStats) decoded(q Query) int64 {
 	for _, p := range st.probes {
 		n += p
 	}
-	return n + st.out*int64(len(q.Agg.Columns()))
+	return n + st.out*int64(len(q.AggColumns()))
 }
 
 // aggEstimate caps the aggregation-table sizing.
@@ -225,6 +225,7 @@ type wstat struct {
 	alive             []int64
 	out               int64
 	groups            map[int64]int64
+	accs              map[int64][]int64
 }
 
 // runPipeline executes the query's probe pipeline over the full fact table
@@ -268,7 +269,8 @@ func runPipelineMorsels(ds *ssb.Dataset, q Query, builds []buildInfo, ms *morsel
 		fkCols[i] = ms.factReader(&ds.Lineorder, q.Joins[i].FactFK)
 		st.colOrder = append(st.colOrder, q.Joins[i].FactFK)
 	}
-	aggCols := q.Agg.Columns()
+	ast := newAggState(&q)
+	aggCols := q.AggColumns()
 	aggSlices := make([]colReader, len(aggCols))
 	for i, c := range aggCols {
 		aggSlices[i] = ms.factReader(&ds.Lineorder, c)
@@ -298,6 +300,9 @@ func runPipelineMorsels(ds *ssb.Dataset, q Query, builds []buildInfo, ms *morsel
 	}
 
 	res := &Result{QueryID: q.ID, Groups: map[int64]int64{}}
+	if ast != nil {
+		res.accs = map[int64][]int64{}
+	}
 	chunks := chunkMorsels(live)
 	if len(chunks) > 0 {
 		var next int64
@@ -310,6 +315,9 @@ func runPipelineMorsels(ds *ssb.Dataset, q Query, builds []buildInfo, ms *morsel
 				probes:   make([]int64, len(q.Joins)),
 				alive:    make([]int64, len(st.alive)),
 				groups:   map[int64]int64{},
+			}
+			if ast != nil {
+				ws.accs = map[int64][]int64{}
 			}
 			last64 := map[string]int64{}
 			last128 := map[string]int64{}
@@ -374,7 +382,17 @@ func runPipelineMorsels(ds *ssb.Dataset, q Query, builds []buildInfo, ms *morsel
 						vals[i] = aggSlices[i].at(row)
 					}
 					ws.out++
-					ws.groups[PackGroup(payloads)] += q.Agg.Eval(vals)
+					key := PackGroup(payloads)
+					if ast != nil {
+						acc, ok := ws.accs[key]
+						if !ok {
+							acc = ast.identity()
+							ws.accs[key] = acc
+						}
+						ast.update(acc, vals)
+					} else {
+						ws.groups[key] += q.Agg.Eval(vals)
+					}
 				}
 			}
 			mu.Lock()
@@ -398,12 +416,23 @@ func runPipelineMorsels(ds *ssb.Dataset, q Query, builds []buildInfo, ms *morsel
 			for k, v := range ws.groups {
 				res.Groups[k] += v
 			}
+			for k, acc := range ws.accs {
+				dst, ok := res.accs[k]
+				if !ok {
+					res.accs[k] = acc
+					continue
+				}
+				ast.merge(dst, acc)
+			}
 		}
 
 		sim.RunWithHelpers(len(chunks), lim, worker)
 	}
 
-	if len(q.GroupPayloads()) == 0 && len(res.Groups) == 0 {
+	// Multi-aggregate partials stay raw (res.accs); the scheduler's merge
+	// finalizes and backfills. Legacy global aggregates backfill here so the
+	// monolithic path keeps returning one row.
+	if ast == nil && len(q.GroupPayloads()) == 0 && len(res.Groups) == 0 {
 		res.Groups[0] = 0 // a global aggregate always yields one row
 	}
 	return res, st

@@ -91,11 +91,20 @@ func (a AggKind) Eval(v []int32) int64 {
 // Query is one SSB query: selections on the fact table, a pipeline of
 // dimension joins (in plan order), and a grouped aggregate. Group keys are
 // the Payload attributes of the joins that declare one, in join order.
+//
+// Agg is the single-SUM aggregate every engine has executed since the seed;
+// Aggs, when non-nil, replaces it with an ordered list of aggregate
+// functions (COUNT/AVG/MIN/MAX alongside SUM) evaluated in one pass.
+// OrderBy/Limit request an ordered (optionally truncated) result; see
+// OrderKey.
 type Query struct {
 	ID          string
 	FactFilters []Filter
 	Joins       []JoinSpec
 	Agg         AggKind
+	Aggs        []AggSpec
+	OrderBy     []OrderKey
+	Limit       int
 }
 
 // ReferencedFactColumns returns the distinct fact columns the query reads
@@ -117,7 +126,7 @@ func (q *Query) ReferencedFactColumns() []string {
 	for _, j := range q.Joins {
 		add(j.FactFK)
 	}
-	for _, c := range q.Agg.Columns() {
+	for _, c := range q.AggColumns() {
 		add(c)
 	}
 	sort.Strings(cols)
@@ -163,11 +172,26 @@ func UnpackGroup(key int64, n int) []int32 {
 	return out
 }
 
+// Row is one finalized output row: the packed group key plus the value of
+// every aggregate of the statement, in statement order.
+type Row struct {
+	Key  int64
+	Vals []int64
+}
+
 // Result is a query result: packed group key -> aggregate sum. Queries with
 // no group-by use the single key 0.
 type Result struct {
 	QueryID string
 	Groups  map[int64]int64
+	// Aggs holds the finalized value of every aggregate per group for
+	// multi-aggregate statements (nil for single-SUM queries, whose only
+	// aggregate is Groups). Groups always carries the first aggregate, so
+	// legacy consumers keep working.
+	Aggs map[int64][]int64
+	// Ordered is the ORDER BY output: finalized rows in statement order,
+	// truncated to LIMIT. Nil when the query has no ORDER BY.
+	Ordered []Row
 	// Seconds is the engine's simulated execution time.
 	Seconds float64
 	// KernelSeconds is the pure execution component of Seconds for runs
@@ -189,11 +213,24 @@ type Result struct {
 	Packed        bool
 	TransferBytes int64
 	ResidentCols  int
+
+	// accs carries raw (unfinalized) accumulator vectors from a partial
+	// multi-aggregate execution to the scheduler's merge; RunScheduled
+	// consumes it and never sets it on results handed to callers.
+	accs map[int64][]int64
 }
 
-// Rows returns the result rows sorted by group key for stable comparison
-// and display.
+// Rows returns the result rows for comparison and display: in statement
+// order for ORDER BY results, otherwise sorted by group key. Only the first
+// aggregate is projected; see Ordered/Aggs for the full vectors.
 func (r *Result) Rows() [][2]int64 {
+	if r.Ordered != nil {
+		rows := make([][2]int64, len(r.Ordered))
+		for i, row := range r.Ordered {
+			rows[i] = [2]int64{row.Key, row.Vals[0]}
+		}
+		return rows
+	}
 	rows := make([][2]int64, 0, len(r.Groups))
 	for k, v := range r.Groups {
 		rows = append(rows, [2]int64{k, v})
@@ -202,8 +239,37 @@ func (r *Result) Rows() [][2]int64 {
 	return rows
 }
 
-// Equal reports whether two results contain identical rows.
+// Equal reports whether two results contain identical rows — including every
+// aggregate value and, for ORDER BY results, the output order.
 func (r *Result) Equal(o *Result) bool {
+	if (r.Ordered == nil) != (o.Ordered == nil) || len(r.Ordered) != len(o.Ordered) {
+		return false
+	}
+	for i, a := range r.Ordered {
+		b := o.Ordered[i]
+		if a.Key != b.Key || len(a.Vals) != len(b.Vals) {
+			return false
+		}
+		for s, v := range a.Vals {
+			if b.Vals[s] != v {
+				return false
+			}
+		}
+	}
+	if (r.Aggs == nil) != (o.Aggs == nil) || len(r.Aggs) != len(o.Aggs) {
+		return false
+	}
+	for k, av := range r.Aggs {
+		bv, ok := o.Aggs[k]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for s, v := range av {
+			if bv[s] != v {
+				return false
+			}
+		}
+	}
 	if len(r.Groups) != len(o.Groups) {
 		return false
 	}
@@ -234,6 +300,18 @@ func (r *Result) Clone() *Result {
 	}
 	for k, v := range r.Groups {
 		out.Groups[k] = v
+	}
+	if r.Aggs != nil {
+		out.Aggs = make(map[int64][]int64, len(r.Aggs))
+		for k, v := range r.Aggs {
+			out.Aggs[k] = append([]int64(nil), v...)
+		}
+	}
+	if r.Ordered != nil {
+		out.Ordered = make([]Row, len(r.Ordered))
+		for i, row := range r.Ordered {
+			out.Ordered[i] = Row{Key: row.Key, Vals: append([]int64(nil), row.Vals...)}
+		}
 	}
 	return out
 }
@@ -414,7 +492,8 @@ func Reference(ds *ssb.Dataset, q Query) *Result {
 			dimIdx[j.Dim] = m
 		}
 	}
-	aggCols := q.Agg.Columns()
+	st := newAggState(&q)
+	aggCols := q.AggColumns()
 	aggSlices := make([][]int32, len(aggCols))
 	for i, c := range aggCols {
 		aggSlices[i] = FactCol(&ds.Lineorder, c)
@@ -429,6 +508,10 @@ func Reference(ds *ssb.Dataset, q Query) *Result {
 	}
 
 	groups := map[int64]int64{}
+	var accs map[int64][]int64
+	if st != nil {
+		accs = map[int64][]int64{}
+	}
 	vals := make([]int32, len(aggCols))
 	var payloads []int32
 rows:
@@ -458,10 +541,25 @@ rows:
 		for i := range vals {
 			vals[i] = aggSlices[i][row]
 		}
-		groups[PackGroup(payloads)] += q.Agg.Eval(vals)
+		key := PackGroup(payloads)
+		if st != nil {
+			acc, ok := accs[key]
+			if !ok {
+				acc = st.identity()
+				accs[key] = acc
+			}
+			st.update(acc, vals)
+		} else {
+			groups[key] += q.Agg.Eval(vals)
+		}
 	}
-	if len(q.GroupPayloads()) == 0 && len(groups) == 0 {
-		groups[0] = 0 // a global aggregate always yields one row
+	res := &Result{QueryID: q.ID, Groups: groups}
+	finalizeGroups(&q, st, accs, res)
+	// The oracle orders with the plain sort.Slice comparator; engines order
+	// with the real heap/merge/radix implementations, so the differential
+	// harness compares independent orderings.
+	if len(q.OrderBy) > 0 {
+		res.Ordered = truncateRows(&q, orderRowsOracle(&q, resultRows(&q, res)))
 	}
-	return &Result{QueryID: q.ID, Groups: groups}
+	return res
 }

@@ -149,6 +149,7 @@ func (x engineExecutor) Execute(a sched.Assignment) sched.Partial {
 	}
 	return sched.Partial{
 		Groups:        res.Groups,
+		Accs:          res.accs,
 		Seconds:       res.Seconds,
 		KernelSeconds: kernel,
 		ShipSeconds:   ship,
@@ -253,6 +254,7 @@ func (x *gpuDeviceExecutor) Execute(a sched.Assignment) sched.Partial {
 	// Spill shipment overlaps with execution, coprocessor style: the
 	// slower of the two bounds the device.
 	part.Groups = resD.Groups
+	part.Accs = resD.accs
 	part.KernelSeconds = resD.Seconds
 	part.ShipSeconds = x.link.TransferTime(part.ShipBytes)
 	part.Seconds = part.KernelSeconds
@@ -339,19 +341,27 @@ func (p *Plan) ScheduleFleet(fl fleet.Spec, opts RunOptions) (sched.Schedule, er
 
 // RunScheduled is the single execution entry point every run path wraps:
 // it runs each assignment on its executor, merges the partial aggregates
-// key-wise on the host (integer sums, so rows are identical to a
-// monolithic run at any split), takes the makespan over the concurrent
-// executors, and prices the partial-aggregate merge of the link-crossing
-// assignments. RunPartitioned, RunFleet, RunMultiGPU and RunHybrid are
-// thin wrappers over this method, so merge, stats and telemetry behave
-// identically across every placement.
+// key-wise on the host (integer sums — or slot-wise accumulator merges for
+// multi-aggregate statements, every operator associative and commutative —
+// so rows are identical to a monolithic run at any split), takes the
+// makespan over the concurrent executors, and prices the partial-aggregate
+// merge of the link-crossing assignments. A query with ORDER BY then runs
+// the sort phase on the placement's own hardware (executeSort) and appends
+// its priced seconds. RunPartitioned, RunFleet, RunMultiGPU and RunHybrid
+// are thin wrappers over this method, so merge, sort, stats and telemetry
+// behave identically across every placement.
 func (p *Plan) RunScheduled(s sched.Schedule) (*ScheduledResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	q := p.Query
+	ast := newAggState(&q)
 	out := &ScheduledResult{}
 	merged := &Result{QueryID: q.ID, Groups: map[int64]int64{}}
+	var accs map[int64][]int64
+	if ast != nil {
+		accs = map[int64][]int64{}
+	}
 	// Tracing is opt-in per schedule; the untraced path must not allocate a
 	// single span, so every trace touch below is nil-guarded.
 	var runSpan *trace.Span
@@ -387,12 +397,25 @@ func (p *Plan) RunScheduled(s sched.Schedule) (*ScheduledResult, error) {
 			er.Seconds = part.Seconds
 			er.ShipBytes = part.ShipBytes
 			er.ResidentCols = part.ResidentCols
-			er.Groups = len(part.Groups)
-			for k, v := range part.Groups {
-				merged.Groups[k] += v
+			er.Groups = part.GroupCount()
+			if part.Accs != nil {
+				// Multi-aggregate partial: merge raw accumulator vectors
+				// slot-wise. A first-seen key adopts the partial's vector (the
+				// executor is done with it); later partials merge in place.
+				for k, acc := range part.Accs {
+					if dst, ok := accs[k]; ok {
+						ast.merge(dst, acc)
+					} else {
+						accs[k] = acc
+					}
+				}
+			} else {
+				for k, v := range part.Groups {
+					merged.Groups[k] += v
+				}
 			}
 			if a.Merge {
-				out.MergeBytes += int64(len(part.Groups)) * 16
+				out.MergeBytes += int64(part.GroupCount()) * aggRowBytes(&q)
 			}
 			if part.Seconds > makespan {
 				makespan = part.Seconds
@@ -418,15 +441,37 @@ func (p *Plan) RunScheduled(s sched.Schedule) (*ScheduledResult, error) {
 		}
 		out.Executors = append(out.Executors, er)
 	}
-	if len(q.GroupPayloads()) == 0 {
-		if _, ok := merged.Groups[0]; !ok {
-			merged.Groups[0] = 0 // a global aggregate always yields one row
-		}
+	finalizeGroups(&q, ast, accs, merged)
+	if ast != nil {
+		merged.accs = accs
 	}
 	if out.MergeBytes > 0 {
 		out.MergeSeconds = s.Link.TransferTime(out.MergeBytes)
 	}
 	merged.Seconds = makespan + out.MergeSeconds
+	// The ORDER BY phase runs on the placement's own hardware after the
+	// merge; its priced stages extend the run's simulated seconds and, when
+	// traced, become the run's sort span (one sort-pass child per stage, the
+	// children summing exactly to the span).
+	var so *sortOutcome
+	if len(q.OrderBy) > 0 {
+		var sortStart time.Time
+		if runSpan != nil {
+			sortStart = time.Now()
+		}
+		so = p.executeSort(s, resultRows(&q, merged))
+		merged.Ordered = so.rows
+		merged.Seconds += so.seconds
+		if runSpan != nil {
+			sp := &trace.Span{Phase: trace.PhaseSort, Sim: so.seconds, Wall: time.Since(sortStart)}
+			for _, st := range so.stages {
+				sp.Children = append(sp.Children, &trace.Span{
+					Name: st.label, Phase: trace.PhaseSortPass, Sim: st.sim, Bytes: st.bytes,
+				})
+			}
+			runSpan.Children = append(runSpan.Children, sp)
+		}
+	}
 	merged.Morsels = s.Morsels
 	merged.Pruned = pruned
 	merged.Packed = s.Packed

@@ -57,19 +57,44 @@ func checkTraceSums(t *testing.T, label string, sr *ScheduledResult) {
 	if run.Child(trace.PhaseSchedule) == nil {
 		t.Errorf("%s: run span has no schedule child", label)
 	}
+	// ORDER BY runs carry a sort span whose sort-pass children sum to it
+	// bit-for-bit (the same left-to-right accumulation the runner performs);
+	// unordered runs must not grow one.
+	if s := run.Child(trace.PhaseSort); s != nil {
+		if sr.Result.Ordered == nil {
+			t.Errorf("%s: sort span on an unordered result", label)
+		}
+		var sum float64
+		for _, c := range s.Children {
+			if c.Phase != trace.PhaseSortPass {
+				t.Errorf("%s: sort span has a %s child", label, c.Phase)
+			}
+			sum += c.Sim
+		}
+		if sum != s.Sim {
+			t.Errorf("%s: sort passes sum to %g, sort span says %g", label, sum, s.Sim)
+		}
+	} else if sr.Result.Ordered != nil {
+		t.Errorf("%s: ordered result but no sort span", label)
+	}
 }
 
 // TestTraceSumInvariants is the trace-sum differential harness: 50 seeded
-// random queries, each run traced on every placement the scheduler offers
-// — single-engine CPU/GPU, the explicit-transfer coprocessor, a multi-GPU
-// fleet, and the hybrid CPU+GPU split — asserting that leaf span seconds
-// sum to the Result totals and span byte attributions sum to the metered
-// bytes, exactly.
+// random queries drawn over the full surface (ORDER BY / LIMIT /
+// multi-aggregate included), each run traced on every placement the
+// scheduler offers — single-engine CPU/GPU, the explicit-transfer
+// coprocessor, a multi-GPU fleet, and the hybrid CPU+GPU split — asserting
+// that leaf span seconds sum to the Result totals (sort passes included)
+// and span byte attributions sum to the metered bytes, exactly.
 func TestTraceSumInvariants(t *testing.T) {
 	const numQueries = 50
 	r := rand.New(rand.NewSource(20260808))
+	ordered := 0
 	for i := 0; i < numQueries; i++ {
-		q := RandomQuery(r, diffDS, i, GenOptions{})
+		q := RandomQuery(r, diffDS, i, GenOptions{Extended: true})
+		if len(q.OrderBy) > 0 {
+			ordered++
+		}
 		plan := Compile(diffDS, q)
 		opts := RunOptions{Trace: true, Partition: PartitionOptions{Partitions: []int{2, 7, 16, 64}[i%4]}}
 		if i%2 == 1 {
@@ -106,6 +131,9 @@ func TestTraceSumInvariants(t *testing.T) {
 			t.Fatalf("hybrid run on %s: %v", q.ID, err)
 		}
 		checkTraceSums(t, fmt.Sprintf("hybrid frac=%.2f/%s", frac, q.ID), sr)
+	}
+	if ordered < numQueries/4 {
+		t.Errorf("only %d/%d traced queries had ORDER BY; sort spans under-covered", ordered, numQueries)
 	}
 }
 

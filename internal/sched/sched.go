@@ -70,6 +70,12 @@ type Partial struct {
 	// Groups is the executor's partial aggregate table. Values are integer
 	// sums, so merging partials by key-wise addition is exact.
 	Groups map[int64]int64
+	// Accs is the raw accumulator table of a multi-aggregate execution
+	// (group key -> one 8-byte slot per aggregate slot); nil for legacy
+	// single-SUM queries. Every slot's merge operator (add, min, max) is
+	// associative and commutative, so partials merge exactly in any order,
+	// like Groups.
+	Accs map[int64][]int64
 	// Seconds is the executor's simulated time, spill shipment overlap
 	// included: max(KernelSeconds, ShipSeconds).
 	Seconds float64
@@ -89,6 +95,15 @@ type Partial struct {
 	// elided.
 	ShipBytes    int64
 	ResidentCols int
+}
+
+// GroupCount returns the number of groups in the partial's aggregate table
+// (whichever representation the execution produced).
+func (p *Partial) GroupCount() int {
+	if p.Accs != nil {
+		return len(p.Accs)
+	}
+	return len(p.Groups)
 }
 
 // Executor runs one assignment of morsel indices and reports its partial

@@ -159,3 +159,44 @@ func TestSplitHybrid(t *testing.T) {
 		t.Errorf("CPU arm holds %d live morsels, want 2 (a quarter of 6 live, rounded up)", liveCPU)
 	}
 }
+
+// TestLabel pins the executor naming convention telemetry and trace spans
+// key on: bare kind for host executors, kind+index for fleet devices.
+func TestLabel(t *testing.T) {
+	cases := []struct {
+		kind   Kind
+		device int
+		want   string
+	}{
+		{KindCPU, -1, "cpu"},
+		{KindCoproc, -1, "coproc"},
+		{KindGPU, 0, "gpu0"},
+		{KindGPU, 3, "gpu3"},
+	}
+	for _, c := range cases {
+		if got := Label(c.kind, c.device); got != c.want {
+			t.Errorf("Label(%q, %d) = %q, want %q", c.kind, c.device, got, c.want)
+		}
+	}
+}
+
+// TestGroupCount covers both partial representations: the legacy
+// single-SUM Groups table and the multi-aggregate Accs table, which wins
+// when both are present.
+func TestGroupCount(t *testing.T) {
+	legacy := &Partial{Groups: map[int64]int64{1: 1, 2: 2}}
+	if got := legacy.GroupCount(); got != 2 {
+		t.Errorf("legacy GroupCount() = %d, want 2", got)
+	}
+	multi := &Partial{
+		Groups: map[int64]int64{1: 1},
+		Accs:   map[int64][]int64{1: {1, 2}, 2: {3, 4}, 3: {5, 6}},
+	}
+	if got := multi.GroupCount(); got != 3 {
+		t.Errorf("multi-aggregate GroupCount() = %d, want 3", got)
+	}
+	empty := &Partial{}
+	if got := empty.GroupCount(); got != 0 {
+		t.Errorf("empty GroupCount() = %d, want 0", got)
+	}
+}

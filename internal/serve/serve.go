@@ -475,14 +475,27 @@ func (s *Service) Version() string {
 // SetDataset atomically swaps in a new dataset under a new version and
 // drops every cached plan and result: entries are keyed by version, so
 // nothing compiled against the old data can ever be served again.
+//
+// The generation bump and the purge happen under one cacheMu critical
+// section — the same lock the execute path's lookup-or-lead section
+// holds while it re-checks the generation. That makes the swap atomic
+// from the lookup's point of view: a request either runs entirely
+// before it (and finds the old generation's entries intact) or entirely
+// after (and retries against the new generation). Bumping and purging
+// in two separate sections allowed a full lead→store→complete cycle to
+// slip between them, after which the swap's own late purge deleted the
+// stored entry while its generation was still current — and the next
+// identical request re-executed it. Lock order is cacheMu → s.mu,
+// matching generation() calls made under cacheMu; nothing acquires
+// cacheMu while holding s.mu.
 func (s *Service) SetDataset(version string, ds *ssb.Dataset) {
+	s.cacheMu.Lock()
 	s.mu.Lock()
 	s.ds = ds
 	s.version = version
 	s.gen++
 	gen := s.gen
 	s.mu.Unlock()
-	s.cacheMu.Lock()
 	s.plans.purge()
 	s.results.purge()
 	s.binds.purge()
@@ -795,80 +808,115 @@ func (s *Service) execute(req Request, queueWait time.Duration) Response {
 	}
 	resp := Response{Request: req, Adhoc: req.SQL != "", Packed: req.Packed, QueueWait: queueWait}
 
-	s.mu.RLock()
-	ds, version, gen := s.ds, s.version, s.gen
-	s.mu.RUnlock()
-	resp.Version = version
+	// Snapshot → resolve → lookup-or-lead runs in a retry loop. SetDataset
+	// bumps the generation and then purges the caches, so a request that
+	// snapshotted the old generation and stalled could arrive at the
+	// lookup after its key's leader already ran and was purged away — and
+	// would then execute that (key, generation) a second time. The lookup
+	// critical section re-checks that the snapshotted generation is still
+	// current and starts over when it is not, which makes lookup-or-lead
+	// atomic with respect to the swap's bump-then-purge and keeps
+	// exactly-one-execution per (key, generation) strict.
+	origReq := req
+	var (
+		ds              *ssb.Dataset
+		version         string
+		gen             uint64
+		q               queries.Query
+		canon           string
+		bindWall        time.Duration
+		coprocResidency bool
+		fleetResidency  bool
+		genKey          string
+		resultKey       string
+	)
+	for {
+		req = origReq
+		s.mu.RLock()
+		ds, version, gen = s.ds, s.version, s.gen
+		s.mu.RUnlock()
+		resp.Version = version
 
-	if req.Placement != "" {
-		// Key the effective morsel shape: RunHybrid raises the morsel count
-		// to GPUs+1 (every arm can own a morsel) and ssb.Partition clamps it
-		// to the tile count, so requests that execute the same split share
-		// result-cache entries.
-		if req.Partitions < req.GPUs+1 {
-			req.Partitions = req.GPUs + 1
+		if req.Placement != "" {
+			// Key the effective morsel shape: RunHybrid raises the morsel count
+			// to GPUs+1 (every arm can own a morsel) and ssb.Partition clamps it
+			// to the tile count, so requests that execute the same split share
+			// result-cache entries.
+			if req.Partitions < req.GPUs+1 {
+				req.Partitions = req.GPUs + 1
+			}
+			if eff := ssb.EffectivePartitions(ds.Lineorder.Rows(), req.Partitions); eff > 0 {
+				req.Partitions = eff
+			}
+			resp.Request = req
+		} else if req.GPUs > 0 {
+			// Key the effective shard shape, not the requested one: RunFleet
+			// raises the morsel count to the fleet size and ssb.Partition
+			// clamps it to the tile count, so requests that execute the same
+			// shard map share result-cache entries and residency pins.
+			if req.Partitions < req.GPUs {
+				req.Partitions = req.GPUs
+			}
+			if eff := ssb.EffectivePartitions(ds.Lineorder.Rows(), req.Partitions); eff > 0 {
+				req.Partitions = eff
+			}
+			resp.Request = req
 		}
-		if eff := ssb.EffectivePartitions(ds.Lineorder.Rows(), req.Partitions); eff > 0 {
-			req.Partitions = eff
-		}
-		resp.Request = req
-	} else if req.GPUs > 0 {
-		// Key the effective shard shape, not the requested one: RunFleet
-		// raises the morsel count to the fleet size and ssb.Partition
-		// clamps it to the tile count, so requests that execute the same
-		// shard map share result-cache entries and residency pins.
-		if req.Partitions < req.GPUs {
-			req.Partitions = req.GPUs
-		}
-		if eff := ssb.EffectivePartitions(ds.Lineorder.Rows(), req.Partitions); eff > 0 {
-			req.Partitions = eff
-		}
-		resp.Request = req
-	}
 
-	// bindWall times query resolution for the trace's bind span; stamped
-	// unconditionally (two clock reads), consumed only when tracing.
-	bindStart := time.Now()
-	q, canon, err := s.resolve(ds, gen, req)
-	bindWall := time.Since(bindStart)
-	if err != nil {
-		resp.Err = err
-		s.recordError()
-		return resp
-	}
-	resp.Query = q
+		// bindWall times query resolution for the trace's bind span; stamped
+		// unconditionally (two clock reads), consumed only when tracing.
+		bindStart := time.Now()
+		var err error
+		q, canon, err = s.resolve(ds, gen, req)
+		bindWall = time.Since(bindStart)
+		if err != nil {
+			resp.Err = err
+			s.recordError()
+			return resp
+		}
+		resp.Query = q
 
-	// The partition count and encoding are part of the result identity:
-	// rows always agree, but a pruned partitioned run or a packed run
-	// reports different Seconds/Morsels/Pruned/TransferBytes than a plain
-	// monolithic one, and those must replay deterministically. Packed
-	// coprocessor requests with residency caching are the one exception:
-	// their seconds depend on device-cache state (cold vs warm transfer),
-	// so they bypass the result cache entirely rather than replay a stale
-	// transfer time.
-	// Residency-dependent paths and the result cache: coprocessor
-	// residency responses always bypass it (their seconds differ cold vs
-	// warm). Packed fleet requests with per-device caches enabled may
-	// still *look up* — only responses that touched no residency state
-	// (nothing spilled, nothing resident) are ever stored, and those are
-	// deterministic — but a response with spill traffic or elisions is
-	// never cached.
-	coprocResidency := req.Packed && req.Engine == queries.EngineCoproc && s.devCache != nil
-	fleetResidency := req.Placement == "" && req.GPUs > 0 && req.Packed && s.devCache != nil && s.opts.FleetDeviceMemoryBytes > 0
-	genKey := strconv.FormatUint(gen, 10)
-	// The requested placement joins the key ("auto" stays "auto": the
-	// planner's choice is deterministic per generation, so the cached
-	// response replays it exactly). Placement runs never consult residency
-	// caches — their seconds are deterministic, so they always cache.
-	resultKey := cacheKey(genKey, canon, string(req.Engine), strconv.Itoa(req.Partitions), packedKey(req.Packed),
-		strconv.Itoa(req.GPUs), req.Interconnect, req.Placement)
-	// Cache lookup and single-flight formation are one critical section
-	// under cacheMu: a coalesceable request either hits the cache, joins
-	// the in-progress flight for its key, or registers itself as the
-	// leader — so for any (key, generation) at most one execution ever
-	// runs, no matter how the misses interleave with the leader's fill.
-	if coalesceable := !req.NoCache && !coprocResidency; coalesceable {
+		// The partition count and encoding are part of the result identity:
+		// rows always agree, but a pruned partitioned run or a packed run
+		// reports different Seconds/Morsels/Pruned/TransferBytes than a plain
+		// monolithic one, and those must replay deterministically. Packed
+		// coprocessor requests with residency caching are the one exception:
+		// their seconds depend on device-cache state (cold vs warm transfer),
+		// so they bypass the result cache entirely rather than replay a stale
+		// transfer time.
+		// Residency-dependent paths and the result cache: coprocessor
+		// residency responses always bypass it (their seconds differ cold vs
+		// warm). Packed fleet requests with per-device caches enabled may
+		// still *look up* — only responses that touched no residency state
+		// (nothing spilled, nothing resident) are ever stored, and those are
+		// deterministic — but a response with spill traffic or elisions is
+		// never cached.
+		coprocResidency = req.Packed && req.Engine == queries.EngineCoproc && s.devCache != nil
+		fleetResidency = req.Placement == "" && req.GPUs > 0 && req.Packed && s.devCache != nil && s.opts.FleetDeviceMemoryBytes > 0
+		genKey = strconv.FormatUint(gen, 10)
+		// The requested placement joins the key ("auto" stays "auto": the
+		// planner's choice is deterministic per generation, so the cached
+		// response replays it exactly). Placement runs never consult residency
+		// caches — their seconds are deterministic, so they always cache.
+		resultKey = cacheKey(genKey, canon, string(req.Engine), strconv.Itoa(req.Partitions), packedKey(req.Packed),
+			strconv.Itoa(req.GPUs), req.Interconnect, req.Placement)
+		// Cache lookup and single-flight formation are one critical section
+		// under cacheMu: a coalesceable request either hits the cache, joins
+		// the in-progress flight for its key, or registers itself as the
+		// leader — so for any (key, generation) at most one execution ever
+		// runs, no matter how the misses interleave with the leader's fill.
+		if coalesceable := !req.NoCache && !coprocResidency; !coalesceable {
+			break
+		}
 		s.cacheMu.Lock()
+		if s.generation() != gen {
+			// The dataset moved between the snapshot and this critical
+			// section: the swap's purge may have dropped this generation's
+			// entries, so executing now could repeat a key that already
+			// ran. Start over against the new generation.
+			s.cacheMu.Unlock()
+			continue
+		}
 		if v, ok := s.results.get(resultKey); ok {
 			s.cacheMu.Unlock()
 			// Hand out a copy: callers may mutate Groups in place, and the
@@ -904,6 +952,7 @@ func (s *Service) execute(req Request, queueWait time.Duration) Response {
 		// Deferred so even a panicking leader releases its followers.
 		defer s.completeFlight(f, resultKey, &resp)
 		s.cacheMu.Unlock()
+		break
 	}
 	if s.execHook != nil {
 		s.execHook(resultKey)

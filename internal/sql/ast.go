@@ -32,19 +32,53 @@ func (l Literal) String() string {
 	return strconv.FormatInt(l.Num, 10)
 }
 
-// AggExpr is the SUM argument: a column, optionally combined with a second
-// one ("a * b" or "a - b"). Op is 0, '*' or '-'.
+// AggExpr is one aggregate of the select list: Func ("SUM", "COUNT",
+// "AVG", "MIN", "MAX"; empty means SUM) over a column, optionally combined
+// with a second one ("a * b" or "a - b"). Op is 0, '*' or '-'. Star marks
+// COUNT(*), which carries no argument.
 type AggExpr struct {
+	Func  string
+	Star  bool
 	Left  ColRef
 	Op    byte
 	Right ColRef
 }
 
 func (a AggExpr) String() string {
-	if a.Op == 0 {
-		return "SUM(" + a.Left.String() + ")"
+	f := a.Func
+	if f == "" {
+		f = "SUM"
 	}
-	return "SUM(" + a.Left.String() + " " + string(a.Op) + " " + a.Right.String() + ")"
+	if a.Star || f == "COUNT" {
+		// COUNT counts surviving rows whatever its argument; canonical form
+		// is always COUNT(*).
+		return "COUNT(*)"
+	}
+	if a.Op == 0 {
+		return f + "(" + a.Left.String() + ")"
+	}
+	return f + "(" + a.Left.String() + " " + string(a.Op) + " " + a.Right.String() + ")"
+}
+
+// OrderItem is one ORDER BY key: a 1-based select-list ordinal (Ordinal >=
+// 1) or a grouped column reference, optionally descending.
+type OrderItem struct {
+	Ordinal int
+	Col     *ColRef
+	Desc    bool
+}
+
+func (o OrderItem) String() string {
+	var s string
+	if o.Col != nil {
+		s = o.Col.String()
+	} else {
+		s = strconv.Itoa(o.Ordinal)
+	}
+	if o.Desc {
+		s += " DESC"
+	}
+	return s
 }
 
 // SelectItem is one projection: either the aggregate or a grouped column.
@@ -114,13 +148,16 @@ func (p Pred) String() string {
 	}
 }
 
-// Select is the parsed statement.
+// Select is the parsed statement. Limit is 0 when the statement has no
+// LIMIT clause.
 type Select struct {
 	Items   []SelectItem
 	Tables  []TableRef
 	Joins   []JoinClause
 	Where   []Pred
 	GroupBy []ColRef
+	OrderBy []OrderItem
+	Limit   int
 }
 
 // String renders the statement in canonical form: uppercase keywords,
@@ -170,6 +207,17 @@ func (s *Select) String() string {
 			b.WriteString(", ")
 		}
 		b.WriteString(g.String())
+	}
+	for i, o := range s.OrderBy {
+		if i == 0 {
+			b.WriteString(" ORDER BY ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(o.String())
+	}
+	if s.Limit > 0 {
+		b.WriteString(" LIMIT " + strconv.Itoa(s.Limit))
 	}
 	return b.String()
 }

@@ -208,11 +208,13 @@ func (b *binder) bind(sel *Select) (queries.Query, error) {
 	}
 	q.FactFilters = sortFilters(q.FactFilters)
 
-	agg, err := b.bindAgg(sel)
-	if err != nil {
+	if err := b.bindAggs(sel, &q); err != nil {
 		return queries.Query{}, err
 	}
-	q.Agg = agg
+	if err := b.bindOrder(sel, &q, payload, groupDims); err != nil {
+		return queries.Query{}, err
+	}
+	q.Limit = sel.Limit
 	return q, nil
 }
 
@@ -391,8 +393,8 @@ func (b *binder) addJoinEq(l, r ColRef) error {
 	return nil
 }
 
-// checkItems validates the select list: exactly one SUM, and any plain
-// columns must mirror the GROUP BY list in order.
+// checkItems validates the select list: at least one aggregate, and any
+// plain columns must mirror the GROUP BY list in order.
 func (b *binder) checkItems(sel *Select, payload map[string]string, groupDims []string) error {
 	var plain []column
 	aggs := 0
@@ -407,8 +409,8 @@ func (b *binder) checkItems(sel *Select, payload map[string]string, groupDims []
 		}
 		plain = append(plain, c)
 	}
-	if aggs != 1 {
-		return fmt.Errorf("sql: the select list needs exactly one SUM aggregate, got %d", aggs)
+	if aggs == 0 {
+		return fmt.Errorf("sql: the select list needs at least one aggregate (SUM, COUNT, AVG, MIN or MAX)")
 	}
 	if len(plain) == 0 {
 		return nil // SELECT SUM(...) alone is fine even with GROUP BY
@@ -424,40 +426,142 @@ func (b *binder) checkItems(sel *Select, payload map[string]string, groupDims []
 	return nil
 }
 
-// bindAgg lowers the SUM expression onto one of the three aggregate kinds
-// the engines implement.
-func (b *binder) bindAgg(sel *Select) (queries.AggKind, error) {
-	var agg *AggExpr
+// bindAggs lowers the select list's aggregates. A single plain SUM
+// normalizes to the legacy Agg field (Aggs stays nil), so such statements
+// share canonical keys — and with them plan and result caches — with every
+// pre-existing query; anything else becomes the AggSpec list.
+func (b *binder) bindAggs(sel *Select, q *queries.Query) error {
+	var specs []queries.AggSpec
 	for _, it := range sel.Items {
-		if it.Agg != nil {
-			agg = it.Agg
+		if it.Agg == nil {
+			continue
 		}
+		s, err := b.bindAggExpr(it.Agg)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, s)
+	}
+	if len(specs) == 1 && specs[0].Func == queries.FuncSum {
+		q.Agg = specs[0].Expr
+		return nil
+	}
+	q.Aggs = specs
+	return nil
+}
+
+// bindAggExpr lowers one aggregate expression onto an AggSpec: COUNT counts
+// surviving fact rows whatever its argument, the other functions apply to
+// the three engine aggregate expressions.
+func (b *binder) bindAggExpr(agg *AggExpr) (queries.AggSpec, error) {
+	fn := agg.Func
+	if fn == "" {
+		fn = "SUM"
+	}
+	if fn == "COUNT" {
+		if !agg.Star {
+			c, err := b.resolve(agg.Left)
+			if err != nil {
+				return queries.AggSpec{}, err
+			}
+			if c.table != factTable {
+				return queries.AggSpec{}, fmt.Errorf("sql: COUNT over %s: aggregates read fact columns only", c)
+			}
+		}
+		return queries.AggSpec{Func: queries.FuncCount}, nil
 	}
 	left, err := b.resolve(agg.Left)
 	if err != nil {
-		return 0, err
+		return queries.AggSpec{}, err
 	}
 	if left.table != factTable {
-		return 0, fmt.Errorf("sql: SUM over %s: aggregates read fact columns only", left)
+		return queries.AggSpec{}, fmt.Errorf("sql: %s over %s: aggregates read fact columns only", fn, left)
 	}
 	var right column
 	if agg.Op != 0 {
 		if right, err = b.resolve(agg.Right); err != nil {
-			return 0, err
+			return queries.AggSpec{}, err
 		}
 		if right.table != factTable {
-			return 0, fmt.Errorf("sql: SUM over %s: aggregates read fact columns only", right)
+			return queries.AggSpec{}, fmt.Errorf("sql: %s over %s: aggregates read fact columns only", fn, right)
 		}
 	}
+	var kind queries.AggKind
 	switch {
 	case agg.Op == 0 && left.col == "revenue":
-		return queries.AggSumRevenue, nil
+		kind = queries.AggSumRevenue
 	case agg.Op == '*' && ((left.col == "extprice" && right.col == "discount") || (left.col == "discount" && right.col == "extprice")):
-		return queries.AggSumExtDisc, nil
+		kind = queries.AggSumExtDisc
 	case agg.Op == '-' && left.col == "revenue" && right.col == "supplycost":
-		return queries.AggSumProfit, nil
+		kind = queries.AggSumProfit
+	default:
+		return queries.AggSpec{}, fmt.Errorf("sql: unsupported aggregate %s; the engines implement %s over revenue, extprice * discount and revenue - supplycost", agg, fn)
 	}
-	return 0, fmt.Errorf("sql: unsupported aggregate %s; the engines implement SUM(revenue), SUM(extprice * discount) and SUM(revenue - supplycost)", agg)
+	var f queries.AggFunc
+	switch fn {
+	case "AVG":
+		f = queries.FuncAvg
+	case "MIN":
+		f = queries.FuncMin
+	case "MAX":
+		f = queries.FuncMax
+	default:
+		f = queries.FuncSum
+	}
+	return queries.AggSpec{Func: f, Expr: kind}, nil
+}
+
+// bindOrder lowers the ORDER BY keys: select-list ordinals map to their
+// aggregate index (or, for plain items, their group slot — checkItems
+// pinned plain items to GROUP BY order, so the j-th plain item is slot j),
+// and column references must name a grouped column.
+func (b *binder) bindOrder(sel *Select, q *queries.Query, payload map[string]string, groupDims []string) error {
+	if len(sel.OrderBy) == 0 {
+		return nil
+	}
+	type pos struct{ agg, group int }
+	positions := make([]pos, len(sel.Items))
+	aggIdx, plainIdx := 0, 0
+	for i, it := range sel.Items {
+		if it.Agg != nil {
+			positions[i] = pos{agg: aggIdx, group: -1}
+			aggIdx++
+		} else {
+			positions[i] = pos{agg: -1, group: plainIdx}
+			plainIdx++
+		}
+	}
+	for _, o := range sel.OrderBy {
+		k := queries.OrderKey{Desc: o.Desc}
+		if o.Col != nil {
+			c, err := b.resolve(*o.Col)
+			if err != nil {
+				return err
+			}
+			slot := -1
+			for i, dim := range groupDims {
+				if dim == c.table && payload[dim] == c.col {
+					slot = i
+				}
+			}
+			if slot < 0 {
+				return fmt.Errorf("sql: ORDER BY %s: order keys must be select-list ordinals or grouped columns", c)
+			}
+			k.Item, k.Group = -1, slot
+		} else {
+			if o.Ordinal > len(sel.Items) {
+				return fmt.Errorf("sql: ORDER BY %d: the select list has %d items", o.Ordinal, len(sel.Items))
+			}
+			p := positions[o.Ordinal-1]
+			if p.agg >= 0 {
+				k.Item = p.agg
+			} else {
+				k.Item, k.Group = -1, p.group
+			}
+		}
+		q.OrderBy = append(q.OrderBy, k)
+	}
+	return nil
 }
 
 // filterFor lowers one predicate on a resolved column into a Filter.

@@ -21,6 +21,11 @@ func FuzzParse(f *testing.F) {
 	f.Add("SELECT SUM(revenue) FROM lineorder WHERE quantity >= -1 AND discount < 11")
 	f.Add("-- comment\nSELECT SUM(revenue) FROM lineorder;")
 	f.Add("SELECT SUM(revenue) FROM lineorder WHERE 1=1 AND city IN ('UNITED KI1')")
+	f.Add("SELECT d.year, SUM(lo.revenue), COUNT(*) FROM lineorder lo, date d WHERE lo.orderdate = d.key GROUP BY d.year ORDER BY 2 DESC LIMIT 5")
+	f.Add("SELECT AVG(revenue), MIN(quantity), MAX(discount) FROM lineorder ORDER BY 1 ASC, 3 DESC")
+	f.Add("select count(*), year from lineorder join date on orderdate = date.key group by year order by year desc limit 1")
+	f.Add("SELECT SUM(revenue), city FROM lineorder, supplier WHERE suppkey = supplier.key GROUP BY city ORDER BY city")
+	f.Add("SELECT COUNT(revenue) FROM lineorder LIMIT 3")
 
 	f.Fuzz(func(t *testing.T, src string) {
 		ast, err := Parse(src)

@@ -1,8 +1,12 @@
 // Package sql is the ad-hoc query frontend: a small SQL dialect covering
 // the star-schema shape the engines execute —
 //
-//	SELECT SUM(<agg>) [, group cols] FROM lineorder [, dims | JOIN dim ON ...]
-//	[WHERE pred AND ...] [GROUP BY cols]
+//	SELECT agg [, agg | group cols]... FROM lineorder [, dims | JOIN dim ON ...]
+//	[WHERE pred AND ...] [GROUP BY cols] [ORDER BY keys] [LIMIT n]
+//
+// where agg is SUM/AVG/MIN/MAX over an engine aggregate expression or
+// COUNT(*), and ORDER BY keys are 1-based select-list ordinals or grouped
+// columns, each optionally DESC.
 //
 // — compiled in three stages: lexer -> parser (AST with a canonical
 // printer) -> binder, which lowers the AST onto the SSB schema and emits a
@@ -120,4 +124,6 @@ var keywords = map[string]bool{
 	"select": true, "sum": true, "from": true, "where": true, "and": true,
 	"group": true, "by": true, "between": true, "in": true, "join": true,
 	"inner": true, "on": true, "as": true,
+	"count": true, "avg": true, "min": true, "max": true,
+	"order": true, "limit": true, "asc": true, "desc": true,
 }

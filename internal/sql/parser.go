@@ -6,13 +6,16 @@ import "fmt"
 // dialect" section):
 //
 //	select   := SELECT item (',' item)* FROM table (',' table)* join*
-//	            [WHERE pred (AND pred)*] [GROUP BY col (',' col)*] [';']
-//	item     := SUM '(' col [('*'|'-') col] ')' | col
+//	            [WHERE pred (AND pred)*] [GROUP BY col (',' col)*]
+//	            [ORDER BY key (',' key)*] [LIMIT number] [';']
+//	item     := func '(' col [('*'|'-') col] ')' | COUNT '(' '*' ')' | col
+//	func     := SUM | COUNT | AVG | MIN | MAX
 //	table    := ident [[AS] ident]
 //	join     := [INNER] JOIN table ON col '=' col
 //	pred     := col op literal | col BETWEEN literal AND literal
 //	          | col IN '(' literal (',' literal)* ')' | col '=' col
 //	          | number '=' number          (tautology, e.g. WHERE 1=1)
+//	key      := (number | col) [ASC | DESC]    (number: 1-based select ordinal)
 //	op       := '=' | '<' | '<=' | '>' | '>='
 //	col      := ident ['.' ident]
 //	literal  := ['-'] number | 'string'
@@ -177,15 +180,71 @@ func (p *parser) parseSelect() (*Select, error) {
 			}
 		}
 	}
+	if p.keyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			var it OrderItem
+			if t := p.peek(); t.kind == tkNumber {
+				p.next()
+				if t.num < 1 {
+					return nil, fmt.Errorf("sql: offset %d: ORDER BY ordinal %d is not a 1-based select position", t.pos, t.num)
+				}
+				it.Ordinal = int(t.num)
+			} else {
+				c, err := p.parseCol()
+				if err != nil {
+					return nil, err
+				}
+				it.Col = &c
+			}
+			if p.keyword("desc") {
+				it.Desc = true
+			} else {
+				p.keyword("asc") // ascending is the default; ASC is accepted noise
+			}
+			sel.OrderBy = append(sel.OrderBy, it)
+			if !p.punct(",") {
+				break
+			}
+		}
+	}
+	if p.keyword("limit") {
+		t := p.peek()
+		if t.kind != tkNumber {
+			return nil, p.errorf("expected row count after LIMIT, got %s", t)
+		}
+		p.next()
+		if t.num < 1 {
+			return nil, fmt.Errorf("sql: offset %d: LIMIT %d must be at least 1", t.pos, t.num)
+		}
+		sel.Limit = int(t.num)
+	}
 	return sel, nil
 }
 
+// aggFuncs maps the aggregate keyword to its canonical spelling.
+var aggFuncs = map[string]string{
+	"sum": "SUM", "count": "COUNT", "avg": "AVG", "min": "MIN", "max": "MAX",
+}
+
 func (p *parser) parseItem() (SelectItem, error) {
-	if p.keyword("sum") {
+	for kw, fn := range aggFuncs {
+		if !p.keyword(kw) {
+			continue
+		}
 		if err := p.expectPunct("("); err != nil {
 			return SelectItem{}, err
 		}
-		agg := &AggExpr{}
+		agg := &AggExpr{Func: fn}
+		if fn == "COUNT" && p.punct("*") {
+			agg.Star = true
+			if err := p.expectPunct(")"); err != nil {
+				return SelectItem{}, err
+			}
+			return SelectItem{Agg: agg}, nil
+		}
 		var err error
 		if agg.Left, err = p.parseCol(); err != nil {
 			return SelectItem{}, err

@@ -171,8 +171,12 @@ func TestBindErrors(t *testing.T) {
 		{"SELECT SUM(revenue - discount) FROM lineorder", "unsupported aggregate"},
 		{"SELECT SUM(year) FROM lineorder, date WHERE orderdate = date.key", "fact columns only"},
 		{"SELECT SUM(revenue), year FROM lineorder, date WHERE orderdate = date.key", "GROUP BY"},
-		{"SELECT revenue FROM lineorder", "exactly one SUM"},
-		{"SELECT SUM(revenue), SUM(revenue) FROM lineorder", "exactly one SUM"},
+		{"SELECT revenue FROM lineorder", "at least one aggregate"},
+		{"SELECT COUNT(year) FROM lineorder, date WHERE orderdate = date.key", "fact columns only"},
+		{"SELECT MIN(quantity) FROM lineorder", "unsupported aggregate"},
+		{"SELECT SUM(revenue) FROM lineorder ORDER BY 3", "select list has 1"},
+		{"SELECT SUM(revenue) FROM lineorder, date WHERE orderdate = date.key GROUP BY year ORDER BY yearmonthnum", "grouped columns"},
+		{"SELECT SUM(revenue) FROM lineorder LIMIT 5", "LIMIT without ORDER BY"},
 		{"SELECT SUM(revenue) FROM lineorder, date WHERE orderdate = date.key GROUP BY orderdate", "fact columns is not supported"},
 		{"SELECT SUM(revenue) FROM lineorder, date WHERE orderdate = date.key GROUP BY date.key", "dimension key"},
 		{"SELECT SUM(revenue) FROM lineorder, date WHERE orderdate = date.key GROUP BY year, yearmonthnum", "one payload per join"},

@@ -17,7 +17,10 @@
 //	   ├─ execute gpu0
 //	   │  ├─ kernel
 //	   │  └─ transfer         (spilled columns over the interconnect)
-//	   └─ merge               (partial aggregates crossing the link)
+//	   ├─ merge               (partial aggregates crossing the link)
+//	   └─ sort                (ORDER BY phase, when the query has one)
+//	      ├─ sort-pass        (one per merge/radix/heap pass, sequential)
+//	      └─ sort-pass
 //
 // Every span carries both clocks — simulated seconds from the bandwidth
 // model and host wall-clock time — plus a bytes-moved attribution. The
@@ -26,7 +29,8 @@
 // pin for all four placements):
 //
 //   - the run span's Sim equals Result.Seconds exactly: the makespan over
-//     the execute spans plus the merge span;
+//     the execute spans plus the merge span plus the sort span, whose
+//     sort-pass children in turn sum exactly to the sort span itself;
 //   - each execute span's Sim equals its ExecutorResult.Seconds exactly,
 //     and is the max of its kernel and transfer children (shipment
 //     overlaps execution, coprocessor style);
@@ -75,6 +79,15 @@ const (
 	// PhaseMerge is the host-side merge of partial aggregates that
 	// crossed the link.
 	PhaseMerge Phase = "merge"
+	// PhaseSort is the ORDER BY phase of a scheduled run: the priced sort
+	// of the merged result rows on the placement's hardware. Its Sim is
+	// the sum of its sequential sort-pass children.
+	PhaseSort Phase = "sort"
+	// PhaseSortPass is one sequential stage of the sort phase (a merge or
+	// radix pass, the top-N heap scan, a sorted-run shipment). Bytes on a
+	// sort-pass span is sort-phase traffic, attributed separately from the
+	// scan's transfer spans (it never counts toward Result.TransferBytes).
+	PhaseSortPass Phase = "sort-pass"
 	// PhaseCoalesced marks a request that shared a concurrent identical
 	// request's execution (single-flight): it waited on the leader and
 	// replayed its rows, executing nothing itself.
@@ -223,8 +236,22 @@ func Verify(run *Span) error {
 	if m := run.Child(PhaseMerge); m != nil {
 		merge = m.Sim
 	}
-	if want := run.MaxSim(PhaseExecute) + merge; !floatEq(run.Sim, want) {
-		return fmt.Errorf("trace: run sim %.9g != makespan+merge %.9g", run.Sim, want)
+	var sort float64
+	if sp := run.Child(PhaseSort); sp != nil {
+		sort = sp.Sim
+		var passes float64
+		for _, c := range sp.Children {
+			if c.Phase != PhaseSortPass {
+				return fmt.Errorf("trace: sort span has unexpected %s child", c.Phase)
+			}
+			passes += c.Sim
+		}
+		if !floatEq(sort, passes) {
+			return fmt.Errorf("trace: sort sim %.9g != sum of sort passes %.9g", sort, passes)
+		}
+	}
+	if want := run.MaxSim(PhaseExecute) + merge + sort; !floatEq(run.Sim, want) {
+		return fmt.Errorf("trace: run sim %.9g != makespan+merge+sort %.9g", run.Sim, want)
 	}
 	for _, c := range run.Children {
 		if c.Phase != PhaseExecute {
