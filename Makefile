@@ -14,7 +14,7 @@ COVER_FLOOR_TRACE   ?= 90.0
 COVER_FLOOR_SERVE   ?= 96.0
 COVER_FLOOR_LOADGEN ?= 90.0
 
-.PHONY: all build test lint fuzz cover docs bench-smoke bench-baseline bench-check metrics-smoke load-smoke serve ci
+.PHONY: all build test lint fuzz cover docs bench-smoke bench-baseline bench-check metrics-smoke load-smoke batch-smoke serve ci
 
 # Markdown files the docs gate link-checks, and the packages whose godoc
 # must render (a missing or syntactically broken doc comment fails go doc).
@@ -108,7 +108,19 @@ metrics-smoke:
 load-smoke:
 	LOAD_SMOKE_SECONDS=30 $(GO) test ./internal/loadgen -run TestLoadSmoke -count=1 -v -timeout 10m
 
+# Shared-scan batching gate: the differential harness proves every batch
+# member's rows and simulated seconds identical to its solo run across all
+# placements, and the seeded 3x-overload comparison proves batching clears
+# measurably more goodput than single-flight alone (benchgate -check holds
+# the same invariants against BENCH_batch.json). BATCH_GOODPUT_STRICT arms
+# the wall-clock ratio assertion, which only holds without the race
+# detector's instrumentation — the plain `-race ./...` run still checks
+# formation, conservation and row identity.
+batch-smoke:
+	$(GO) test ./internal/queries -run TestDifferentialBatchAgree -count=1 -v -timeout 10m
+	BATCH_GOODPUT_STRICT=1 $(GO) test ./internal/loadgen -run TestBatchingGoodputWin -count=1 -v
+
 serve:
 	$(GO) run ./cmd/ssbserve
 
-ci: build lint test cover fuzz docs bench-smoke bench-check metrics-smoke load-smoke
+ci: build lint test cover fuzz docs bench-smoke bench-check metrics-smoke load-smoke batch-smoke

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"time"
+
+	"crystal/internal/loadgen"
+	"crystal/internal/queries"
+	"crystal/internal/serve"
+	"crystal/internal/ssb"
+)
+
+// The batch baseline (BENCH_batch.json) holds the shared-scan batching
+// gate. Its deterministic half prices the q1.x flight once solo and once as
+// one shared-scan batch and records the simulated traffic split; every
+// measurement re-proves row identity (each member's rows byte-identical to
+// its solo run) and strict traffic subadditivity (the shared scan moves
+// fewer bytes than the solo scans combined). Its wall-clock half re-runs
+// the seeded 3x overload sweep with batching off and on against a service
+// whose every execution pays a fixed delay, and gates that batching clears
+// measurably more goodput — machine-dependent values are informational, the
+// ratio is the invariant.
+var flagBatchFile = flag.String("batch-file", "BENCH_batch.json", "shared-scan batching baseline file")
+
+const (
+	// batchRows is small enough that the fixed delay below dominates each
+	// request's real execution; the batching win is paying that delay once
+	// per shared scan, so the measurement must not be drowned by scan work.
+	batchRows = 1 << 13
+	// batchExecDelay is the fixed per-execution delay of the wall-clock
+	// comparison: a batch pays it once for all members, solo traffic pays
+	// it per request, so the goodput ratio isolates the batching win.
+	batchExecDelay = 4 * time.Millisecond
+	batchWorkers   = 2
+	batchQueue     = 16
+	batchMax       = 8
+	// batchGoodputFloor is the minimum batching-on / batching-off goodput
+	// ratio at 3x overload: well above scheduler noise, well below the
+	// ratio healthy batch formation delivers.
+	batchGoodputFloor = 1.1
+)
+
+// batchBaseline is the checked-in shared-scan batching document.
+type batchBaseline struct {
+	Rows       int      `json:"rows"`
+	Partitions int      `json:"partitions"`
+	Queries    []string `json:"queries"`
+	// SharedScanBytes / SoloScanBytes and BatchSeconds / SoloSeconds are
+	// the deterministic simulated costs of the flight batched vs solo.
+	SharedScanBytes int64   `json:"shared_scan_bytes"`
+	SoloScanBytes   int64   `json:"solo_scan_bytes"`
+	BatchSeconds    float64 `json:"batch_seconds"`
+	SoloSeconds     float64 `json:"solo_seconds"`
+	// The wall-clock overload comparison (informational apart from the
+	// on/off ratio): goodput at 3x of measured saturation with batching
+	// off and on, and how many completions rode a batch.
+	MaxBatch      int     `json:"max_batch"`
+	ExecDelayMs   float64 `json:"exec_delay_ms"`
+	OffGoodputQPS float64 `json:"off_goodput_qps"`
+	OnGoodputQPS  float64 `json:"on_goodput_qps"`
+	Batched       int64   `json:"batched"`
+	Note          string  `json:"note"`
+}
+
+// measureBatch runs both halves of the batching gate. Row identity and
+// traffic subadditivity are enforced here — at -write as much as at -check
+// — so a baseline can never record a broken batch.
+func measureBatch() (batchBaseline, error) {
+	out := batchBaseline{
+		Rows:        batchRows,
+		Partitions:  hybridPartitions,
+		Queries:     []string{"q1.1", "q1.2", "q1.3"},
+		MaxBatch:    batchMax,
+		ExecDelayMs: float64(batchExecDelay) / float64(time.Millisecond),
+		Note:        "goodput values are informational (reference machine); the gate re-measures and checks the on/off ratio, row identity and traffic subadditivity",
+	}
+	ds := ssb.GenerateRows(batchRows)
+	opts := queries.RunOptions{}
+	opts.Partition.Partitions = hybridPartitions
+	plans := make([]*queries.Plan, len(out.Queries))
+	solos := make([]*queries.ScheduledResult, len(out.Queries))
+	for i, id := range out.Queries {
+		q, err := queries.ByID(id)
+		if err != nil {
+			return out, err
+		}
+		plans[i] = queries.Compile(ds, q)
+		solos[i], err = plans[i].RunScheduled(plans[i].ScheduleEngine(queries.EngineGPU, opts))
+		if err != nil {
+			return out, err
+		}
+		out.SoloSeconds += solos[i].Result.Seconds
+	}
+	br, err := queries.RunBatch(plans, queries.EngineGPU, opts)
+	if err != nil {
+		return out, err
+	}
+	for i, m := range br.Members {
+		if !m.Result.Equal(solos[i].Result) {
+			return out, fmt.Errorf("batch member %s: rows differ from its solo run", out.Queries[i])
+		}
+	}
+	out.SharedScanBytes = br.SharedScanBytes
+	out.SoloScanBytes = br.SoloScanBytes
+	out.BatchSeconds = br.Seconds
+	if out.SharedScanBytes >= out.SoloScanBytes {
+		return out, fmt.Errorf("shared scan %d bytes not strictly under solo sum %d: batching deduplicated nothing",
+			out.SharedScanBytes, out.SoloScanBytes)
+	}
+	if out.BatchSeconds >= out.SoloSeconds {
+		return out, fmt.Errorf("batch %.6fs not strictly under solo sum %.6fs", out.BatchSeconds, out.SoloSeconds)
+	}
+
+	newService := func(maxBatch int) func() *serve.Service {
+		return func() *serve.Service {
+			return serve.New(ds, "bench", serve.Options{
+				Workers:    batchWorkers,
+				QueueDepth: batchQueue,
+				Shed:       true,
+				// Tiny against the ad-hoc pool: replays stay rare, so the
+				// comparison measures execution, not cache hits.
+				ResultCacheSize: 8,
+				MaxBatch:        maxBatch,
+				ExecDelay:       batchExecDelay,
+			})
+		}
+	}
+	cfg := loadgen.Config{
+		Seed:          serveSeed,
+		AdhocFraction: 0.6,
+		AdhocPool:     128,
+		Deadline:      serveDeadline,
+	}
+	sweepOpts := loadgen.SweepOptions{Multipliers: []float64{3}, PhaseDuration: *flagServeDur}
+	off, err := loadgen.RunSweep(context.Background(), newService(0), cfg, sweepOpts)
+	if err != nil {
+		return out, fmt.Errorf("batching-off sweep: %w", err)
+	}
+	on, err := loadgen.RunSweep(context.Background(), newService(batchMax), cfg, sweepOpts)
+	if err != nil {
+		return out, fmt.Errorf("batching-on sweep: %w", err)
+	}
+	out.OffGoodputQPS = off.Phases[0].GoodputQPS
+	out.OnGoodputQPS = on.Phases[0].GoodputQPS
+	out.Batched = on.Phases[0].Batched
+	return out, nil
+}
+
+// checkBatch gates the fresh measurement: the deterministic costs against
+// the baseline with the usual tolerance, and the wall-clock half on its
+// shape invariants.
+func checkBatch(base, cur batchBaseline) error {
+	if base.Rows != cur.Rows || base.Partitions != cur.Partitions || base.MaxBatch != cur.MaxBatch {
+		return fmt.Errorf("batch baseline shape changed (rows/partitions/maxbatch %d/%d/%d vs %d/%d/%d); re-baseline",
+			base.Rows, base.Partitions, base.MaxBatch, cur.Rows, cur.Partitions, cur.MaxBatch)
+	}
+	if len(base.Queries) != len(cur.Queries) {
+		return fmt.Errorf("batch query set changed (%d vs %d entries); re-baseline", len(cur.Queries), len(base.Queries))
+	}
+	gate := func(label string, got, want float64) error {
+		if rel := (got - want) / want; rel > tolerance {
+			return fmt.Errorf("REGRESSION at %s: %.6g vs baseline %.6g (+%.1f%%)", label, got, want, rel*100)
+		}
+		return nil
+	}
+	if err := gate("batched flight seconds", cur.BatchSeconds, base.BatchSeconds); err != nil {
+		return err
+	}
+	if err := gate("batched flight scan bytes", float64(cur.SharedScanBytes), float64(base.SharedScanBytes)); err != nil {
+		return err
+	}
+	if cur.Batched == 0 {
+		return fmt.Errorf("3x overload with batching on batched nothing; formation never engaged")
+	}
+	if cur.OnGoodputQPS < batchGoodputFloor*cur.OffGoodputQPS {
+		return fmt.Errorf("3x goodput with batching on (%.1f qps) not at least %.1fx batching off (%.1f qps)",
+			cur.OnGoodputQPS, batchGoodputFloor, cur.OffGoodputQPS)
+	}
+	return nil
+}
+
+func printBatch(b batchBaseline) {
+	fmt.Printf("  flight %v batched: scan %d -> %d bytes, %.6fs -> %.6fs simulated\n",
+		b.Queries, b.SoloScanBytes, b.SharedScanBytes, b.SoloSeconds, b.BatchSeconds)
+	fmt.Printf("  3x overload goodput: off %8.1f qps  on %8.1f qps (%d batched, delay %.0fms, cap %d)\n",
+		b.OffGoodputQPS, b.OnGoodputQPS, b.Batched, b.ExecDelayMs, b.MaxBatch)
+}

@@ -291,6 +291,15 @@ func run() error {
 	fmt.Printf("wrote %s (%d rows, %d workers, queue %d):\n",
 		*flagServeFile, curServe.Rows, curServe.Workers, curServe.QueueDepth)
 	printServe(curServe)
+	curBatch, err := measureBatch()
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(*flagBatchFile, curBatch); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows, %d morsels):\n", *flagBatchFile, curBatch.Rows, curBatch.Partitions)
+	printBatch(curBatch)
 	return nil
 }
 
@@ -416,6 +425,24 @@ func check() error {
 		*flagServeFile, curServe.Rows, curServe.Workers, curServe.QueueDepth)
 	printServe(curServe)
 	if err := checkServe(sbase, curServe); err != nil {
+		return err
+	}
+	bdata, err := os.ReadFile(*flagBatchFile)
+	if err != nil {
+		return fmt.Errorf("reading batch baseline (run `make bench-baseline` first): %w", err)
+	}
+	var bbase batchBaseline
+	if err := json.Unmarshal(bdata, &bbase); err != nil {
+		return fmt.Errorf("parsing %s: %w", *flagBatchFile, err)
+	}
+	curBatch, err := measureBatch()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checking %s shared-scan batching invariants (%d rows, %d morsels):\n",
+		*flagBatchFile, curBatch.Rows, curBatch.Partitions)
+	printBatch(curBatch)
+	if err := checkBatch(bbase, curBatch); err != nil {
 		return err
 	}
 	fmt.Println("bench gate passed")

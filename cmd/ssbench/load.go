@@ -35,6 +35,8 @@ var (
 	loadDeadline  = flag.Duration("load-deadline", time.Second, "per-request queue-wait deadline")
 	loadAdhoc     = flag.Float64("load-adhoc", 0.6, "fraction of requests carrying seeded ad-hoc SQL instead of a catalog query")
 	loadPlacement = flag.String("load-placement", "", "route requests through the unified scheduler on this placement (cpu, gpu, hybrid or auto; empty = classic CPU engine)")
+	loadBatch     = flag.Int("load-batch", 0, "shared-scan batch cap: at pickup a worker drains up to N-1 scan-compatible pending requests into one shared execution (0 or 1 = disabled)")
+	loadDelay     = flag.Duration("load-delay", 0, "fixed wall-clock delay per real execution, paid once per shared-scan batch (emulates a slow backend deterministically)")
 	loadJSON      = flag.Bool("load-json", false, "emit the full sweep as JSON instead of the report table")
 )
 
@@ -65,6 +67,8 @@ func runLoad() error {
 			// and therefore coalescing windows — persist all phase
 			// instead of only at cold start.
 			ResultCacheSize: 64,
+			MaxBatch:        *loadBatch,
+			ExecDelay:       *loadDelay,
 		})
 	}
 	cfg := loadgen.Config{
@@ -92,6 +96,9 @@ func runLoad() error {
 	target := "engine=cpu"
 	if *loadPlacement != "" {
 		target = "placement=" + *loadPlacement
+	}
+	if *loadBatch > 1 {
+		target += fmt.Sprintf(", batch<=%d", *loadBatch)
 	}
 	bench.Banner(os.Stdout, fmt.Sprintf(
 		"overload sweep: %d rows, %d workers, queue %d, %s, seed %d",

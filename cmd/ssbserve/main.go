@@ -99,6 +99,7 @@ var (
 	flagTrace    = flag.Bool("trace", true, "trace every request into the flight recorder (GET /trace); latency histograms on /metrics work either way")
 	flagQueue    = flag.Int("queuedepth", 0, "pending-request queue depth (0 = 4x workers)")
 	flagShed     = flag.Bool("shed", false, "shed load past the queue depth (HTTP 429) instead of blocking submissions")
+	flagBatch    = flag.Int("maxbatch", 0, "shared-scan batch cap: at pickup a worker drains up to N-1 scan-compatible pending requests into one shared execution (0 or 1 = disabled)")
 )
 
 // retryAfterSeconds is the Retry-After hint on 429 responses: one second
@@ -137,6 +138,7 @@ func main() {
 		DeviceCacheBytes:       *flagDevCache,
 		FleetDeviceMemoryBytes: *flagFleetMem,
 		Trace:                  *flagTrace,
+		MaxBatch:               *flagBatch,
 	})
 	log.Printf("serving on %s with %d workers", *flagAddr, svc.Workers())
 
@@ -192,6 +194,12 @@ type queryResponse struct {
 	// Coalesced marks a response that shared a concurrent identical
 	// request's execution (single-flight) rather than running itself.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Batched marks a response that rode a shared-scan batch of
+	// BatchSize scan-compatible requests; BatchShareMS is its apportioned
+	// share of the batch's simulated time (sim_ms stays solo-identical).
+	Batched      bool    `json:"batched,omitempty"`
+	BatchSize    int     `json:"batch_size,omitempty"`
+	BatchShareMS float64 `json:"batch_share_ms,omitempty"`
 	// Partitions echoes the requested morsel count; Morsels and
 	// PrunedMorsels report how many the scan was split into and how many
 	// zone maps skipped.
@@ -369,6 +377,9 @@ func serveRequest(svc *serve.Service, w http.ResponseWriter, r *http.Request, re
 		PlanCached:    resp.PlanCached,
 		ResultCached:  resp.ResultCached,
 		Coalesced:     resp.Coalesced,
+		Batched:       resp.Batched,
+		BatchSize:     resp.BatchSize,
+		BatchShareMS:  resp.BatchShareSeconds * 1e3,
 		Partitions:    resp.Request.Partitions,
 		Morsels:       resp.Morsels,
 		PrunedMorsels: resp.Pruned,

@@ -193,3 +193,76 @@ func TestOverloadHTTP(t *testing.T) {
 		}
 	}
 }
+
+// TestEvictionHTTP pins accounting parity on the HTTP surface for the
+// OTHER shed path: a queued victim evicted by a higher-priority arrival
+// must observe exactly what a refused newcomer observes — 429 with a
+// Retry-After header — and increment the same shed counter.
+func TestEvictionHTTP(t *testing.T) {
+	svc := serve.New(ssb.GenerateRows(1<<12), "evict", serve.Options{
+		Workers: 1, QueueDepth: 1, Shed: true, ExecDelay: 200 * time.Millisecond,
+	})
+	defer svc.Close()
+	srv := httptest.NewServer(newMux(svc))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Errorf("GET %s: %v", path, err)
+			return 0, ""
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header.Get("Retry-After")
+	}
+	waitPending := func(n int) {
+		t.Helper()
+		for i := 0; i < 2000; i++ {
+			if svc.Stats().Pending == n {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("queue never reached %d pending", n)
+	}
+
+	var wg sync.WaitGroup
+	results := make([]int, 2)
+	var victimRetry string
+	wg.Add(1)
+	go func() { // occupies the worker for ExecDelay
+		defer wg.Done()
+		st, _ := get("/query?id=q1.1&engine=cpu&nocache=1")
+		if st != http.StatusOK {
+			t.Errorf("blocker: status %d, want 200", st)
+		}
+	}()
+	waitPending(0) // picked up; the queue slot below is the only one
+	time.Sleep(20 * time.Millisecond)
+	wg.Add(1)
+	go func() { // the victim: queued at priority 1
+		defer wg.Done()
+		results[0], victimRetry = get("/query?id=q1.2&engine=cpu&priority=1")
+	}()
+	waitPending(1)
+	wg.Add(1)
+	go func() { // priority 2 evicts the victim and takes its slot
+		defer wg.Done()
+		results[1], _ = get("/query?id=q1.3&engine=cpu&priority=2")
+	}()
+	wg.Wait()
+
+	if results[0] != http.StatusTooManyRequests {
+		t.Errorf("evicted victim: status %d, want 429", results[0])
+	}
+	if victimRetry == "" {
+		t.Error("evicted victim's 429 missing its Retry-After header")
+	}
+	if results[1] != http.StatusOK {
+		t.Errorf("evictor: status %d, want 200", results[1])
+	}
+	if st := svc.Stats(); st.Shed != 1 {
+		t.Errorf("stats recorded %d shed, want exactly the evicted victim", st.Shed)
+	}
+}

@@ -33,9 +33,12 @@ type Report struct {
 	Failed    int64 `json:"failed"`
 	// Coalesced and ResultHits split the completed responses that
 	// executed nothing themselves: shared a concurrent identical
-	// request's run, or replayed the result cache.
+	// request's run, or replayed the result cache. Batched counts
+	// completed responses that rode a shared-scan batch
+	// (serve.Options.MaxBatch) instead of a solo execution.
 	Coalesced  int64 `json:"coalesced"`
 	ResultHits int64 `json:"result_hits"`
+	Batched    int64 `json:"batched"`
 
 	Elapsed time.Duration `json:"elapsed"`
 	// GoodputQPS is completed responses per second of elapsed run time;
@@ -67,6 +70,9 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, " offered=%d goodput=%7.1f/s shed=%5.1f%% coalesce=%4.1f%% p50=%s p99=%s",
 		r.Offered, r.GoodputQPS, 100*r.ShedRate, 100*r.CoalesceRate,
 		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+	if r.Batched > 0 {
+		fmt.Fprintf(&b, " batched=%d", r.Batched)
+	}
 	if r.Expired > 0 {
 		fmt.Fprintf(&b, " expired=%d", r.Expired)
 	}
@@ -101,6 +107,9 @@ func (c *collector) offer(ctx context.Context, svc *serve.Service, req serve.Req
 		}
 		if resp.ResultCached {
 			c.report.ResultHits++
+		}
+		if resp.Batched {
+			c.report.Batched++
 		}
 	case errors.Is(err, serve.ErrOverloaded):
 		c.report.Shed++

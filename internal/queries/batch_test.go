@@ -1,0 +1,288 @@
+package queries
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"crystal/internal/fleet"
+	"crystal/internal/queries/queriestest"
+	"crystal/internal/trace"
+)
+
+// almostEq is the float tolerance for sums of per-member shares: the shares
+// are products of exact solo seconds with a rational ratio, so their sum can
+// differ from the recomputed total only by accumulation order.
+func almostEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	return d <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestApportionProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + r.Intn(8)
+		weights := make([]int64, n)
+		var sumW int64
+		for i := range weights {
+			weights[i] = int64(r.Intn(1000))
+			sumW += weights[i]
+		}
+		total := int64(0)
+		if sumW > 0 {
+			total = int64(r.Int63n(sumW + 1)) // shared scan: total <= sum of solos
+		}
+		got := apportion(total, weights)
+		var sum int64
+		for i, v := range got {
+			sum += v
+			if v < 0 {
+				t.Fatalf("trial %d: negative share %d at %d", trial, v, i)
+			}
+			if v > weights[i] {
+				t.Fatalf("trial %d: share %d exceeds weight %d at %d (total=%d weights=%v)",
+					trial, v, weights[i], i, total, weights)
+			}
+		}
+		if sum != total {
+			t.Fatalf("trial %d: shares sum to %d, want %d (weights=%v got=%v)", trial, sum, total, weights, got)
+		}
+	}
+	// Determinism: equal inputs, equal splits.
+	a := apportion(100, []int64{3, 3, 3})
+	b := apportion(100, []int64{3, 3, 3})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("apportion not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestScanFootprintCompatible(t *testing.T) {
+	q1, err := ByID("q1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q41, err := ByID("q4.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := ScanFootprint(&q1)
+	if len(fp) == 0 {
+		t.Fatal("q1.1 has an empty scan footprint")
+	}
+	if !Compatible(&q1, &q1) {
+		t.Error("a query must be compatible with itself")
+	}
+	if !Compatible(&q41, &q41) {
+		t.Error("q4.1 must be compatible with itself")
+	}
+	// Synthetic disjoint pair: one reads only revenue, the other only
+	// extprice+discount — no shared fact column, nothing to deduplicate.
+	rev := Query{ID: "rev", Agg: AggSumRevenue}
+	extdisc := Query{ID: "extdisc", Agg: AggSumExtDisc}
+	if Compatible(&rev, &extdisc) {
+		t.Errorf("disjoint footprints reported compatible: %v vs %v",
+			ScanFootprint(&rev), ScanFootprint(&extdisc))
+	}
+}
+
+// TestDifferentialBatchAgree is the shared-scan batching differential
+// harness: seeded batches of 2-8 compatible queries must produce, for every
+// member, rows AND simulated seconds identical to the member's solo run of
+// the same schedule — across engines, partition counts, packed/plain
+// encodings, fleet shapes and hybrid splits, ORDER BY/LIMIT included — while
+// the batch's shared traffic never exceeds the sum of the solo scans and the
+// per-member shares sum exactly back to the batch totals.
+func TestDifferentialBatchAgree(t *testing.T) {
+	const rounds = 24
+	r := rand.New(rand.NewSource(20260808))
+	subadditive := 0
+	for round := 0; round < rounds; round++ {
+		size := 2 + r.Intn(7)
+		qs := make([]Query, size)
+		plans := make([]*Plan, size)
+		for i := range qs {
+			qs[i] = RandomQuery(r, diffDS, round*16+i, GenOptions{Extended: round%2 == 1})
+			if err := qs[i].Validate(); err != nil {
+				t.Fatalf("round %d: invalid generated query: %v", round, err)
+			}
+			plans[i] = Compile(diffDS, qs[i])
+		}
+
+		parts := []int{2, 7, 16, 64}[round%4]
+		opts := RunOptions{Partition: PartitionOptions{Partitions: parts}, Trace: true}
+		if round%3 == 1 {
+			opts.Partition.Packed = diffPacked
+		}
+		gpus := []int{1, 2, 4, 8}[r.Intn(4)]
+		link := fleet.Interconnects()[r.Intn(2)]
+		fl := fleet.Spec{GPUs: gpus, Link: link}
+		frac := []float64{-1, 0.25, 0.5, 0.75}[r.Intn(4)]
+
+		type placementRun struct {
+			label string
+			batch func() (*BatchResult, error)
+			solo  func(p *Plan) (*ScheduledResult, error)
+		}
+		engine := Engines()[round%len(Engines())]
+		if opts.Partition.Packed != nil {
+			engine = EngineCoproc
+		}
+		runs := []placementRun{
+			{
+				label: fmt.Sprintf("engine=%s parts=%d packed=%v", engine, parts, opts.Partition.Packed != nil),
+				batch: func() (*BatchResult, error) { return RunBatch(plans, engine, opts) },
+				solo: func(p *Plan) (*ScheduledResult, error) {
+					return p.RunScheduled(p.ScheduleEngine(engine, opts))
+				},
+			},
+			{
+				label: fmt.Sprintf("fleet %dx%s parts=%d packed=%v", gpus, link.Name, parts, opts.Partition.Packed != nil),
+				batch: func() (*BatchResult, error) { return RunBatchFleet(plans, fl, opts) },
+				solo: func(p *Plan) (*ScheduledResult, error) {
+					s, err := p.ScheduleFleet(fl, opts)
+					if err != nil {
+						return nil, err
+					}
+					return p.RunScheduled(s)
+				},
+			},
+			{
+				label: fmt.Sprintf("hybrid frac=%v %dx%s parts=%d", frac, gpus, link.Name, parts),
+				batch: func() (*BatchResult, error) { return RunBatchHybrid(plans, fl, frac, opts) },
+				solo: func(p *Plan) (*ScheduledResult, error) {
+					s, _, err := p.ScheduleHybrid(fl, frac, opts)
+					if err != nil {
+						return nil, err
+					}
+					return p.RunScheduled(s)
+				},
+			},
+		}
+		for _, pr := range runs {
+			br, err := pr.batch()
+			if err != nil {
+				t.Fatalf("round %d %s: batch failed: %v", round, pr.label, err)
+			}
+			if len(br.Members) != size {
+				t.Fatalf("round %d %s: %d members, want %d", round, pr.label, len(br.Members), size)
+			}
+			var shareSum float64
+			var scanSum, soloSum int64
+			for i, m := range br.Members {
+				label := fmt.Sprintf("round %d %s member %d (%s)", round, pr.label, i, qs[i].ID)
+				sr, err := pr.solo(plans[i])
+				if err != nil {
+					t.Fatalf("%s: solo failed: %v", label, err)
+				}
+				// Full identity: rows, order, every aggregate value, and the
+				// member's reported Seconds equal to its solo schedule's.
+				if !m.Result.Equal(sr.Result) {
+					t.Errorf("%s: batched rows differ from solo run", label)
+				}
+				queriestest.SameRun(t, label, m.Result, sr.Result)
+				if m.ShareSeconds > sr.Result.Seconds*(1+1e-9) {
+					t.Errorf("%s: share %.12f exceeds solo %.12f", label, m.ShareSeconds, sr.Result.Seconds)
+				}
+				shareSum += m.ShareSeconds
+				scanSum += m.ScanBytes
+				soloSum += m.SoloScanBytes
+			}
+			if !almostEq(shareSum, br.Seconds) {
+				t.Errorf("round %d %s: shares sum %.12f, batch seconds %.12f", round, pr.label, shareSum, br.Seconds)
+			}
+			if scanSum != br.SharedScanBytes {
+				t.Errorf("round %d %s: member scan bytes sum %d, shared %d", round, pr.label, scanSum, br.SharedScanBytes)
+			}
+			if soloSum != br.SoloScanBytes {
+				t.Errorf("round %d %s: member solo bytes sum %d, total %d", round, pr.label, soloSum, br.SoloScanBytes)
+			}
+			if br.SharedScanBytes > br.SoloScanBytes {
+				t.Errorf("round %d %s: shared scan %d exceeds sum of solos %d", round, pr.label, br.SharedScanBytes, br.SoloScanBytes)
+			}
+			if br.SharedScanBytes < br.SoloScanBytes {
+				subadditive++
+			}
+			if br.Trace == nil {
+				t.Fatalf("round %d %s: no batch trace", round, pr.label)
+			}
+			if err := trace.VerifyBatch(br.Trace); err != nil {
+				t.Errorf("round %d %s: batch trace invariant: %v", round, pr.label, err)
+			}
+		}
+	}
+	// The harness is only load-bearing if batching actually deduplicates
+	// traffic most of the time (generated queries share hot fact columns).
+	if subadditive < rounds {
+		t.Errorf("only %d/%d batch runs were strictly subadditive; batches too disjoint", subadditive, rounds*3)
+	}
+}
+
+// TestBatchSingletonIdentity pins the degenerate batch: one member, whose
+// share is its entire solo run — bytes and seconds exactly, no discount.
+func TestBatchSingletonIdentity(t *testing.T) {
+	q, err := ByID("q2.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Compile(diffDS, q)
+	opts := RunOptions{Partition: PartitionOptions{Partitions: 7}}
+	br, err := RunBatch([]*Plan{p}, EngineGPU, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := p.RunScheduled(p.ScheduleEngine(EngineGPU, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := br.Members[0]
+	queriestest.SameRun(t, "singleton batch", m.Result, sr.Result)
+	if m.ShareSeconds != sr.Result.Seconds {
+		t.Errorf("singleton share %.12f != solo %.12f", m.ShareSeconds, sr.Result.Seconds)
+	}
+	if br.Seconds != m.ShareSeconds {
+		t.Errorf("batch seconds %.12f != single share %.12f", br.Seconds, m.ShareSeconds)
+	}
+	if m.ScanBytes != m.SoloScanBytes || br.SharedScanBytes != br.SoloScanBytes {
+		t.Errorf("singleton scan bytes split: member %d/%d, batch %d/%d",
+			m.ScanBytes, m.SoloScanBytes, br.SharedScanBytes, br.SoloScanBytes)
+	}
+}
+
+// TestBatchSharedTrafficStrictlyLess pins the batching win the benchmark
+// gate holds: two overlapping catalog queries batched onto one scan stream
+// strictly less than their solo scans combined, and the batch's simulated
+// seconds undercut the solo sum by the same mechanism.
+func TestBatchSharedTrafficStrictlyLess(t *testing.T) {
+	ids := []string{"q1.1", "q1.2", "q1.3"}
+	plans := make([]*Plan, len(ids))
+	var soloSeconds float64
+	opts := RunOptions{Partition: PartitionOptions{Partitions: 7}}
+	for i, id := range ids {
+		q, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[i] = Compile(diffDS, q)
+		sr, err := plans[i].RunScheduled(plans[i].ScheduleEngine(EngineGPU, opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloSeconds += sr.Result.Seconds
+	}
+	br, err := RunBatch(plans, EngineGPU, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.SharedScanBytes >= br.SoloScanBytes {
+		t.Errorf("shared scan %d not strictly less than solo sum %d", br.SharedScanBytes, br.SoloScanBytes)
+	}
+	if br.Seconds >= soloSeconds {
+		t.Errorf("batch seconds %.9f not strictly less than solo sum %.9f", br.Seconds, soloSeconds)
+	}
+}

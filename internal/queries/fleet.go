@@ -100,17 +100,6 @@ func (p *Plan) RunFleet(fl fleet.Spec, opts RunOptions) (*FleetResult, error) {
 		MergeSeconds: sr.MergeSeconds,
 		Trace:        sr.Trace,
 	}
-	for _, er := range sr.Executors {
-		out.Devices = append(out.Devices, FleetDevice{
-			Device:       er.Device,
-			Morsels:      er.Morsels,
-			Pruned:       er.Pruned,
-			Rows:         er.Rows,
-			Seconds:      er.Seconds,
-			SpillBytes:   er.ShipBytes,
-			ResidentCols: er.ResidentCols,
-			Groups:       er.Groups,
-		})
-	}
+	out.Devices = FleetDevices(sr.Executors)
 	return out, nil
 }

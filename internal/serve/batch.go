@@ -1,0 +1,444 @@
+package serve
+
+import (
+	"errors"
+	"strconv"
+	"time"
+
+	"crystal/internal/device"
+	"crystal/internal/fleet"
+	"crystal/internal/planner"
+	"crystal/internal/queries"
+	"crystal/internal/ssb"
+)
+
+// batchShape is the request-level compatibility key for shared-scan
+// batching: two queued requests may share a scan only when every field that
+// changes the morsel map, the fact encoding or the execution placement
+// agrees. Query identity is deliberately absent — that is the footprint
+// check (queries.Compatible) the batch former applies after binding.
+type batchShape struct {
+	engine       queries.Engine
+	placement    string
+	interconnect string
+	partitions   int
+	gpus         int
+	packed       bool
+}
+
+// canonBatchReq mirrors execute()'s request canonicalization for the batch
+// former and reports whether the request is batchable at all. Requests that
+// fail to parse are left for the solo path to report; NoCache requests
+// (explicitly standalone) and residency-dependent shapes (coprocessor or
+// constrained-fleet packed runs, whose solo seconds depend on device-cache
+// state the batch path never consults) are never batched.
+func (s *Service) canonBatchReq(req Request) (Request, fleet.Interconnect, bool) {
+	var link fleet.Interconnect
+	if req.NoCache {
+		return req, link, false
+	}
+	engine := queries.EngineGPU
+	if req.Engine != "" || req.Placement == "" {
+		var err error
+		if engine, err = ParseEngine(string(req.Engine)); err != nil {
+			return req, link, false
+		}
+	}
+	if req.Partitions < 0 {
+		req.Partitions = 0
+	}
+	if req.GPUs < 0 {
+		req.GPUs = 0
+	}
+	req.Engine = engine
+	switch {
+	case req.Placement != "":
+		placement, err := ParsePlacement(req.Placement)
+		if err != nil || engine != queries.EngineGPU {
+			return req, link, false
+		}
+		req.Placement = placement
+		if req.GPUs == 0 {
+			req.GPUs = 1
+		}
+		if link, err = fleet.ParseInterconnect(req.Interconnect); err != nil {
+			return req, link, false
+		}
+		req.Interconnect = link.Name
+		if req.Partitions < req.GPUs+1 {
+			req.Partitions = req.GPUs + 1
+		}
+	case req.GPUs > 0:
+		if engine != queries.EngineGPU {
+			return req, link, false
+		}
+		var err error
+		if link, err = fleet.ParseInterconnect(req.Interconnect); err != nil {
+			return req, link, false
+		}
+		req.Interconnect = link.Name
+		if req.Partitions < req.GPUs {
+			req.Partitions = req.GPUs
+		}
+		if req.Packed && s.devCache != nil && s.opts.FleetDeviceMemoryBytes > 0 {
+			return req, link, false // per-device residency shape
+		}
+	default:
+		req.Interconnect = ""
+		if req.Packed && engine == queries.EngineCoproc && s.devCache != nil {
+			return req, link, false // coprocessor residency shape
+		}
+	}
+	return req, link, true
+}
+
+// resultCached reports whether the canonical result-cache entry for req at
+// generation gen is already present. Cache-resident work gains nothing from a
+// shared scan — a solo pickup replays the stored rows without executing — so
+// the batch former leaves it on the solo path: a cached leader executes (and
+// replays) alone, a cached drained peer goes back to its queue position. The
+// key mirrors execute()'s resultKey exactly, including the partition raise
+// and effective-partition clamp applied before that key is built.
+func (s *Service) resultCached(ds *ssb.Dataset, gen uint64, canon string, req Request) bool {
+	creq, _, ok := s.canonBatchReq(req)
+	if !ok {
+		return false
+	}
+	if creq.Placement != "" || creq.GPUs > 0 {
+		if eff := ssb.EffectivePartitions(ds.Lineorder.Rows(), creq.Partitions); eff > 0 {
+			creq.Partitions = eff
+		}
+	}
+	key := cacheKey(strconv.FormatUint(gen, 10), canon, string(creq.Engine), strconv.Itoa(creq.Partitions),
+		packedKey(creq.Packed), strconv.Itoa(creq.GPUs), creq.Interconnect, creq.Placement)
+	s.cacheMu.Lock()
+	_, hit := s.results.get(key)
+	s.cacheMu.Unlock()
+	return hit
+}
+
+// batchKey reduces a request to its batchShape, or reports it unbatchable.
+func (s *Service) batchKey(req Request) (batchShape, bool) {
+	creq, _, ok := s.canonBatchReq(req)
+	if !ok {
+		return batchShape{}, false
+	}
+	return batchShape{
+		engine:       creq.Engine,
+		placement:    creq.Placement,
+		interconnect: creq.Interconnect,
+		partitions:   creq.Partitions,
+		gpus:         creq.GPUs,
+		packed:       creq.Packed,
+	}, true
+}
+
+// formBatch drains up to MaxBatch-1 pending requests that can share the
+// leader's scan: same batchShape (engine, partitions, packed mode, fleet
+// shape) and a fact-column footprint overlapping the leader's bound query.
+// Deadline-expired peers found during the scan are completed with ErrExpired;
+// shape-matched peers whose footprints turn out disjoint go back to their
+// original queue position. Returns nil when batching is disabled, the leader
+// is unbatchable, or no peer qualifies — the caller then executes solo.
+func (s *Service) formBatch(leader *job) []*job {
+	if s.opts.MaxBatch <= 1 || s.queue.len() == 0 {
+		return nil
+	}
+	shape, ok := s.batchKey(leader.req)
+	if !ok {
+		return nil
+	}
+	s.mu.RLock()
+	ds, gen := s.ds, s.gen
+	s.mu.RUnlock()
+	lq, lcanon, err := s.resolve(ds, gen, leader.req)
+	if err != nil {
+		return nil // the solo path reports the resolution error
+	}
+	if s.resultCached(ds, gen, lcanon, leader.req) {
+		return nil // the solo path replays it from the result cache
+	}
+	// The classifier runs under the queue lock: shape matching is pure
+	// parsing, so binding (which takes cache locks) waits until the drain
+	// returns.
+	now := time.Now()
+	taken, dropped := s.queue.drainMatching(s.opts.MaxBatch-1, func(p *job) int {
+		if p.req.Deadline > 0 && now.Sub(p.enqueued) >= p.req.Deadline {
+			return drainDrop
+		}
+		if ps, ok := s.batchKey(p.req); ok && ps == shape {
+			return drainTake
+		}
+		return drainKeep
+	})
+	for _, e := range dropped {
+		s.recordExpired()
+		e.done <- Response{Request: e.req, QueueWait: time.Since(e.enqueued), Err: ErrExpired}
+	}
+	// Bind each candidate and keep those whose footprints overlap the
+	// leader's and whose results are not already cached; the rest are
+	// re-pushed with their original sequence numbers, restoring their FIFO
+	// position (a cached peer replays instantly when a worker pops it solo).
+	var peers, back []*job
+	for _, p := range taken {
+		pq, pcanon, rerr := s.resolve(ds, gen, p.req)
+		if rerr == nil && queries.Compatible(&lq, &pq) && !s.resultCached(ds, gen, pcanon, p.req) {
+			peers = append(peers, p)
+		} else {
+			back = append(back, p)
+		}
+	}
+	s.queue.requeue(back)
+	if s.slots != nil {
+		// Blocking mode: every queued job holds one admission slot its
+		// popping worker would have released. Release the slots of the jobs
+		// this drain permanently removed (batched peers and expired drops);
+		// re-queued jobs keep theirs.
+		for i := 0; i < len(peers)+len(dropped); i++ {
+			<-s.slots
+		}
+	}
+	return peers
+}
+
+// executeBatch runs the leader and its drained peers as one shared-scan
+// batch on the leader's worker goroutine. The batch bypasses result-cache
+// lookup and single-flight coalescing — it is a multi-query unit the per-key
+// machinery cannot represent, and formBatch already diverted cache-resident
+// work to the solo replay path — but shares the bind and plan caches, pays
+// Options.ExecDelay once for the whole batch, publishes each member's result
+// under its solo resultKey for later replays, and reports each member with
+// the same rows and simulated seconds its solo run would have produced
+// (queries.RunBatch's row-identity invariant), plus the Batched telemetry.
+func (s *Service) executeBatch(leader *job, leaderWait time.Duration, peers []*job) {
+	start := time.Now()
+	jobs := append([]*job{leader}, peers...)
+	waits := make([]time.Duration, len(jobs))
+	waits[0] = leaderWait
+	for i, p := range peers {
+		waits[i+1] = time.Since(p.enqueued)
+	}
+
+	s.mu.RLock()
+	ds, version, gen := s.ds, s.version, s.gen
+	s.mu.RUnlock()
+
+	fail := func(i int, err error) {
+		s.recordError()
+		jobs[i].done <- Response{Request: jobs[i].req, Version: version, QueueWait: waits[i], Err: err}
+	}
+
+	// Canonicalize every member against the snapshot. All members matched
+	// one batchShape, so the canonical fields agree; the effective partition
+	// count depends only on the snapshot and the shared partition count.
+	var link fleet.Interconnect
+	reqs := make([]Request, len(jobs))
+	for i, j := range jobs {
+		creq, lk, ok := s.canonBatchReq(j.req)
+		if !ok {
+			// Unreachable: formBatch only batches canonicalizable shapes.
+			for k := range jobs {
+				fail(k, errors.New("serve: batch member lost its shape"))
+			}
+			return
+		}
+		link = lk
+		reqs[i] = creq
+	}
+	req0 := reqs[0]
+	if req0.Placement != "" || req0.GPUs > 0 {
+		if eff := ssb.EffectivePartitions(ds.Lineorder.Rows(), req0.Partitions); eff > 0 {
+			for i := range reqs {
+				reqs[i].Partitions = eff
+			}
+			req0 = reqs[0]
+		}
+	}
+
+	// Bind and compile each member through the shared bind/plan caches.
+	// A member that fails to bind (possible if a SetDataset raced in since
+	// the batch formed) fails alone; the rest still batch.
+	type liveMember struct {
+		idx        int
+		q          queries.Query
+		canon      string
+		plan       *queries.Plan
+		bindWall   time.Duration
+		planWall   time.Duration
+		planCached bool
+	}
+	genKey := strconv.FormatUint(gen, 10)
+	var live []liveMember
+	for i := range jobs {
+		bindStart := time.Now()
+		q, canon, err := s.resolve(ds, gen, reqs[i])
+		bindWall := time.Since(bindStart)
+		if err != nil {
+			fail(i, err)
+			continue
+		}
+		planKey := cacheKey(genKey, canon)
+		s.cacheMu.Lock()
+		var entry *planEntry
+		cached := false
+		if v, ok := s.plans.get(planKey); ok {
+			entry = v.(*planEntry)
+			cached = true
+		} else {
+			entry = &planEntry{}
+			if s.generation() == gen {
+				s.plans.put(planKey, entry)
+			}
+		}
+		s.cacheMu.Unlock()
+		planStart := time.Now()
+		entry.once.Do(func() { entry.plan = queries.Compile(ds, q) })
+		live = append(live, liveMember{
+			idx:        i,
+			q:          q,
+			canon:      canon,
+			plan:       entry.plan,
+			bindWall:   bindWall,
+			planWall:   time.Since(planStart),
+			planCached: cached,
+		})
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	opts := queries.RunOptions{}
+	opts.Partition.Partitions = req0.Partitions
+	opts.Partition.Limiter = s.morsels
+	opts.Trace = s.recorder != nil
+	if req0.Packed {
+		opts.Partition.Packed = s.packedFact(gen, ds)
+	}
+	if s.opts.ExecDelay > 0 {
+		// Once per batch, not per member: the wall-clock counterpart of the
+		// shared scan, and where batching's goodput win comes from under a
+		// simulated slow backend.
+		time.Sleep(s.opts.ExecDelay)
+	}
+
+	plans := make([]*queries.Plan, len(live))
+	qs := make([]queries.Query, len(live))
+	for li, m := range live {
+		plans[li] = m.plan
+		qs[li] = m.q
+	}
+
+	failLive := func(err error) {
+		for _, m := range live {
+			fail(m.idx, err)
+		}
+	}
+	var br *queries.BatchResult
+	var err error
+	placement := req0.Placement
+	switch {
+	case req0.Placement != "":
+		fl := fleet.Spec{GPUs: req0.GPUs, Link: link}
+		if placement == PlacementAuto {
+			choice, _, cerr := planner.ChooseBatchPlacement(fl, ds, qs,
+				plans[0].Morsels(req0.Partitions), opts.Partition.Packed)
+			if cerr != nil {
+				failLive(cerr)
+				return
+			}
+			placement = string(choice)
+		}
+		frac := -1.0 // hybrid: the throughput-balanced default split
+		switch placement {
+		case PlacementCPU:
+			frac = 1
+		case PlacementGPU:
+			frac = 0
+		}
+		br, err = queries.RunBatchHybrid(plans, fl, frac, opts)
+	case req0.GPUs > 0:
+		dev := device.V100()
+		if s.opts.FleetDeviceMemoryBytes > 0 {
+			d := *dev
+			d.MemoryBytes = s.opts.FleetDeviceMemoryBytes
+			dev = &d
+		}
+		br, err = queries.RunBatchFleet(plans, fleet.Spec{GPUs: req0.GPUs, Device: dev, Link: link}, opts)
+	default:
+		br, err = queries.RunBatch(plans, req0.Engine, opts)
+	}
+	if err != nil {
+		failLive(err)
+		return
+	}
+
+	s.recordBatch(br.SharedScanBytes, br.SoloScanBytes)
+	for li, lm := range live {
+		i := li
+		m := br.Members[i]
+		resp := Response{
+			Request:   reqs[lm.idx],
+			Adhoc:     reqs[lm.idx].SQL != "",
+			Packed:    reqs[lm.idx].Packed,
+			QueueWait: waits[lm.idx],
+			Version:   version,
+			Query:     lm.q,
+		}
+		resp.Result = m.Result
+		resp.Result.QueryID = lm.q.ID
+		resp.SimSeconds = m.Result.Seconds
+		resp.Morsels = m.Result.Morsels
+		resp.Pruned = m.Result.Pruned
+		resp.TransferBytes = m.Result.TransferBytes
+		resp.ResidentCols = m.Result.ResidentCols
+		resp.PlanCached = lm.planCached
+		resp.Batched = true
+		resp.BatchSize = len(live)
+		resp.BatchShareSeconds = m.ShareSeconds
+		switch {
+		case req0.Placement != "":
+			resp.Placement = placement
+			resp.CPUFrac = br.CPUFrac
+			resp.GPUs = br.GPUs
+			resp.Interconnect = br.Interconnect
+			resp.Executors = m.Executors
+			resp.MergeBytes = m.MergeBytes
+		case req0.GPUs > 0:
+			resp.GPUs = br.GPUs
+			resp.Interconnect = br.Interconnect
+			resp.Devices = queries.FleetDevices(m.Executors)
+			resp.MergeBytes = m.MergeBytes
+		}
+		resp.Wall = time.Since(start)
+		if s.recorder != nil {
+			// The run span is the batch span: every member's trace shows the
+			// shared scan it rode, with its own batch-member child inside.
+			s.finishTrace(&resp, start, waits[lm.idx], lm.bindWall, lm.planWall, br.Trace)
+		}
+
+		// Publish the member's result under its solo resultKey, exactly as
+		// execute() would have: rows and simulated seconds are identical to
+		// the solo run (RunBatch's row-identity invariant) and batch members
+		// are never residency-dependent shapes, so the entry replays
+		// deterministically. Batch provenance is per-request telemetry, not
+		// part of the replayed identity, so the stored copy drops it.
+		cached := resp
+		cached.Result = resp.Result.Clone()
+		cached.Devices = append([]queries.FleetDevice(nil), resp.Devices...)
+		cached.Executors = append([]queries.ExecutorResult(nil), resp.Executors...)
+		cached.Trace = nil
+		cached.TraceID = ""
+		cached.QueueWait = 0
+		cached.Batched = false
+		cached.BatchSize = 0
+		cached.BatchShareSeconds = 0
+		resultKey := cacheKey(genKey, lm.canon, string(reqs[lm.idx].Engine), strconv.Itoa(reqs[lm.idx].Partitions),
+			packedKey(reqs[lm.idx].Packed), strconv.Itoa(reqs[lm.idx].GPUs), reqs[lm.idx].Interconnect, reqs[lm.idx].Placement)
+		s.cacheMu.Lock()
+		s.results.put(resultKey, &cached)
+		s.cacheMu.Unlock()
+
+		s.recordStats(resp)
+		jobs[lm.idx].done <- resp
+	}
+}

@@ -41,6 +41,18 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	e.Counter("ssb_coalesced_total",
 		"Responses that shared a concurrent identical request's execution (single-flight).",
 		[]trace.Sample{{Value: float64(st.coalesced)}})
+	e.Counter("ssb_batches_total",
+		"Shared-scan batch executions formed at worker pickup (Options.MaxBatch).",
+		[]trace.Sample{{Value: float64(st.batches)}})
+	e.Counter("ssb_batched_requests_total",
+		"Responses that rode a shared-scan batch instead of a solo execution.",
+		[]trace.Sample{{Value: float64(st.batchedRequests)}})
+	e.Counter("ssb_batch_scan_bytes_total",
+		"Batch scan traffic, by accounting: shared (each line streamed once) vs solo (what the members' solo scans would have streamed).",
+		[]trace.Sample{
+			{Labels: []string{"accounting", "shared"}, Value: float64(st.batchSharedBytes)},
+			{Labels: []string{"accounting", "solo"}, Value: float64(st.batchSoloBytes)},
+		})
 	e.Histogram("ssb_request_wall_seconds",
 		"Execution wall clock per request (queue wait excluded), by engine and placement.", wallHists)
 	e.Histogram("ssb_queue_wait_seconds",

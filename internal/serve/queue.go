@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/heap"
+	"sort"
 	"sync"
 	"time"
 )
@@ -54,19 +55,36 @@ func (q *jobQueue) pushLocked(j *job) {
 }
 
 // offer enqueues the job if the pending count is below depth. When the
-// queue is full it evicts the worst pending job — lowest priority,
-// newest within that priority — provided it is strictly lower priority
-// than the newcomer, and returns it for the caller to shed. Otherwise
-// the newcomer itself is refused (pushed = false, victim = nil).
-func (q *jobQueue) offer(j *job, depth int) (pushed bool, victim *job) {
+// queue is full it first drops every pending job whose deadline already
+// expired — a dead job was only going to be discarded at worker pickup,
+// and letting it hold a slot would shed a live newcomer (or evict a live
+// victim) in its stead; the dropped jobs are returned in expired for the
+// caller to complete with ErrExpired. If the queue is still full it
+// evicts the worst pending job — lowest priority, newest within that
+// priority — provided it is strictly lower priority than the newcomer,
+// and returns it for the caller to shed. Otherwise the newcomer itself
+// is refused (pushed = false, victim = nil).
+func (q *jobQueue) offer(j *job, depth int) (pushed bool, victim *job, expired []*job) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if len(q.jobs) >= depth {
+		// Full-queue scan: collect expired slots before applying the
+		// shed/evict policy. Indices are removed in descending order so
+		// each heap.Remove leaves the earlier candidates' indices valid.
+		now := time.Now()
+		for i := len(q.jobs) - 1; i >= 0; i-- {
+			p := q.jobs[i]
+			if p.req.Deadline > 0 && now.Sub(p.enqueued) >= p.req.Deadline {
+				expired = append(expired, heap.Remove(&q.jobs, i).(*job))
+			}
+		}
+	}
 	if len(q.jobs) < depth {
 		q.pushLocked(j)
-		return true, nil
+		return true, nil, expired
 	}
-	// Full: find the worst pending job. The heap orders best-first, so
-	// scan the backing slice (depth is small — a few times the worker
+	// Still full: find the worst pending job. The heap orders best-first,
+	// so scan the backing slice (depth is small — a few times the worker
 	// count — so O(depth) is fine).
 	worst := 0
 	for i := 1; i < len(q.jobs); i++ {
@@ -75,11 +93,87 @@ func (q *jobQueue) offer(j *job, depth int) (pushed bool, victim *job) {
 		}
 	}
 	if q.jobs[worst].req.Priority >= j.req.Priority {
-		return false, nil // nothing strictly lower: shed the newcomer
+		return false, nil, expired // nothing strictly lower: shed the newcomer
 	}
 	victim = heap.Remove(&q.jobs, worst).(*job)
 	q.pushLocked(j)
-	return true, victim
+	return true, victim, expired
+}
+
+// Batch-drain verdicts for drainMatching's classifier.
+const (
+	drainKeep = iota // leave the job queued
+	drainTake        // pull the job into the batch
+	drainDrop        // remove the job as deadline-expired
+)
+
+// drainMatching removes up to max pending jobs the classifier takes
+// (drainTake) and every job it drops (drainDrop, deadline-expired peers
+// found during the scan), returning both sets. The scan walks the heap's
+// backing slice in seq order so FIFO fairness within a priority is
+// preserved; removals happen by descending index, keeping earlier indices
+// valid. The classifier runs under the queue lock and must not call back
+// into the queue.
+func (q *jobQueue) drainMatching(max int, classify func(*job) int) (taken, dropped []*job) {
+	if max <= 0 {
+		return nil, nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	// Visit jobs best-first (the order workers would pop them) by sorting
+	// candidate indices; the heap slice itself is only partially ordered.
+	idx := make([]int, len(q.jobs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ja, jb := q.jobs[idx[a]], q.jobs[idx[b]]
+		if ja.req.Priority != jb.req.Priority {
+			return ja.req.Priority > jb.req.Priority
+		}
+		return ja.seq < jb.seq
+	})
+	var takeIdx, dropIdx []int
+	for _, i := range idx {
+		if len(takeIdx) >= max {
+			break
+		}
+		switch classify(q.jobs[i]) {
+		case drainTake:
+			takeIdx = append(takeIdx, i)
+		case drainDrop:
+			dropIdx = append(dropIdx, i)
+		}
+	}
+	remove := append(append([]int(nil), takeIdx...), dropIdx...)
+	sort.Sort(sort.Reverse(sort.IntSlice(remove)))
+	byIndex := map[int]*job{}
+	for _, i := range remove {
+		byIndex[i] = heap.Remove(&q.jobs, i).(*job)
+	}
+	for _, i := range takeIdx {
+		taken = append(taken, byIndex[i])
+	}
+	for _, i := range dropIdx {
+		dropped = append(dropped, byIndex[i])
+	}
+	return taken, dropped
+}
+
+// requeue pushes drained jobs back with their original sequence numbers
+// intact, restoring their FIFO position within their priority — used by the
+// batch former for shape-matched candidates whose footprints turned out
+// disjoint.
+func (q *jobQueue) requeue(jobs []*job) {
+	if len(jobs) == 0 {
+		return
+	}
+	q.mu.Lock()
+	for _, j := range jobs {
+		heap.Push(&q.jobs, j)
+		q.notEmpty.Signal()
+	}
+	q.mu.Unlock()
 }
 
 // pop blocks until a job is available or the queue is closed and

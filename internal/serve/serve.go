@@ -152,6 +152,16 @@ type Response struct {
 	// replayed its rows and telemetry — charged only its own queue and
 	// wait time, never a second execution.
 	Coalesced bool
+	// Batched reports shared-scan batching (Options.MaxBatch): the worker
+	// that picked this request up drained BatchSize-1 scan-compatible
+	// peers from the queue and executed them all inside one shared morsel
+	// scan. Rows and SimSeconds are identical to a solo run of the same
+	// request; BatchShareSeconds is this member's apportioned share of the
+	// batch's simulated time (shares sum exactly to the batch total, which
+	// at size >= 2 is less than the sum of the members' solo seconds).
+	Batched           bool
+	BatchSize         int
+	BatchShareSeconds float64
 	// Morsels and Pruned report the partitioned-execution outcome: how many
 	// morsels the fact scan was split into (1 for monolithic runs) and how
 	// many of them zone maps skipped.
@@ -218,8 +228,23 @@ type Options struct {
 	// simulated engines finish in microseconds of wall time, so overload
 	// tests and load experiments use this to emulate a slow backend
 	// deterministically: N slow executions against a bounded queue must
-	// shed on any machine. Zero (the default) adds nothing.
+	// shed on any machine. Zero (the default) adds nothing. A shared-scan
+	// batch pays the delay once for the whole batch — the wall-clock form
+	// of the scan it shares.
 	ExecDelay time.Duration
+	// MaxBatch enables shared-scan batching of compatible queries: at
+	// pickup a worker drains up to MaxBatch-1 pending requests that are
+	// scan-compatible with the picked job (same engine/partitions/packed
+	// mode/fleet shape, overlapping fact-column footprint —
+	// queries.Compatible) and executes the whole batch through one shared
+	// morsel scan (queries.RunBatch), charging shared column traffic once.
+	// Each member's rows and simulated seconds are identical to its solo
+	// run. 0 or 1 disables batching (the default). Batched executions
+	// bypass the result cache and single-flight coalescing — they are
+	// multi-query units the per-key machinery cannot represent — and never
+	// consult residency caches; NoCache requests and residency-dependent
+	// shapes are never batched.
+	MaxBatch int
 	// MorselHelpers caps the extra goroutines all in-flight requests
 	// together may spawn for intra-query parallelism (morsel scans, GPU
 	// blocks). The executing worker always makes progress without a slot,
@@ -451,6 +476,10 @@ func New(ds *ssb.Dataset, version string, opts Options) *Service {
 					j.done <- Response{Request: j.req, QueueWait: wait, Err: ErrExpired}
 					continue
 				}
+				if peers := s.formBatch(j); len(peers) > 0 {
+					s.executeBatch(j, wait, peers)
+					continue
+				}
 				j.done <- s.execute(j.req, wait)
 			}
 		}()
@@ -601,7 +630,15 @@ func (s *Service) submit(ctx context.Context, req Request) (<-chan Response, err
 	if s.slots == nil {
 		// Shed mode: admission is decided now, under the queue lock.
 		j.enqueued = time.Now()
-		pushed, victim := s.queue.offer(j, s.opts.QueueDepth)
+		pushed, victim, expired := s.queue.offer(j, s.opts.QueueDepth)
+		for _, e := range expired {
+			// Deadline-dead jobs dropped by the full-queue scan complete here
+			// with the same response shape worker pickup would have produced;
+			// the slots they held now admit live work instead of forcing a
+			// shed or an eviction.
+			s.recordExpired()
+			e.done <- Response{Request: e.req, QueueWait: time.Since(e.enqueued), Err: ErrExpired}
+		}
 		if victim != nil {
 			s.recordShed()
 			victim.done <- Response{Request: victim.req, QueueWait: time.Since(victim.enqueued), Err: ErrOverloaded}
@@ -1234,6 +1271,17 @@ func (s *Service) recordShed() {
 func (s *Service) recordExpired() {
 	s.statsMu.Lock()
 	s.stats.expired++
+	s.statsMu.Unlock()
+}
+
+// recordBatch tallies one shared-scan batch execution; the batch's size is
+// visible as the per-response batchedRequests delta, and the byte pair
+// carries the shared-vs-solo scan traffic the batch deduplicated.
+func (s *Service) recordBatch(sharedBytes, soloBytes int64) {
+	s.statsMu.Lock()
+	s.stats.batches++
+	s.stats.batchSharedBytes += sharedBytes
+	s.stats.batchSoloBytes += soloBytes
 	s.statsMu.Unlock()
 }
 

@@ -95,6 +95,15 @@ type statsAccum struct {
 	expired   int64
 	coalesced int64
 
+	// Shared-scan batching: batches counts batch executions, batchedRequests
+	// the responses that rode one (a subset of requests), and the byte pair
+	// the scan traffic the batches actually streamed versus what the members'
+	// solo scans would have — shared < solo is the batching win.
+	batches          int64
+	batchedRequests  int64
+	batchSharedBytes int64
+	batchSoloBytes   int64
+
 	// Fleet tallies: request-level totals plus the per-device breakdown.
 	// The per-device entries always sum to the totals — the invariant the
 	// regression test pins.
@@ -222,6 +231,9 @@ func (a *statsAccum) record(resp Response) {
 	}
 	if resp.Coalesced {
 		a.coalesced++
+	}
+	if resp.Batched {
+		a.batchedRequests++
 	}
 	if resp.ResultCached {
 		a.resultHits++
@@ -389,6 +401,18 @@ type Stats struct {
 	CoalesceRate float64 `json:"coalesce_rate"`
 	Pending      int     `json:"pending"`
 
+	// Shared-scan batching (Options.MaxBatch). Batches counts batch
+	// executions and BatchedRequests the responses that rode one (a subset
+	// of Requests; BatchRate is their fraction). BatchSharedScanBytes is the
+	// scan traffic the batches actually streamed — each shared line charged
+	// once — and BatchSoloScanBytes what the members' solo scans would have
+	// streamed; the gap is the traffic batching deduplicated.
+	Batches              int64   `json:"batches"`
+	BatchedRequests      int64   `json:"batched_requests"`
+	BatchRate            float64 `json:"batch_rate"`
+	BatchSharedScanBytes int64   `json:"batch_shared_scan_bytes"`
+	BatchSoloScanBytes   int64   `json:"batch_solo_scan_bytes"`
+
 	// PartitionedRequests counts requests that asked for morsel-driven
 	// execution; Morsels and PrunedMorsels tally their fact-scan partitions
 	// and how many of those zone maps skipped. PruneRate is the fraction
@@ -497,6 +521,13 @@ func (s *Service) Stats() Stats {
 		out.CoalesceRate = float64(st.coalesced) / float64(st.requests)
 	}
 	out.Pending = s.queue.len()
+	out.Batches = st.batches
+	out.BatchedRequests = st.batchedRequests
+	if st.requests > 0 {
+		out.BatchRate = float64(st.batchedRequests) / float64(st.requests)
+	}
+	out.BatchSharedScanBytes = st.batchSharedBytes
+	out.BatchSoloScanBytes = st.batchSoloBytes
 	out.PartitionedRequests = st.partitioned
 	out.Morsels = st.morsels
 	out.PrunedMorsels = st.pruned

@@ -88,6 +88,16 @@ const (
 	// sort-pass span is sort-phase traffic, attributed separately from the
 	// scan's transfer spans (it never counts toward Result.TransferBytes).
 	PhaseSortPass Phase = "sort-pass"
+	// PhaseBatch is one shared-scan batch execution: compatible queries
+	// evaluated inside one morsel scan. Its Sim is the sum of its
+	// batch-member children (each member's discounted share), and its
+	// Bytes the shared scan traffic — every line streamed once, no matter
+	// how many members consumed it.
+	PhaseBatch Phase = "batch"
+	// PhaseBatchMember is one member of a shared-scan batch: Sim is the
+	// member's ShareSeconds, Bytes its apportioned slice of the shared
+	// traffic, and its single child the member's own solo-priced run span.
+	PhaseBatchMember Phase = "batch-member"
 	// PhaseCoalesced marks a request that shared a concurrent identical
 	// request's execution (single-flight): it waited on the leader and
 	// replayed its rows, executing nothing itself.
@@ -282,6 +292,48 @@ func Verify(run *Span) error {
 			return fmt.Errorf("trace: execute span %q bytes %d != transfer child bytes %d",
 				c.Name, c.Bytes, shipBytes)
 		}
+	}
+	return nil
+}
+
+// VerifyBatch checks the structural invariants of a shared-scan batch span:
+// the batch's Sim is exactly the sum of its batch-member children and its
+// Bytes exactly the sum of their apportioned bytes (the shared traffic is
+// split without loss or double counting); each member's Sim never exceeds
+// its solo run child's, and each embedded run span passes Verify. It
+// returns the first violation, or nil.
+func VerifyBatch(batch *Span) error {
+	if batch == nil {
+		return fmt.Errorf("trace: nil batch span")
+	}
+	if batch.Phase != PhaseBatch {
+		return fmt.Errorf("trace: VerifyBatch wants a %s span, got %s", PhaseBatch, batch.Phase)
+	}
+	var sims float64
+	var bytes int64
+	for _, m := range batch.Children {
+		if m.Phase != PhaseBatchMember {
+			return fmt.Errorf("trace: batch span has unexpected %s child", m.Phase)
+		}
+		sims += m.Sim
+		bytes += m.Bytes
+		run := m.Child(PhaseRun)
+		if run == nil {
+			return fmt.Errorf("trace: batch member %q has no run span", m.Name)
+		}
+		if m.Sim > run.Sim && !floatEq(m.Sim, run.Sim) {
+			return fmt.Errorf("trace: batch member %q share %.9g exceeds its solo run %.9g",
+				m.Name, m.Sim, run.Sim)
+		}
+		if err := Verify(run); err != nil {
+			return fmt.Errorf("trace: batch member %q: %w", m.Name, err)
+		}
+	}
+	if !floatEq(batch.Sim, sims) {
+		return fmt.Errorf("trace: batch sim %.9g != sum of member shares %.9g", batch.Sim, sims)
+	}
+	if batch.Bytes != bytes {
+		return fmt.Errorf("trace: batch bytes %d != sum of member bytes %d", batch.Bytes, bytes)
 	}
 	return nil
 }

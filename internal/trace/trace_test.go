@@ -116,3 +116,52 @@ func TestTraceJSONRoundTrip(t *testing.T) {
 		t.Errorf("roundtrip lost span bytes: %d", got)
 	}
 }
+
+// sampleBatch wraps two members around sampleRun-shaped solo runs: member
+// shares sum to the batch sim, apportioned bytes sum to the batch bytes,
+// and each share sits at or under its solo run.
+func sampleBatch() *Span {
+	m0, m1 := sampleRun(), sampleRun()
+	return &Span{
+		Phase: PhaseBatch, Sim: 3.0e-3, Bytes: 6000,
+		Children: []*Span{
+			{Phase: PhaseBatchMember, Name: "q1.1", Sim: 2.0e-3 + 1.0e-6, Bytes: 4096, Children: []*Span{m0}},
+			{Phase: PhaseBatchMember, Name: "q1.2", Sim: 1.0e-3 - 1.0e-6, Bytes: 1904, Children: []*Span{m1}},
+		},
+	}
+}
+
+func TestVerifyBatch(t *testing.T) {
+	if err := VerifyBatch(sampleBatch()); err != nil {
+		t.Fatalf("VerifyBatch(sampleBatch) = %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Span)
+		want   string
+	}{
+		{"sim not sum of shares", func(b *Span) { b.Sim = 9 }, "sum of member shares"},
+		{"bytes not sum of splits", func(b *Span) { b.Bytes++ }, "sum of member bytes"},
+		{"share exceeds solo run", func(b *Span) {
+			b.Children[0].Sim = 5e-3
+			b.Sim = 5e-3 + 1.0e-3 - 1.0e-6
+		}, "exceeds its solo run"},
+		{"member missing run span", func(b *Span) { b.Children[1].Children = nil }, "no run span"},
+		{"broken embedded run", func(b *Span) { b.Children[0].Children[0].Sim = 9 }, "makespan"},
+		{"unexpected child phase", func(b *Span) { b.Children[0].Phase = PhaseMerge }, "unexpected"},
+	}
+	for _, tc := range cases {
+		b := sampleBatch()
+		tc.mutate(b)
+		err := VerifyBatch(b)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: VerifyBatch = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	if err := VerifyBatch(nil); err == nil {
+		t.Error("VerifyBatch(nil) = nil, want error")
+	}
+	if err := VerifyBatch(&Span{Phase: PhaseRun}); err == nil {
+		t.Error("VerifyBatch(non-batch span) = nil, want error")
+	}
+}
